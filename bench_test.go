@@ -1,0 +1,387 @@
+// Benchmarks regenerating the paper's evaluation artifacts (one per
+// table/figure, §6) plus the ablations DESIGN.md calls out. Custom
+// metrics carry the experiment outputs: tele_B (telemetry bytes on the
+// wire), p4_loc (generated lines), phv_pct, rtt_*_ms, pps, and so on.
+package repro_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/checkers"
+	"repro/internal/compiler"
+	"repro/internal/experiments"
+	"repro/internal/indus/eval"
+	"repro/internal/indus/parser"
+	"repro/internal/indus/types"
+	"repro/internal/netsim"
+	"repro/internal/p4"
+	"repro/internal/pipeline"
+	"repro/internal/resources"
+	"repro/internal/stats"
+)
+
+// ---------------------------------------------------------------------------
+// Table 1
+
+// BenchmarkTable1Compile measures the Indus compiler over the full
+// corpus (the paper's compiler is ~2500 lines of OCaml; ours must at
+// least be fast).
+func BenchmarkTable1Compile(b *testing.B) {
+	infos := make([]*types.Info, 0, len(checkers.All))
+	for _, p := range checkers.All {
+		infos = append(infos, checkers.MustParse(p.Key))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, info := range infos {
+			if _, err := compiler.Compile(info, compiler.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(len(infos)), "programs/op")
+}
+
+// BenchmarkTable1Resources regenerates the Tofino columns of Table 1
+// and reports the corpus-wide PHV figure.
+func BenchmarkTable1Resources(b *testing.B) {
+	var rows []experiments.Table1Row
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = experiments.Table1()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var maxPHV float64
+	for _, r := range rows {
+		if r.PHVPct > maxPHV {
+			maxPHV = r.PHVPct
+		}
+	}
+	b.ReportMetric(maxPHV, "max_phv_pct")
+	b.ReportMetric(float64(resources.BaselineStages), "stages")
+}
+
+// BenchmarkTable1P4Emission measures the P4 backend and reports the
+// total generated line count.
+func BenchmarkTable1P4Emission(b *testing.B) {
+	progs := make([]*pipeline.Program, 0, len(checkers.All))
+	for _, p := range checkers.All {
+		progs = append(progs, compiler.MustCompile(checkers.MustParse(p.Key), compiler.Options{Name: p.Key}))
+	}
+	total := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		total = 0
+		for _, prog := range progs {
+			total += p4.LineCount(p4.Emit(prog))
+		}
+	}
+	b.ReportMetric(float64(total), "p4_loc")
+}
+
+// ---------------------------------------------------------------------------
+// Figure 12
+
+// BenchmarkFig12RTT runs a scaled-down Figure 12 experiment per
+// iteration and reports the two mean RTTs plus the t-test p-value; the
+// paper's result is p >> 0.05 (no significant difference).
+func BenchmarkFig12RTT(b *testing.B) {
+	var r experiments.Fig12Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = experiments.RunFig12(experiments.Fig12Config{
+			Duration:      500 * netsim.Millisecond,
+			PingInterval:  4 * netsim.Millisecond,
+			BackgroundBps: 300_000_000,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(stats.Summarize(r.Baseline.RTT).Mean, "rtt_base_ms")
+	b.ReportMetric(stats.Summarize(r.Checkers.RTT).Mean, "rtt_chk_ms")
+	b.ReportMetric(r.TTest.P, "t_test_p")
+}
+
+// ---------------------------------------------------------------------------
+// Throughput (§6.2 text result)
+
+func benchThroughput(b *testing.B, withCheckers bool) {
+	var res experiments.ThroughputResult
+	for i := 0; i < b.N; i++ {
+		var base, chk experiments.ThroughputResult
+		var err error
+		base, chk, err = experiments.RunThroughput(experiments.ThroughputConfig{Packets: 10_000, Seed: 5})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if withCheckers {
+			res = chk
+		} else {
+			res = base
+		}
+	}
+	b.ReportMetric(res.DeliveredRatio*100, "delivered_pct")
+	b.ReportMetric(res.WallPktsPerSec, "sw_pps")
+}
+
+// BenchmarkThroughputBaseline replays the campus trace without Hydra.
+func BenchmarkThroughputBaseline(b *testing.B) { benchThroughput(b, false) }
+
+// BenchmarkThroughputAllCheckers replays it with all checkers linked.
+func BenchmarkThroughputAllCheckers(b *testing.B) { benchThroughput(b, true) }
+
+// ---------------------------------------------------------------------------
+// Per-checker hot path
+
+// BenchmarkCheckerPerPacket measures one telemetry-hop execution of
+// each compiled corpus checker — the per-packet work a switch does.
+func BenchmarkCheckerPerPacket(b *testing.B) {
+	for _, p := range checkers.All {
+		p := p
+		b.Run(p.Key, func(b *testing.B) {
+			prog := compiler.MustCompile(checkers.MustParse(p.Key), compiler.Options{Name: p.Key})
+			rt := &compiler.Runtime{Prog: prog}
+			st := prog.NewState()
+			headers := map[string]pipeline.Value{}
+			for _, path := range prog.HeaderBindings {
+				headers[path] = pipeline.B(32, 1)
+			}
+			env := compiler.HopEnv{State: st, SwitchID: 7, Headers: headers, PacketLen: 256}
+			var blob []byte
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				hr, err := rt.RunHop(blob, env, i == 0, false)
+				if err != nil {
+					b.Fatal(err)
+				}
+				blob = hr.Blob
+			}
+			b.ReportMetric(float64((prog.TeleWireBits()+7)/8), "tele_B")
+		})
+	}
+}
+
+// BenchmarkInterpreterVsPipeline compares the reference interpreter
+// against the compiled pipeline on the same trace (a compiler speedup
+// ablation: the differential tests prove they agree; this measures the
+// gap).
+func BenchmarkInterpreterVsPipeline(b *testing.B) {
+	info := checkers.MustParse("loop-freedom")
+
+	b.Run("interpreter", func(b *testing.B) {
+		m := eval.New(info)
+		sws := []*eval.SwitchState{eval.NewSwitchState(1), eval.NewSwitchState(2), eval.NewSwitchState(3)}
+		hops := []eval.Hop{
+			{Switch: sws[0], PacketLen: 100},
+			{Switch: sws[1], PacketLen: 100},
+			{Switch: sws[2], PacketLen: 100},
+		}
+		for i := 0; i < b.N; i++ {
+			if _, err := m.RunTrace(hops); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("pipeline", func(b *testing.B) {
+		prog := compiler.MustCompile(info, compiler.Options{})
+		rt := &compiler.Runtime{Prog: prog}
+		st := prog.NewState()
+		envs := []compiler.HopEnv{
+			{State: st, SwitchID: 1, PacketLen: 100},
+			{State: st, SwitchID: 2, PacketLen: 100},
+			{State: st, SwitchID: 3, PacketLen: 100},
+		}
+		for i := 0; i < b.N; i++ {
+			if _, err := rt.RunTrace(envs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Ablation 1 (§4.3): last-hop vs per-hop checking
+
+// BenchmarkAblationCheckPlacement compares the two linking modes on the
+// loop checker: per-hop checking runs the checker block at every switch
+// (more work per hop, violations caught mid-network), last-hop checking
+// only at the edge.
+func BenchmarkAblationCheckPlacement(b *testing.B) {
+	info := checkers.MustParse("loop-freedom")
+	prog := compiler.MustCompile(info, compiler.Options{})
+	for _, mode := range []struct {
+		name     string
+		everyHop bool
+	}{{"last-hop", false}, {"per-hop", true}} {
+		mode := mode
+		b.Run(mode.name, func(b *testing.B) {
+			rt := &compiler.Runtime{Prog: prog, CheckEveryHop: mode.everyHop}
+			st := prog.NewState()
+			envs := []compiler.HopEnv{
+				{State: st, SwitchID: 1, PacketLen: 100},
+				{State: st, SwitchID: 2, PacketLen: 100},
+				{State: st, SwitchID: 1, PacketLen: 100}, // loop!
+				{State: st, SwitchID: 3, PacketLen: 100},
+			}
+			caughtAt := -1
+			for i := 0; i < b.N; i++ {
+				var blob []byte
+				caughtAt = -1
+				for h, env := range envs {
+					hr, err := rt.RunBlocks(blob, env, compiler.BlockSet{
+						Init:      h == 0,
+						Telemetry: true,
+						Checker:   h == len(envs)-1 || rt.CheckEveryHop,
+					}, h == 0, h == len(envs)-1)
+					if err != nil {
+						b.Fatal(err)
+					}
+					blob = hr.Blob
+					if hr.Reject && caughtAt < 0 {
+						caughtAt = h
+					}
+				}
+			}
+			b.ReportMetric(float64(caughtAt), "caught_at_hop")
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Ablation 2: loop unrolling factor / telemetry array capacity
+
+// BenchmarkAblationArrayCapacity sweeps the path-trace capacity of the
+// loop checker: larger arrays mean more telemetry bytes on the wire,
+// more generated P4, and more unrolled work per hop.
+func BenchmarkAblationArrayCapacity(b *testing.B) {
+	for _, capacity := range []int{2, 4, 8, 16} {
+		capacity := capacity
+		b.Run(fmt.Sprintf("cap%d", capacity), func(b *testing.B) {
+			src := fmt.Sprintf(`
+tele bit<32>[%d] path;
+tele bool revisited = false;
+{ }
+{
+  if (switch_id in path) { revisited = true; }
+  path.push(switch_id);
+}
+{ if (revisited) { reject; } }
+`, capacity)
+			prog, err := parser.Parse("ablation.indus", src)
+			if err != nil {
+				b.Fatal(err)
+			}
+			info, err := types.Check(prog)
+			if err != nil {
+				b.Fatal(err)
+			}
+			compiled, err := compiler.Compile(info, compiler.Options{Name: "ablation"})
+			if err != nil {
+				b.Fatal(err)
+			}
+			rt := &compiler.Runtime{Prog: compiled}
+			st := compiled.NewState()
+			env := compiler.HopEnv{State: st, SwitchID: 9, PacketLen: 100}
+			var blob []byte
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				hr, err := rt.RunHop(blob, env, i == 0, false)
+				if err != nil {
+					b.Fatal(err)
+				}
+				blob = hr.Blob
+			}
+			b.ReportMetric(float64((compiled.TeleWireBits()+7)/8), "tele_B")
+			b.ReportMetric(float64(p4.LineCount(p4.Emit(compiled))), "p4_loc")
+			b.ReportMetric(float64(resources.Analyze(compiled).AddedPHVBits), "phv_bits")
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Ablation 4: telemetry on-wire cost across the corpus
+
+// BenchmarkAblationTelemetryBytes reports each checker's wire overhead
+// (the bytes the Hydra header adds to every packet), the quantity that
+// showed up as the serialization-delay delta in Figure 12.
+func BenchmarkAblationTelemetryBytes(b *testing.B) {
+	total := 0
+	for _, p := range checkers.All {
+		prog := compiler.MustCompile(checkers.MustParse(p.Key), compiler.Options{Name: p.Key})
+		total += (prog.TeleWireBits() + 7) / 8
+	}
+	for i := 0; i < b.N; i++ {
+		_ = total
+	}
+	b.ReportMetric(float64(total), "all_checkers_tele_B")
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end fabric benchmark
+
+// BenchmarkFabricPacket measures a full end-to-end packet delivery
+// (host -> leaf -> spine -> leaf -> host) through the simulator, with
+// and without a checker attached.
+func BenchmarkFabricPacket(b *testing.B) {
+	run := func(b *testing.B, attach bool) {
+		sim := netsim.NewSimulator()
+		ls := netsim.BuildLeafSpine(sim, netsim.LeafSpineConfig{Leaves: 2, Spines: 2, HostsPerLeaf: 1, WithRouting: true})
+		if attach {
+			prog := compiler.MustCompile(checkers.MustParse("loop-freedom"), compiler.Options{})
+			rt := &compiler.Runtime{Prog: prog}
+			for _, sw := range ls.AllSwitches() {
+				sw.AttachChecker(rt, nil)
+			}
+		}
+		h1, h2 := ls.Host(0, 0), ls.Host(1, 0)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			h1.SendUDP(h2.IP, uint16(i), 80, 64)
+			sim.RunAll()
+		}
+		if h2.RxUDP != uint64(b.N) {
+			b.Fatalf("delivered %d/%d", h2.RxUDP, b.N)
+		}
+	}
+	b.Run("baseline", func(b *testing.B) { run(b, false) })
+	b.Run("with-checker", func(b *testing.B) { run(b, true) })
+}
+
+// BenchmarkAblationTelemetryEncoding compares the packed (deparser
+// bit-packed) and byte-aligned telemetry encodings across the corpus:
+// wire bytes and codec time per hop.
+func BenchmarkAblationTelemetryEncoding(b *testing.B) {
+	for _, mode := range []struct {
+		name    string
+		aligned bool
+	}{{"packed", false}, {"aligned", true}} {
+		mode := mode
+		b.Run(mode.name, func(b *testing.B) {
+			total := 0
+			progs := make([]*pipeline.Program, 0, len(checkers.All))
+			for _, p := range checkers.All {
+				prog := compiler.MustCompile(checkers.MustParse(p.Key), compiler.Options{Name: p.Key, AlignedTele: mode.aligned})
+				progs = append(progs, prog)
+				total += (prog.TeleWireBits() + 7) / 8
+			}
+			phv := pipeline.PHV{}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, prog := range progs {
+					if err := prog.DecodeTele(nil, phv); err != nil {
+						b.Fatal(err)
+					}
+					blob := prog.EncodeTele(phv)
+					if err := prog.DecodeTele(blob, phv); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.ReportMetric(float64(total), "all_checkers_tele_B")
+		})
+	}
+}

@@ -1,0 +1,82 @@
+// Command hydra-bench regenerates every table and figure of the paper's
+// evaluation (§6) from the simulated substrate.
+//
+// Usage:
+//
+//	hydra-bench -table1                    # Table 1 (LoC, stages, PHV)
+//	hydra-bench -fig12a -fig12b            # Figure 12 RTT experiment
+//	hydra-bench -throughput                # campus-replay throughput
+//	hydra-bench -all                       # everything
+//
+// Figure 12's duration/background scale with -duration and -bps; see
+// EXPERIMENTS.md for how the defaults relate to the paper's setup.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/netsim"
+)
+
+func main() {
+	var (
+		table1     = flag.Bool("table1", false, "regenerate Table 1")
+		fig12a     = flag.Bool("fig12a", false, "regenerate Figure 12a (RTT over time)")
+		fig12b     = flag.Bool("fig12b", false, "regenerate Figure 12b (RTT CDF + t-test)")
+		throughput = flag.Bool("throughput", false, "regenerate the throughput comparison")
+		all        = flag.Bool("all", false, "run everything")
+
+		durationS = flag.Float64("duration", 5, "figure 12: seconds of simulated time per configuration")
+		bps       = flag.Int64("bps", 2_000_000_000, "figure 12: background load per direction (bit/s)")
+		pingMs    = flag.Float64("ping-ms", 10, "figure 12: ping interval (ms)")
+		packets   = flag.Int("packets", 50000, "throughput: packets to replay")
+	)
+	flag.Parse()
+
+	if *all {
+		*table1, *fig12a, *fig12b, *throughput = true, true, true, true
+	}
+	if !*table1 && !*fig12a && !*fig12b && !*throughput {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	if *table1 {
+		rows, err := experiments.Table1()
+		must(err)
+		fmt.Println(experiments.FormatTable1(rows))
+	}
+
+	if *fig12a || *fig12b {
+		fmt.Fprintf(os.Stderr, "running figure 12 experiment (%.1fs sim time x 2 configurations)...\n", *durationS)
+		r, err := experiments.RunFig12(experiments.Fig12Config{
+			Duration:      netsim.Time(*durationS * float64(netsim.Second)),
+			PingInterval:  netsim.Time(*pingMs * float64(netsim.Millisecond)),
+			BackgroundBps: *bps,
+		})
+		must(err)
+		if *fig12a {
+			fmt.Println(experiments.FormatFig12a(r))
+		}
+		if *fig12b {
+			fmt.Println(experiments.FormatFig12b(r))
+		}
+	}
+
+	if *throughput {
+		fmt.Fprintln(os.Stderr, "running throughput replay x 2 configurations...")
+		base, chk, err := experiments.RunThroughput(experiments.ThroughputConfig{Packets: *packets})
+		must(err)
+		fmt.Println(experiments.FormatThroughput(base, chk))
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hydra-bench: %v\n", err)
+		os.Exit(1)
+	}
+}

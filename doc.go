@@ -1,0 +1,8 @@
+// Package repro is a from-scratch Go reproduction of "Hydra: Effective
+// Runtime Network Verification" (Renganathan et al., ACM SIGCOMM 2023):
+// the Indus DSL and compiler, an executable match-action pipeline, a
+// discrete-event network substrate, both case studies (§5), and the
+// full evaluation harness (§6). See README.md for the tour, DESIGN.md
+// for the system inventory, and EXPERIMENTS.md for paper-vs-measured
+// results.
+package repro

@@ -1,0 +1,78 @@
+// Bare-metal multi-tenancy (§2, Figure 1): two tenants share a
+// leaf-spine fabric; the Figure 1 Indus program guarantees that no
+// packet ever crosses between them, whatever the forwarding state says.
+// We then inject a "fat-fingered" route that would leak tenant A's
+// traffic to tenant B's server, and watch the checker stop every leaked
+// packet at the edge.
+//
+//	go run ./examples/multitenancy
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/checkers"
+	"repro/internal/compiler"
+	"repro/internal/netsim"
+	"repro/internal/pipeline"
+)
+
+func main() {
+	sim := netsim.NewSimulator()
+	// 2 leaves x 2 spines, 2 hosts per leaf: host 0 of each leaf belongs
+	// to tenant A (10), host 1 to tenant B (20).
+	ls := netsim.BuildLeafSpine(sim, netsim.LeafSpineConfig{
+		Leaves: 2, Spines: 2, HostsPerLeaf: 2, WithRouting: true,
+	})
+
+	info := checkers.MustParse("multi-tenancy")
+	compiled := compiler.MustCompile(info, compiler.Options{Name: "multi-tenancy"})
+	rt := &compiler.Runtime{Prog: compiled}
+
+	// Control plane: ports 3 (host 0) are tenant A; ports 4 (host 1)
+	// are tenant B; fabric ports 1-2 have no tenant binding (value 0
+	// never equals a real tenant, and only edge ports matter at the
+	// first/last hop).
+	for _, sw := range ls.AllSwitches() {
+		att := sw.AttachChecker(rt, nil)
+		install := func(port, tenant uint64) {
+			if err := att.State.Tables["tenants"].Insert(pipeline.Entry{
+				Keys:   []pipeline.KeyMatch{pipeline.ExactKey(port)},
+				Action: []pipeline.Value{pipeline.B(8, tenant)},
+			}); err != nil {
+				log.Fatal(err)
+			}
+		}
+		install(3, 10) // tenant A
+		install(4, 20) // tenant B
+	}
+
+	tenantA1, tenantA2 := ls.Host(0, 0), ls.Host(1, 0)
+	tenantB2 := ls.Host(1, 1)
+
+	// Legal: tenant A talks to tenant A across the fabric.
+	tenantA1.SendUDP(tenantA2.IP, 1000, 80, 200)
+	sim.RunAll()
+	fmt.Printf("A -> A across the fabric: delivered=%v\n", tenantA2.RxUDP == 1)
+
+	// Fat-finger: someone rewrites leaf2's route for tenant A's prefix
+	// toward tenant B's port. Forwarding will now happily deliver
+	// A-traffic to B — a static checker that trusts this table would
+	// call the network "consistent".
+	badRoutes := &netsim.L3Program{}
+	badRoutes.AddRoute(netsim.HostIP(1, 0), 32, 4) // A's address -> B's port!
+	badRoutes.AddRoute(netsim.HostIP(1, 1), 32, 4)
+	badRoutes.AddRoute(netsim.LeafPrefix(0), 24, 1, 2)
+	ls.Leaves[1].Forwarding = badRoutes
+
+	for i := 0; i < 5; i++ {
+		tenantA1.SendUDP(tenantA2.IP, 2000+uint16(i), 80, 200)
+	}
+	sim.RunAll()
+
+	fmt.Printf("after the bad route: tenant B received %d leaked packets (want 0)\n", tenantB2.RxUDP)
+	fmt.Printf("checker rejected %d packets at leaf2's edge\n", ls.Leaves[1].Checker().Rejected)
+	fmt.Println("\nisolation held: the packet entered at a tenant-A port and tried to exit")
+	fmt.Println("at a tenant-B port, so the Figure 1 checker dropped it before the host saw it.")
+}

@@ -1,0 +1,87 @@
+// Quickstart: write an Indus property, compile it, link it to a
+// simulated leaf-spine fabric, and watch Hydra reject a violating
+// packet in real time.
+//
+// The property is Figure 7's valley-free rule: a packet may visit a
+// spine switch at most once.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/checkers"
+	"repro/internal/compiler"
+	"repro/internal/indus/parser"
+	"repro/internal/indus/types"
+	"repro/internal/netsim"
+	"repro/internal/p4"
+	"repro/internal/pipeline"
+	"repro/internal/srcrouting"
+)
+
+func main() {
+	// 1. An Indus program: declarations plus the three blocks (init,
+	//    telemetry, checker) of §2. This one is Figure 7 verbatim.
+	src := checkers.ValleyFreeSrc
+
+	prog, err := parser.Parse("valley-free.indus", src)
+	if err != nil {
+		log.Fatalf("parse: %v", err)
+	}
+	info, err := types.Check(prog)
+	if err != nil {
+		log.Fatalf("typecheck: %v", err)
+	}
+
+	// 2. Compile it. The same IR both executes in the simulator and
+	//    pretty-prints as P4 (what you would load on a Tofino).
+	compiled, err := compiler.Compile(info, compiler.Options{Name: "valley-free"})
+	if err != nil {
+		log.Fatalf("compile: %v", err)
+	}
+	fmt.Printf("compiled %q: %d telemetry bits on the wire, %d generated P4 lines\n\n",
+		compiled.Name, compiled.TeleWireBits(), p4.LineCount(p4.Emit(compiled)))
+
+	// 3. Build the Figure 8 network (source routing on 2 leaves + 2
+	//    spines) and link the checker to every switch.
+	sim := netsim.NewSimulator()
+	net := srcrouting.Build(sim)
+	rt := &compiler.Runtime{Prog: compiled}
+	for _, sw := range net.Switches() {
+		att := sw.AttachChecker(rt, nil)
+		// The control plane tells each switch whether it is a spine.
+		isSpine := uint64(0)
+		if net.IsSpine(sw) {
+			isSpine = 1
+		}
+		if err := att.State.Tables["is_spine_switch"].Insert(pipeline.Entry{
+			Action: []pipeline.Value{pipeline.B(1, isSpine)},
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// 4. A legal packet: h1 -> s1 -> s3 -> s2 -> h3 (one spine).
+	route, err := net.Route([]*netsim.Switch{net.S1, net.S3, net.S2}, net.H3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	net.H1.SendSourceRouted(net.H3.IP, route, 64)
+
+	// 5. An illegal packet from the §5.1 buggy sender: it rides down to
+	//    the other leaf and back up through the second spine — a valley.
+	bad, err := net.BuggySender(net.H1, net.H3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	net.H1.SendSourceRouted(net.H3.IP, bad, 64)
+
+	sim.RunAll()
+
+	fmt.Printf("legal packet delivered to h3: %v\n", net.H3.RxUDP == 1)
+	fmt.Printf("valley packet rejected at the edge (s2): %v\n", net.S2.Checker().Rejected == 1)
+	fmt.Println("\nEvery packet was checked in the data plane, at line rate — no central verifier.")
+}

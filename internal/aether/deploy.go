@@ -1,0 +1,206 @@
+package aether
+
+import (
+	"fmt"
+
+	"repro/internal/checkers"
+	"repro/internal/compiler"
+	"repro/internal/dataplane"
+	"repro/internal/netsim"
+)
+
+// Well-known addresses of the deployment (Figure 10).
+var (
+	UPFAddr    = dataplane.MustIP4("140.0.100.254")
+	EnbAddr    = dataplane.MustIP4("140.0.100.1")
+	UEPrefix   = dataplane.MustIP4("10.250.0.0")
+	ServerAddr = dataplane.MustIP4("192.168.5.5")
+	InetAddr   = dataplane.MustIP4("1.1.1.1")
+)
+
+// UEPrefixBits is the size of the mobile-client address block.
+const UEPrefixBits = 16
+
+// Deployment is a built Aether edge site: a 2×2 leaf-spine fabric where
+// leaf1 performs the UPF function and fronts the base station, and
+// leaf2 fronts the edge application server and the internet uplink
+// (Figure 10).
+type Deployment struct {
+	Sim *netsim.Simulator
+
+	Leaf1, Leaf2     *netsim.Switch
+	Spine1, Spine2   *netsim.Switch
+	Enb, Server, Net *netsim.Host
+
+	UPF  *UPF
+	ONOS *ONOS
+	Core *MobileCore
+
+	// Hydra pieces (nil when built without the checker).
+	HydraApp *HydraApp
+
+	// enbSeen counts downlink tunnel deliveries per TEID.
+	enbSeen map[uint32]int
+	ipID    uint16
+}
+
+// Options configures the build.
+type Options struct {
+	// WithChecker attaches the Figure 9 application-filtering checker to
+	// every switch and starts the Hydra control-plane app.
+	WithChecker bool
+	// KnownApps lists the application endpoints the Hydra app expands
+	// intent over; defaults to the edge server on UDP ports 80-82 and
+	// TCP 80.
+	KnownApps []AppEndpoint
+	// FixedONOS enables the repaired controller (no Figure 11 bug).
+	FixedONOS bool
+}
+
+// Build constructs the deployment.
+func Build(sim *netsim.Simulator, opts Options) *Deployment {
+	d := &Deployment{Sim: sim, enbSeen: map[uint32]int{}}
+
+	d.Leaf1 = netsim.NewSwitch(sim, 1, "leaf1")
+	d.Leaf2 = netsim.NewSwitch(sim, 2, "leaf2")
+	d.Spine1 = netsim.NewSwitch(sim, 101, "spine1")
+	d.Spine2 = netsim.NewSwitch(sim, 102, "spine2")
+
+	const bps = 10_000_000_000
+	wire := func(a *netsim.Switch, ap int, b *netsim.Switch, bp int) {
+		lk := netsim.Connect(sim, a, ap, b, bp, bps, netsim.Microsecond)
+		lk.QueueBytes = 512 << 10
+		a.AttachLink(ap, lk)
+		b.AttachLink(bp, lk)
+	}
+	// Leaf ports 1,2 → spines; spine port 1 → leaf1, port 2 → leaf2.
+	wire(d.Leaf1, 1, d.Spine1, 1)
+	wire(d.Leaf1, 2, d.Spine2, 1)
+	wire(d.Leaf2, 1, d.Spine1, 2)
+	wire(d.Leaf2, 2, d.Spine2, 2)
+
+	host := func(name string, ip dataplane.IP4, sw *netsim.Switch, port int, mac uint64) *netsim.Host {
+		h := netsim.NewHost(sim, name, dataplane.MACFromUint64(mac), ip)
+		h.GatewayMAC = dataplane.MACFromUint64(0xAA)
+		lk := netsim.Connect(sim, sw, port, h, 0, bps, netsim.Microsecond)
+		lk.QueueBytes = 512 << 10
+		sw.AttachLink(port, lk)
+		h.AttachLink(lk)
+		sw.EdgePorts[port] = true
+		return h
+	}
+	d.Enb = host("enb", EnbAddr, d.Leaf1, 3, 0xE1)
+	d.Server = host("server", ServerAddr, d.Leaf2, 3, 0x51)
+	d.Net = host("internet", InetAddr, d.Leaf2, 4, 0x52)
+
+	// Track downlink deliveries per TEID at the base station.
+	d.Enb.OnPacket = func(pkt *dataplane.Decoded) {
+		if pkt.HasGTPU {
+			d.enbSeen[pkt.GTPU.TEID]++
+		}
+	}
+
+	// Forwarding: leaf1 runs the UPF; the rest route.
+	d.UPF = NewUPF(UPFAddr, EnbAddr, UEPrefix, UEPrefixBits)
+	d.UPF.Routes.AddRoute(EnbAddr, 32, 3)
+	d.UPF.Routes.AddRoute(dataplane.MustIP4("192.168.5.0"), 24, 1, 2)
+	d.UPF.Routes.AddRoute(InetAddr, 32, 1, 2)
+	d.Leaf1.Forwarding = d.UPF
+
+	leaf2 := &netsim.L3Program{}
+	leaf2.AddRoute(ServerAddr, 32, 3)
+	leaf2.AddRoute(InetAddr, 32, 4)
+	leaf2.AddRoute(UEPrefix, UEPrefixBits, 1, 2)
+	leaf2.AddRoute(dataplane.MustIP4("140.0.100.0"), 24, 1, 2)
+	d.Leaf2.Forwarding = leaf2
+
+	for _, spine := range []*netsim.Switch{d.Spine1, d.Spine2} {
+		p := &netsim.L3Program{}
+		p.AddRoute(UEPrefix, UEPrefixBits, 1)
+		p.AddRoute(dataplane.MustIP4("140.0.100.0"), 24, 1)
+		p.AddRoute(dataplane.MustIP4("192.168.5.0"), 24, 2)
+		p.AddRoute(InetAddr, 32, 2)
+		spine.Forwarding = p
+	}
+
+	d.ONOS = NewONOS(d.UPF)
+	d.ONOS.FixedReconciliation = opts.FixedONOS
+	d.Core = NewMobileCore(d.ONOS)
+
+	if opts.WithChecker {
+		apps := opts.KnownApps
+		if apps == nil {
+			apps = []AppEndpoint{
+				{IP: ServerAddr, Proto: dataplane.ProtoUDP, Ports: []uint16{80, 81, 82}},
+				{IP: ServerAddr, Proto: dataplane.ProtoTCP, Ports: []uint16{80}},
+				{IP: InetAddr, Proto: dataplane.ProtoUDP, Ports: []uint16{53}},
+			}
+		}
+		d.HydraApp = NewHydraApp(d.Core, apps)
+
+		info := checkers.MustParse("app-filtering")
+		prog := compiler.MustCompile(info, compiler.Options{Name: "app-filtering"})
+		rt := &compiler.Runtime{Prog: prog}
+		for _, sw := range d.Switches() {
+			att := sw.AttachChecker(rt, d.HydraApp.OnReport)
+			d.HydraApp.Wire(att)
+		}
+	}
+	return d
+}
+
+// Switches returns all fabric switches.
+func (d *Deployment) Switches() []*netsim.Switch {
+	return []*netsim.Switch{d.Leaf1, d.Leaf2, d.Spine1, d.Spine2}
+}
+
+// UpdatePortal applies an operator rules update for a slice: the mobile
+// core records it for future attaches, and the Hydra app refreshes the
+// checker's intent for everyone immediately.
+func (d *Deployment) UpdatePortal(sliceID uint8, rules []FilterRule) error {
+	if err := d.Core.UpdateSliceRules(sliceID, rules); err != nil {
+		return err
+	}
+	if d.HydraApp != nil {
+		d.HydraApp.Refresh()
+	}
+	return nil
+}
+
+// SendUplink emits one uplink user packet for ue: the base station
+// GTP-encapsulates it toward the UPF.
+func (d *Deployment) SendUplink(ue *UE, dst dataplane.IP4, proto uint8, dport uint16, payloadLen int) {
+	d.ipID++
+	pkt := &dataplane.Decoded{
+		Eth:     dataplane.Ethernet{Dst: d.Enb.GatewayMAC, Src: d.Enb.MAC, Type: dataplane.EtherTypeIPv4},
+		HasIPv4: true,
+		IPv4:    dataplane.IPv4{ID: d.ipID, TTL: 64, Protocol: proto, Src: ue.IP, Dst: dst},
+		Payload: make([]byte, payloadLen),
+	}
+	switch proto {
+	case dataplane.ProtoUDP:
+		pkt.HasUDP = true
+		pkt.UDP = dataplane.UDP{SrcPort: 40000 + ue.ID, DstPort: dport}
+	case dataplane.ProtoTCP:
+		pkt.HasTCP = true
+		pkt.TCP = dataplane.TCP{SrcPort: 40000 + ue.ID, DstPort: dport, Flags: dataplane.TCPSyn}
+	}
+	if err := pkt.EncapGTPU(EnbAddr, UPFAddr, ue.TEIDUp); err != nil {
+		panic(fmt.Sprintf("aether: encap: %v", err))
+	}
+	d.Enb.SendPacket(pkt)
+}
+
+// SendDownlink emits one downlink packet from the edge server to ue.
+func (d *Deployment) SendDownlink(ue *UE, proto uint8, sport uint16, payloadLen int) {
+	switch proto {
+	case dataplane.ProtoUDP:
+		d.Server.SendUDP(ue.IP, sport, 40000+ue.ID, payloadLen)
+	case dataplane.ProtoTCP:
+		d.Server.SendTCP(ue.IP, sport, 40000+ue.ID, dataplane.TCPAck, payloadLen)
+	}
+}
+
+// DownlinkDelivered reports how many tunneled packets reached the base
+// station for the UE.
+func (d *Deployment) DownlinkDelivered(ue *UE) int { return d.enbSeen[ue.TEIDDown] }

@@ -1,0 +1,115 @@
+package aether
+
+import (
+	"repro/internal/dataplane"
+	"repro/internal/netsim"
+	"repro/internal/pipeline"
+)
+
+// AppEndpoint is one known edge application: the Hydra control-plane
+// app expands operator intent over these concrete endpoints when
+// populating the checker's exact-match filtering_actions dictionary.
+type AppEndpoint struct {
+	IP    dataplane.IP4
+	Proto uint8
+	Ports []uint16
+}
+
+// HydraApp is the "simple control plane application that runs atop ONOS"
+// of §5.2: it holds the operator's filtering intent, listens for attach
+// requests, and installs the corresponding entries in the
+// filtering_actions table of the Figure 9 checker on every switch it is
+// wired to. It is deliberately independent of ONOS's UPF rule
+// translation — that independence is what lets the checker catch the
+// Figure 11 bug.
+type HydraApp struct {
+	core *MobileCore
+	apps []AppEndpoint
+
+	attachments []*netsim.HydraAttachment
+	ues         []*UE
+	// Reports collects every digest raised by the checker.
+	Reports []FilteringReport
+}
+
+// FilteringReport is a decoded Figure 9 report.
+type FilteringReport struct {
+	Switch  uint32
+	UEAddr  dataplane.IP4
+	Proto   uint8
+	AppAddr dataplane.IP4
+	L4Port  uint16
+	Action  uint8
+	At      netsim.Time
+}
+
+// NewHydraApp wires the app to the core's attach events.
+func NewHydraApp(core *MobileCore, apps []AppEndpoint) *HydraApp {
+	a := &HydraApp{core: core, apps: apps}
+	core.OnAttach(a.onAttach)
+	return a
+}
+
+// Wire registers the checker attachment of one switch; the report sink
+// must also be pointed at OnReport.
+func (a *HydraApp) Wire(att *netsim.HydraAttachment) {
+	a.attachments = append(a.attachments, att)
+}
+
+// OnReport is the report sink to install as the switch's OnReport.
+func (a *HydraApp) OnReport(sw *netsim.Switch, rep pipeline.Report) {
+	if len(rep.Args) != 5 {
+		return
+	}
+	a.Reports = append(a.Reports, FilteringReport{
+		Switch:  sw.ID,
+		UEAddr:  dataplane.IP4(rep.Args[0].V),
+		Proto:   uint8(rep.Args[1].V),
+		AppAddr: dataplane.IP4(rep.Args[2].V),
+		L4Port:  uint16(rep.Args[3].V),
+		Action:  uint8(rep.Args[4].V),
+		At:      sw.Sim().Now(),
+	})
+}
+
+func (a *HydraApp) onAttach(ue *UE) {
+	a.ues = append(a.ues, ue)
+	a.installFor(ue)
+}
+
+// Refresh re-derives every attached client's checker entries from the
+// current operator intent; the deployment calls it after a portal
+// update. (Unlike the PFCP path, the checker's dictionary CAN be updated
+// for existing clients — it encodes intent, not per-client UPF state.)
+func (a *HydraApp) Refresh() {
+	for _, ue := range a.ues {
+		a.installFor(ue)
+	}
+}
+
+func (a *HydraApp) installFor(ue *UE) {
+	s := a.core.Slice(ue.SliceID)
+	if s == nil {
+		return
+	}
+	for _, app := range a.apps {
+		for _, port := range app.Ports {
+			action := s.Evaluate(app.IP, app.Proto, port)
+			entry := pipeline.Entry{
+				Keys: []pipeline.KeyMatch{
+					pipeline.ExactKey(uint64(ue.IP)),
+					pipeline.ExactKey(uint64(app.Proto)),
+					pipeline.ExactKey(uint64(app.IP)),
+					pipeline.ExactKey(uint64(port)),
+				},
+				Action: []pipeline.Value{pipeline.B(8, uint64(action))},
+			}
+			for _, att := range a.attachments {
+				// The corpus checker names its dictionary filtering_actions.
+				if tbl, ok := att.State.Tables["filtering_actions"]; ok {
+					_ = tbl.Insert(entry)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,324 @@
+package compiler
+
+import (
+	"fmt"
+
+	"repro/internal/indus/ast"
+	"repro/internal/indus/token"
+	"repro/internal/indus/types"
+	"repro/internal/pipeline"
+)
+
+var binOps = map[token.Kind]pipeline.OpCode{
+	token.PLUS: pipeline.OpAdd, token.MINUS: pipeline.OpSub,
+	token.STAR: pipeline.OpMul, token.SLASH: pipeline.OpDiv, token.PERCENT: pipeline.OpMod,
+	token.AMP: pipeline.OpBAnd, token.PIPE: pipeline.OpBOr, token.CARET: pipeline.OpBXor,
+	token.SHL: pipeline.OpShl, token.SHR: pipeline.OpShr,
+	token.EQ: pipeline.OpEq, token.NEQ: pipeline.OpNe,
+	token.LT: pipeline.OpLt, token.LEQ: pipeline.OpLe,
+	token.GT: pipeline.OpGt, token.GEQ: pipeline.OpGe,
+	token.LAND: pipeline.OpLAnd, token.LOR: pipeline.OpLOr,
+}
+
+var unOps = map[token.Kind]pipeline.OpCode{
+	token.NOT: pipeline.OpNot, token.TILDE: pipeline.OpBNot, token.MINUS: pipeline.OpNeg,
+}
+
+// compileExpr lowers an Indus expression to a pipeline expression plus
+// the prelude ops (table applies, register reads) that must run before
+// the statement containing it. Preludes are side-effect-free, so hoisting
+// them out of short-circuit positions is sound.
+func (c *compilerState) compileExpr(e ast.Expr) ([]pipeline.Op, pipeline.Expr, error) {
+	switch e := e.(type) {
+	case *ast.IntLit:
+		w := 32
+		if t, ok := c.info.TypeOf(e).(ast.BitType); ok {
+			w = t.Width
+		}
+		return nil, pipeline.C(w, e.Value), nil
+
+	case *ast.BoolLit:
+		v := uint64(0)
+		if e.Value {
+			v = 1
+		}
+		return nil, pipeline.C(1, v), nil
+
+	case *ast.Ident:
+		return c.compileIdent(e)
+
+	case *ast.Unary:
+		prelude, x, err := c.compileExpr(e.X)
+		if err != nil {
+			return nil, nil, err
+		}
+		return prelude, pipeline.Unary{Op: unOps[e.Op], X: x}, nil
+
+	case *ast.Binary:
+		if e.Op == token.IN {
+			return c.compileIn(e)
+		}
+		px, x, err := c.compileExpr(e.X)
+		if err != nil {
+			return nil, nil, err
+		}
+		py, y, err := c.compileExpr(e.Y)
+		if err != nil {
+			return nil, nil, err
+		}
+		return append(px, py...), pipeline.Bin{Op: binOps[e.Op], X: x, Y: y}, nil
+
+	case *ast.Index:
+		return c.compileIndex(e)
+
+	case *ast.Call:
+		return c.compileCall(e)
+
+	case *ast.Method:
+		if e.Name == "length" {
+			base, err := c.arraySym(e.Recv)
+			if err != nil {
+				return nil, nil, err
+			}
+			return nil, pipeline.Field{Ref: pipeline.ArrayCount(base.base), Width: 8}, nil
+		}
+		return nil, nil, fmt.Errorf("%s: compiler: method %q in expression position", e.Pos, e.Name)
+
+	case *ast.Tuple:
+		return nil, nil, fmt.Errorf("%s: compiler: tuple outside dict key or report", e.Pos)
+	}
+	return nil, nil, fmt.Errorf("%s: compiler: unknown expression %T", e.Position(), e)
+}
+
+func (c *compilerState) compileIdent(e *ast.Ident) ([]pipeline.Op, pipeline.Expr, error) {
+	if f, ok := c.loopVars[e.Name]; ok {
+		return nil, f, nil
+	}
+	if t, isBuiltin := ast.BuiltinType(e.Name); isBuiltin {
+		return nil, c.builtinExpr(e.Name, t), nil
+	}
+	sym := c.syms[e.Name]
+	if sym == nil {
+		return nil, nil, fmt.Errorf("%s: compiler: unknown variable %q", e.Pos, e.Name)
+	}
+	d := sym.decl
+	switch d.Kind {
+	case ast.KindTele:
+		if _, isArr := d.Type.(ast.ArrayType); isArr {
+			return nil, nil, fmt.Errorf("%s: compiler: array %q used as a scalar", e.Pos, e.Name)
+		}
+		return nil, pipeline.Field{Ref: pipeline.FieldRef(sym.base), Width: widthOf(d.Type)}, nil
+
+	case ast.KindHeader:
+		return nil, pipeline.Field{Ref: pipeline.FieldRef(sym.base), Width: widthOf(d.Type)}, nil
+
+	case ast.KindSensor:
+		if _, isArr := d.Type.(ast.ArrayType); isArr {
+			return nil, nil, fmt.Errorf("%s: compiler: sensor array %q used as a scalar", e.Pos, e.Name)
+		}
+		w := widthOf(d.Type)
+		tmp := c.newTemp(w)
+		return []pipeline.Op{
+			pipeline.RegReadOp{Reg: sym.register, Index: pipeline.C(32, 0), Dst: tmp.Ref, Width: w},
+		}, tmp, nil
+
+	case ast.KindControl:
+		switch d.Type.(type) {
+		case ast.DictType, ast.SetType:
+			return nil, nil, fmt.Errorf("%s: compiler: control %s %q must be indexed", e.Pos, d.Type, e.Name)
+		}
+		// Scalar control: the block prologue applied its table.
+		return nil, pipeline.Field{Ref: pipeline.FieldRef("ctrl." + d.Name), Width: widthOf(d.Type)}, nil
+	}
+	return nil, nil, fmt.Errorf("%s: compiler: unhandled variable kind", e.Pos)
+}
+
+func (c *compilerState) builtinExpr(name string, t ast.Type) pipeline.Expr {
+	switch name {
+	case ast.BuiltinLastHop:
+		return pipeline.Field{Ref: pipeline.FieldLastHop, Width: 1}
+	case ast.BuiltinFirstHop:
+		return pipeline.Field{Ref: pipeline.FieldFirst, Width: 1}
+	case ast.BuiltinPacketLength:
+		return pipeline.Field{Ref: pipeline.FieldPktLen, Width: 32}
+	case ast.BuiltinSwitchID:
+		return pipeline.Field{Ref: pipeline.FieldSwitch, Width: 32}
+	case ast.BuiltinHopCount:
+		f := pipeline.Field{Ref: pipeline.FieldHops, Width: 8}
+		if c.block == types.BlockInit {
+			// The init block runs before the telemetry block's hop-count
+			// increment, so hop_count reads one ahead of the carried value.
+			return pipeline.Bin{Op: pipeline.OpAdd, X: f, Y: pipeline.C(8, 1)}
+		}
+		return f
+	}
+	panic("compiler: unknown builtin " + name)
+}
+
+// arraySym resolves an expression that must denote a tele array variable.
+func (c *compilerState) arraySym(e ast.Expr) (*symbol, error) {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil, fmt.Errorf("%s: compiler: expected an array variable", e.Position())
+	}
+	sym := c.syms[id.Name]
+	if sym == nil || sym.decl.Kind != ast.KindTele {
+		return nil, fmt.Errorf("%s: compiler: %q is not a tele array", e.Position(), id.Name)
+	}
+	if _, ok := sym.decl.Type.(ast.ArrayType); !ok {
+		return nil, fmt.Errorf("%s: compiler: %q is not an array", e.Position(), id.Name)
+	}
+	return sym, nil
+}
+
+// arraySlotRead builds the expression reading slot `index` of a tele
+// array: a direct field for constant indexes, a mux chain otherwise
+// (P4-16 conditional expressions over the unrolled slots).
+func (c *compilerState) arraySlotRead(base string, at ast.ArrayType, index ast.Expr, idxX pipeline.Expr) pipeline.Expr {
+	elemW := widthOf(at.Elem)
+	if lit, ok := index.(*ast.IntLit); ok && int(lit.Value) < at.Len {
+		return pipeline.Field{Ref: pipeline.ArraySlot(base, int(lit.Value)), Width: elemW}
+	}
+	// mux(idx==0, slot0, mux(idx==1, slot1, ... 0))
+	var expr pipeline.Expr = pipeline.C(elemW, 0)
+	for i := at.Len - 1; i >= 0; i-- {
+		expr = pipeline.Mux{
+			Cond: pipeline.Bin{Op: pipeline.OpEq, X: idxX, Y: pipeline.C(32, uint64(i))},
+			X:    pipeline.Field{Ref: pipeline.ArraySlot(base, i), Width: elemW},
+			Y:    expr,
+		}
+	}
+	return expr
+}
+
+func (c *compilerState) compileIndex(e *ast.Index) ([]pipeline.Op, pipeline.Expr, error) {
+	// Dict lookup?
+	if id, ok := e.X.(*ast.Ident); ok {
+		if sym := c.syms[id.Name]; sym != nil && sym.decl.Kind == ast.KindControl {
+			dt, ok := sym.decl.Type.(ast.DictType)
+			if !ok {
+				return nil, nil, fmt.Errorf("%s: compiler: control %q is not a dict", e.Pos, id.Name)
+			}
+			prelude, keys, err := c.flattenKey(e.Idx)
+			if err != nil {
+				return nil, nil, err
+			}
+			// Apply the table right before the statement (§4.1), then
+			// copy the result into a fresh temp so several lookups of the
+			// same dict can coexist in one statement.
+			w := widthOf(dt.Val)
+			tmp := c.newTemp(w)
+			prelude = append(prelude,
+				pipeline.ApplyOp{Table: sym.table, Keys: keys},
+				pipeline.AssignOp{Dst: tmp.Ref, DstWidth: w, Src: pipeline.Field{Ref: pipeline.FieldRef("ctrl." + sym.decl.Name), Width: w}},
+			)
+			return prelude, tmp, nil
+		}
+	}
+
+	// Tele array read.
+	sym, err := c.arraySym(e.X)
+	if err != nil {
+		return nil, nil, err
+	}
+	at := sym.decl.Type.(ast.ArrayType)
+	prelude, idxX, err := c.compileExpr(e.Idx)
+	if err != nil {
+		return nil, nil, err
+	}
+	return prelude, c.arraySlotRead(sym.base, at, e.Idx, idxX), nil
+}
+
+// flattenKey lowers a dict key (scalar or tuple) into one expression per
+// key column.
+func (c *compilerState) flattenKey(e ast.Expr) ([]pipeline.Op, []pipeline.Expr, error) {
+	var ops []pipeline.Op
+	var keys []pipeline.Expr
+	elems := []ast.Expr{e}
+	if tup, ok := e.(*ast.Tuple); ok {
+		elems = tup.Elems
+	}
+	for _, el := range elems {
+		prelude, x, err := c.compileExpr(el)
+		if err != nil {
+			return nil, nil, err
+		}
+		ops = append(ops, prelude...)
+		keys = append(keys, x)
+	}
+	return ops, keys, nil
+}
+
+// compileIn expands the membership operator: a table apply for control
+// sets, a disjunction over valid slots for tele arrays.
+func (c *compilerState) compileIn(e *ast.Binary) ([]pipeline.Op, pipeline.Expr, error) {
+	if id, ok := e.Y.(*ast.Ident); ok {
+		if sym := c.syms[id.Name]; sym != nil && sym.decl.Kind == ast.KindControl {
+			if _, isSet := sym.decl.Type.(ast.SetType); isSet {
+				prelude, keys, err := c.flattenKey(e.X)
+				if err != nil {
+					return nil, nil, err
+				}
+				prelude = append(prelude, pipeline.ApplyOp{Table: sym.table, Keys: keys})
+				hit := pipeline.Field{Ref: pipeline.FieldRef(sym.table + ".$hit"), Width: 1}
+				tmp := c.newTemp(1)
+				prelude = append(prelude, pipeline.AssignOp{Dst: tmp.Ref, DstWidth: 1, Src: hit})
+				return prelude, tmp, nil
+			}
+		}
+	}
+
+	sym, err := c.arraySym(e.Y)
+	if err != nil {
+		return nil, nil, err
+	}
+	at := sym.decl.Type.(ast.ArrayType)
+	prelude, x, err := c.compileExpr(e.X)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Evaluate the needle once.
+	elemW := widthOf(at.Elem)
+	needle := c.newTemp(elemW)
+	prelude = append(prelude, pipeline.AssignOp{Dst: needle.Ref, DstWidth: elemW, Src: x})
+
+	count := pipeline.Field{Ref: pipeline.ArrayCount(sym.base), Width: 8}
+	var or pipeline.Expr = pipeline.C(1, 0)
+	for i := 0; i < at.Len; i++ {
+		term := pipeline.Bin{
+			Op: pipeline.OpLAnd,
+			X:  pipeline.Bin{Op: pipeline.OpLt, X: pipeline.C(8, uint64(i)), Y: count},
+			Y: pipeline.Bin{Op: pipeline.OpEq,
+				X: pipeline.Field{Ref: pipeline.ArraySlot(sym.base, i), Width: elemW},
+				Y: needle},
+		}
+		if i == 0 {
+			or = term
+		} else {
+			or = pipeline.Bin{Op: pipeline.OpLOr, X: or, Y: term}
+		}
+	}
+	return prelude, or, nil
+}
+
+func (c *compilerState) compileCall(e *ast.Call) ([]pipeline.Op, pipeline.Expr, error) {
+	var ops []pipeline.Op
+	args := make([]pipeline.Expr, len(e.Args))
+	for i, a := range e.Args {
+		prelude, x, err := c.compileExpr(a)
+		if err != nil {
+			return nil, nil, err
+		}
+		ops = append(ops, prelude...)
+		args[i] = x
+	}
+	switch e.Name {
+	case "abs":
+		return ops, pipeline.Unary{Op: pipeline.OpAbs, X: args[0]}, nil
+	case "max":
+		return ops, pipeline.Bin{Op: pipeline.OpMax, X: args[0], Y: args[1]}, nil
+	case "min":
+		return ops, pipeline.Bin{Op: pipeline.OpMin, X: args[0], Y: args[1]}, nil
+	}
+	return nil, nil, fmt.Errorf("%s: compiler: unknown function %q", e.Pos, e.Name)
+}

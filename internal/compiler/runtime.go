@@ -1,0 +1,182 @@
+package compiler
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/pipeline"
+)
+
+// Runtime executes a compiled program hop by hop, the way the linked
+// switches do: init at the first hop's ingress, telemetry at every hop's
+// egress, checker at the last hop's egress (§4.2). The telemetry blob it
+// threads between hops is exactly the Hydra header payload on the wire.
+type Runtime struct {
+	Prog *pipeline.Program
+	// CheckEveryHop enables the §4.3 per-hop checking variant: the
+	// checker block runs at every hop instead of only the last one, so
+	// violations are caught (and packets can be dropped) mid-network.
+	CheckEveryHop bool
+
+	// needed caches the header-binding paths the program actually
+	// reads, so RunBlocks copies only those from the (much larger)
+	// per-hop binding environment.
+	neededOnce sync.Once
+	needed     []pipeline.FieldRef
+	phvSize    int
+
+	// phvPool recycles PHV maps between hops; a PHV never outlives the
+	// RunBlocks call that uses it (results copy all values out).
+	phvPool sync.Pool
+}
+
+// neededHeaders returns the binding paths the compiled program reads.
+func (r *Runtime) neededHeaders() []pipeline.FieldRef {
+	r.neededOnce.Do(func() {
+		for _, path := range r.Prog.HeaderBindings {
+			r.needed = append(r.needed, pipeline.FieldRef(path))
+		}
+		// PHV capacity: builtins + bindings + telemetry fields (arrays
+		// count slots) + a slack for temporaries and table outputs.
+		n := 8 + len(r.needed)
+		for _, f := range r.Prog.Tele {
+			if f.IsArray {
+				n += f.Cap + 1
+			} else {
+				n++
+			}
+		}
+		r.phvSize = n + 8
+	})
+	return r.needed
+}
+
+// HopEnv is the per-hop execution environment.
+type HopEnv struct {
+	// State is this switch's instantiation of the program's tables and
+	// registers.
+	State *pipeline.State
+	// SwitchID is the switch identifier exposed as the switch_id builtin.
+	SwitchID uint32
+	// Headers binds forwarding-program fields (keyed by annotation path,
+	// e.g. "hdr.ipv4.src_addr") into the checker's PHV.
+	Headers map[string]pipeline.Value
+	// PacketLen is the wire length exposed as packet_length.
+	PacketLen uint32
+}
+
+// HopResult is the outcome of running the program at one hop.
+type HopResult struct {
+	// Blob is the updated telemetry payload to carry to the next hop.
+	Blob []byte
+	// Reject is true when the checker raised reject at this hop.
+	Reject bool
+	// Reports are the digests raised at this hop.
+	Reports []pipeline.Report
+	// TableApplies and OpsExecuted feed the performance model.
+	TableApplies int
+	OpsExecuted  int
+}
+
+// BlockSet selects which blocks RunBlocks executes. The compiler's
+// linking rules (§4.2) place Init at the first hop's ingress pipeline —
+// before the forwarding tables run — and Telemetry/Checker in the
+// egress pipeline, so a switch harness calls RunBlocks twice per hop
+// with different header bindings.
+type BlockSet struct {
+	Init      bool
+	Telemetry bool
+	Checker   bool
+}
+
+// RunBlocks executes the selected blocks against the telemetry blob and
+// hop environment and returns the updated blob plus any verdicts.
+func (r *Runtime) RunBlocks(blob []byte, env HopEnv, bs BlockSet, first, last bool) (HopResult, error) {
+	needed := r.neededHeaders()
+	phv, _ := r.phvPool.Get().(pipeline.PHV)
+	if phv == nil {
+		phv = make(pipeline.PHV, r.phvSize)
+	}
+	defer func() {
+		clear(phv)
+		r.phvPool.Put(phv)
+	}()
+	if err := r.Prog.DecodeTele(blob, phv); err != nil {
+		return HopResult{}, err
+	}
+	phv.Set(pipeline.FieldSwitch, pipeline.B(32, uint64(env.SwitchID)))
+	phv.Set(pipeline.FieldPktLen, pipeline.B(32, uint64(env.PacketLen)))
+	phv.Set(pipeline.FieldLastHop, pipeline.BoolV(last))
+	phv.Set(pipeline.FieldFirst, pipeline.BoolV(first))
+	for _, path := range needed {
+		if v, ok := env.Headers[string(path)]; ok {
+			phv.Set(path, v)
+		}
+	}
+
+	ctx := &pipeline.ExecContext{PHV: phv, State: env.State}
+	if bs.Init {
+		if err := ctx.Exec(r.Prog.Init); err != nil {
+			return HopResult{}, fmt.Errorf("init block: %w", err)
+		}
+	}
+	if bs.Telemetry {
+		if err := ctx.Exec(r.Prog.Telemetry); err != nil {
+			return HopResult{}, fmt.Errorf("telemetry block: %w", err)
+		}
+	}
+	if bs.Checker {
+		if err := ctx.Exec(r.Prog.Checker); err != nil {
+			return HopResult{}, fmt.Errorf("checker block: %w", err)
+		}
+	}
+	return HopResult{
+		Blob:         r.Prog.EncodeTele(phv),
+		Reject:       phv.Get(pipeline.FieldReject).Bool(),
+		Reports:      ctx.Reports,
+		TableApplies: ctx.TableApplies,
+		OpsExecuted:  ctx.OpsExecuted,
+	}, nil
+}
+
+// RunHop executes the blocks scheduled at this hop with a single header
+// environment: init (first hop only), telemetry, and checker (last hop,
+// or every hop in CheckEveryHop mode).
+func (r *Runtime) RunHop(blob []byte, env HopEnv, first, last bool) (HopResult, error) {
+	return r.RunBlocks(blob, env, BlockSet{
+		Init:      first,
+		Telemetry: true,
+		Checker:   last || r.CheckEveryHop,
+	}, first, last)
+}
+
+// TraceResult is the aggregate outcome over a whole path.
+type TraceResult struct {
+	Reject  bool
+	Reports []pipeline.Report
+	// FinalBlob is the telemetry payload as stripped at the last hop.
+	FinalBlob []byte
+}
+
+// RunTrace executes a full path: envs[i] is hop i. It mirrors
+// eval.Machine.RunTrace and is used for differential testing.
+func (r *Runtime) RunTrace(envs []HopEnv) (TraceResult, error) {
+	if len(envs) == 0 {
+		return TraceResult{}, fmt.Errorf("compiler: empty trace")
+	}
+	var res TraceResult
+	var blob []byte
+	for i, env := range envs {
+		hr, err := r.RunHop(blob, env, i == 0, i == len(envs)-1)
+		if err != nil {
+			return TraceResult{}, fmt.Errorf("hop %d (switch %d): %w", i, env.SwitchID, err)
+		}
+		blob = hr.Blob
+		res.Reports = append(res.Reports, hr.Reports...)
+		if hr.Reject {
+			res.Reject = true
+		}
+	}
+	res.FinalBlob = blob
+	return res, nil
+}

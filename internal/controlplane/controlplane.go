@@ -1,0 +1,223 @@
+// Package controlplane provides the operator-side runtime for Hydra
+// checkers: a Controller that owns the per-switch attachments of one or
+// more compiled checkers, typed install/delete helpers for the three
+// kinds of control variables (§3.2: scalars, dictionaries, sets — each
+// realized as match-action tables by the compiler), and a report sink
+// that collects the digests checkers raise (§2's "report" action).
+//
+// The Aether-specific control logic (ONOS's UPF rule translation and
+// the Hydra intent app) lives in internal/aether; this package is the
+// generic layer both it and the experiment harnesses build on.
+package controlplane
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/compiler"
+	"repro/internal/indus/types"
+	"repro/internal/netsim"
+	"repro/internal/pipeline"
+)
+
+// Report is one collected digest with its provenance.
+type Report struct {
+	Checker  string
+	SwitchID uint32
+	Switch   string
+	At       netsim.Time
+	Args     []uint64
+}
+
+// Controller deploys compiled checkers onto switches and manages their
+// control-plane state.
+type Controller struct {
+	mu sync.Mutex
+	// atts[checker][switchID] is the attachment on that switch.
+	atts map[string]map[uint32]*netsim.HydraAttachment
+	// infos keeps the type information for width-correct installs.
+	runtimes map[string]*compiler.Runtime
+	reports  []Report
+	// OnReport, when set, is additionally invoked for every report.
+	OnReport func(Report)
+}
+
+// NewController returns an empty controller.
+func NewController() *Controller {
+	return &Controller{
+		atts:     map[string]map[uint32]*netsim.HydraAttachment{},
+		runtimes: map[string]*compiler.Runtime{},
+	}
+}
+
+// Deploy compiles nothing — it attaches an already-compiled checker to
+// the given switches under the given name and wires its reports into
+// the controller's sink.
+func (c *Controller) Deploy(name string, info *types.Info, switches ...*netsim.Switch) error {
+	prog, err := compiler.Compile(info, compiler.Options{Name: name})
+	if err != nil {
+		return fmt.Errorf("controlplane: compiling %s: %w", name, err)
+	}
+	rt := &compiler.Runtime{Prog: prog}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.atts[name]; dup {
+		return fmt.Errorf("controlplane: checker %q already deployed", name)
+	}
+	c.runtimes[name] = rt
+	c.atts[name] = map[uint32]*netsim.HydraAttachment{}
+	for _, sw := range switches {
+		sw := sw
+		att := sw.AttachChecker(rt, func(s *netsim.Switch, rep pipeline.Report) {
+			c.sink(name, s, rep)
+		})
+		c.atts[name][sw.ID] = att
+	}
+	return nil
+}
+
+func (c *Controller) sink(name string, sw *netsim.Switch, rep pipeline.Report) {
+	args := make([]uint64, len(rep.Args))
+	for i, a := range rep.Args {
+		args[i] = a.V
+	}
+	r := Report{
+		Checker:  name,
+		SwitchID: sw.ID,
+		Switch:   sw.Name,
+		At:       sw.Sim().Now(),
+		Args:     args,
+	}
+	c.mu.Lock()
+	c.reports = append(c.reports, r)
+	cb := c.OnReport
+	c.mu.Unlock()
+	if cb != nil {
+		cb(r)
+	}
+}
+
+// Reports returns a snapshot of all collected reports.
+func (c *Controller) Reports() []Report {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Report(nil), c.reports...)
+}
+
+// ReportsFor returns the reports raised by one checker.
+func (c *Controller) ReportsFor(name string) []Report {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []Report
+	for _, r := range c.reports {
+		if r.Checker == name {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Attachment returns the per-switch attachment of a deployed checker.
+func (c *Controller) Attachment(name string, switchID uint32) (*netsim.HydraAttachment, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m, ok := c.atts[name]
+	if !ok {
+		return nil, fmt.Errorf("controlplane: checker %q not deployed", name)
+	}
+	att, ok := m[switchID]
+	if !ok {
+		return nil, fmt.Errorf("controlplane: checker %q not on switch %d", name, switchID)
+	}
+	return att, nil
+}
+
+// table resolves the realizing table of a control variable on one
+// switch (or on all switches when switchID is 0 via forEach).
+func (c *Controller) forEach(name string, switchID uint32, fn func(*pipeline.Table) error, varName string) error {
+	c.mu.Lock()
+	m, ok := c.atts[name]
+	c.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("controlplane: checker %q not deployed", name)
+	}
+	applied := 0
+	for id, att := range m {
+		if switchID != 0 && id != switchID {
+			continue
+		}
+		tbl, ok := att.State.Tables[varName]
+		if !ok {
+			return fmt.Errorf("controlplane: checker %q has no control variable %q", name, varName)
+		}
+		if err := fn(tbl); err != nil {
+			return err
+		}
+		applied++
+	}
+	if applied == 0 {
+		return fmt.Errorf("controlplane: checker %q not on switch %d", name, switchID)
+	}
+	return nil
+}
+
+// SetScalar installs a scalar control variable's value. switchID 0
+// means every switch the checker is deployed on.
+func (c *Controller) SetScalar(name string, switchID uint32, varName string, value uint64) error {
+	return c.forEach(name, switchID, func(tbl *pipeline.Table) error {
+		w := 1
+		if len(tbl.Outputs) == 1 {
+			// Width travels with the default action value.
+			w = tbl.Default[0].W
+		}
+		return tbl.Insert(pipeline.Entry{Action: []pipeline.Value{pipeline.B(w, value)}})
+	}, varName)
+}
+
+// PutDict installs key -> value into a dictionary control variable.
+// switchID 0 targets every switch.
+func (c *Controller) PutDict(name string, switchID uint32, varName string, key []uint64, value uint64) error {
+	return c.forEach(name, switchID, func(tbl *pipeline.Table) error {
+		keys := make([]pipeline.KeyMatch, len(key))
+		for i, k := range key {
+			keys[i] = pipeline.ExactKey(k)
+		}
+		w := tbl.Default[0].W
+		return tbl.Insert(pipeline.Entry{Keys: keys, Action: []pipeline.Value{pipeline.B(w, value)}})
+	}, varName)
+}
+
+// DeleteDict removes a dictionary entry.
+func (c *Controller) DeleteDict(name string, switchID uint32, varName string, key []uint64) error {
+	return c.forEach(name, switchID, func(tbl *pipeline.Table) error {
+		keys := make([]pipeline.KeyMatch, len(key))
+		for i, k := range key {
+			keys[i] = pipeline.ExactKey(k)
+		}
+		tbl.Delete(keys)
+		return nil
+	}, varName)
+}
+
+// AddSet inserts a member into a set control variable.
+func (c *Controller) AddSet(name string, switchID uint32, varName string, key ...uint64) error {
+	return c.forEach(name, switchID, func(tbl *pipeline.Table) error {
+		keys := make([]pipeline.KeyMatch, len(key))
+		for i, k := range key {
+			keys[i] = pipeline.ExactKey(k)
+		}
+		return tbl.Insert(pipeline.Entry{Keys: keys})
+	}, varName)
+}
+
+// Rejected sums the rejected-packet counters of one checker across
+// switches.
+func (c *Controller) Rejected(name string) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var n uint64
+	for _, att := range c.atts[name] {
+		n += att.Rejected
+	}
+	return n
+}

@@ -1,0 +1,131 @@
+package controlplane
+
+import (
+	"testing"
+
+	"repro/internal/checkers"
+	"repro/internal/netsim"
+)
+
+func buildFabric(t *testing.T) (*netsim.Simulator, *netsim.LeafSpine, *Controller) {
+	t.Helper()
+	sim := netsim.NewSimulator()
+	ls := netsim.BuildLeafSpine(sim, netsim.LeafSpineConfig{Leaves: 2, Spines: 2, HostsPerLeaf: 1, WithRouting: true})
+	return sim, ls, NewController()
+}
+
+func TestDeployAndConfigure(t *testing.T) {
+	sim, ls, ctl := buildFabric(t)
+	if err := ctl.Deploy("waypointing", checkers.MustParse("waypointing"), ls.AllSwitches()...); err != nil {
+		t.Fatal(err)
+	}
+	// switchID 0 = everywhere.
+	if err := ctl.SetScalar("waypointing", 0, "waypoint_id", uint64(ls.Spines[0].ID)); err != nil {
+		t.Fatal(err)
+	}
+
+	h1, h2 := ls.Host(0, 0), ls.Host(1, 0)
+	// Drive flows through both spines; the spine-2 flow must be
+	// rejected, the spine-1 flow delivered.
+	for p := uint16(1); p < 100; p++ {
+		h1.SendUDP(h2.IP, 30000+p, 80, 64)
+	}
+	sim.RunAll()
+	if ctl.Rejected("waypointing") == 0 {
+		t.Fatal("flows bypassing the waypoint must be rejected")
+	}
+	if h2.RxUDP == 0 {
+		t.Fatal("flows through the waypoint must be delivered")
+	}
+	if got := ctl.Rejected("waypointing") + h2.RxUDP; got != 99 {
+		t.Fatalf("conservation: rejected+delivered = %d, want 99", got)
+	}
+}
+
+func TestReportsCollected(t *testing.T) {
+	sim, ls, ctl := buildFabric(t)
+	if err := ctl.Deploy("fw", checkers.MustParse("stateful-firewall"), ls.AllSwitches()...); err != nil {
+		t.Fatal(err)
+	}
+	h1, h2 := ls.Host(0, 0), ls.Host(1, 0)
+	if err := ctl.PutDict("fw", 0, "allowed", []uint64{uint64(h1.IP), uint64(h2.IP)}, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	var live int
+	ctl.OnReport = func(Report) { live++ }
+
+	h1.SendUDP(h2.IP, 555, 80, 64)
+	sim.RunAll()
+	reps := ctl.ReportsFor("fw")
+	if len(reps) != 1 || live != 1 {
+		t.Fatalf("reports = %d live = %d, want 1/1", len(reps), live)
+	}
+	r := reps[0]
+	if r.Checker != "fw" || len(r.Args) != 2 || r.Args[0] != uint64(h2.IP) || r.Args[1] != uint64(h1.IP) {
+		t.Fatalf("report = %+v", r)
+	}
+	if r.Switch == "" || r.SwitchID == 0 {
+		t.Fatalf("provenance missing: %+v", r)
+	}
+
+	// Reacting to the report (install the reverse rule) stops further
+	// reports and admits the return traffic.
+	if err := ctl.PutDict("fw", 0, "allowed", []uint64{uint64(h2.IP), uint64(h1.IP)}, 1); err != nil {
+		t.Fatal(err)
+	}
+	h2.SendUDP(h1.IP, 80, 555, 64)
+	sim.RunAll()
+	if h1.RxUDP != 1 {
+		t.Fatal("return traffic must pass after the install")
+	}
+	if len(ctl.ReportsFor("fw")) != 1 {
+		t.Fatalf("no further reports expected, got %d", len(ctl.ReportsFor("fw")))
+	}
+}
+
+func TestSetAndDelete(t *testing.T) {
+	sim, ls, ctl := buildFabric(t)
+	if err := ctl.Deploy("egress", checkers.MustParse("egress-validity"), ls.AllSwitches()...); err != nil {
+		t.Fatal(err)
+	}
+	for port := uint64(0); port <= 8; port++ {
+		if err := ctl.AddSet("egress", 0, "allowed_eg_ports", port); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h1, h2 := ls.Host(0, 0), ls.Host(1, 0)
+	h1.SendUDP(h2.IP, 1, 80, 64)
+	sim.RunAll()
+	if h2.RxUDP != 1 {
+		t.Fatal("allowed egress must pass")
+	}
+	if ctl.Rejected("egress") != 0 {
+		t.Fatal("no rejections expected")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	_, ls, ctl := buildFabric(t)
+	if err := ctl.SetScalar("nope", 0, "x", 1); err == nil {
+		t.Fatal("undeployed checker must error")
+	}
+	if err := ctl.Deploy("wp", checkers.MustParse("waypointing"), ls.Leaves[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctl.Deploy("wp", checkers.MustParse("waypointing"), ls.Leaves[1]); err == nil {
+		t.Fatal("duplicate deploy must error")
+	}
+	if err := ctl.SetScalar("wp", 999, "waypoint_id", 1); err == nil {
+		t.Fatal("unknown switch must error")
+	}
+	if err := ctl.SetScalar("wp", 0, "no_such_var", 1); err == nil {
+		t.Fatal("unknown control variable must error")
+	}
+	if _, err := ctl.Attachment("wp", ls.Leaves[0].ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctl.Attachment("wp", 12345); err == nil {
+		t.Fatal("unknown attachment must error")
+	}
+}

@@ -1,0 +1,44 @@
+package dataplane
+
+import "fmt"
+
+// DecapGTPU strips the outer IPv4/UDP/GTP-U headers, promoting the inner
+// user packet to the top level — the UPF's uplink tunnel termination.
+func (d *Decoded) DecapGTPU() error {
+	if !d.HasGTPU || !d.HasInnerIPv4 {
+		return fmt.Errorf("dataplane: decap on a packet without a GTP-U tunnel")
+	}
+	d.IPv4 = d.InnerIPv4
+	d.HasUDP, d.HasTCP, d.HasICMP = d.HasInnerUDP, d.HasInnerTCP, d.HasInnerICMP
+	d.UDP, d.TCP, d.ICMP = d.InnerUDP, d.InnerTCP, d.InnerICMP
+	d.HasGTPU = false
+	d.GTPU = GTPU{}
+	d.HasInnerIPv4, d.HasInnerUDP, d.HasInnerTCP, d.HasInnerICMP = false, false, false, false
+	d.InnerIPv4, d.InnerUDP, d.InnerTCP, d.InnerICMP = IPv4{}, UDP{}, TCP{}, ICMPEcho{}
+	return nil
+}
+
+// EncapGTPU wraps the current IPv4 packet in an outer IPv4/UDP/GTP-U
+// tunnel from src to dst with the given TEID — the UPF's downlink
+// encapsulation toward the base station.
+func (d *Decoded) EncapGTPU(src, dst IP4, teid uint32) error {
+	if !d.HasIPv4 {
+		return fmt.Errorf("dataplane: encap of a non-IPv4 packet")
+	}
+	if d.HasGTPU {
+		return fmt.Errorf("dataplane: packet is already GTP-U encapsulated")
+	}
+	d.InnerIPv4 = d.IPv4
+	d.HasInnerIPv4 = true
+	d.HasInnerUDP, d.HasInnerTCP, d.HasInnerICMP = d.HasUDP, d.HasTCP, d.HasICMP
+	d.InnerUDP, d.InnerTCP, d.InnerICMP = d.UDP, d.TCP, d.ICMP
+
+	d.IPv4 = IPv4{TTL: 64, Protocol: ProtoUDP, Src: src, Dst: dst}
+	d.HasUDP = true
+	d.UDP = UDP{SrcPort: GTPUPort, DstPort: GTPUPort}
+	d.HasTCP, d.HasICMP = false, false
+	d.TCP, d.ICMP = TCP{}, ICMPEcho{}
+	d.HasGTPU = true
+	d.GTPU = GTPU{MsgType: GTPUGPDU, TEID: teid}
+	return nil
+}

@@ -1,0 +1,313 @@
+package dataplane
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// HydraRaw is the on-wire Hydra telemetry header: when present it sits
+// directly after Ethernet, announced by EtherTypeHydra. It stores the
+// displaced EtherType (so stripping restores the original packet exactly,
+// as §4.1 requires) and the program-specific telemetry blob, whose layout
+// only the compiled checker knows.
+type HydraRaw struct {
+	OrigType EtherType
+	Blob     []byte
+}
+
+// hydraFixedLen is the fixed part of the Hydra header: orig ethertype (2)
+// plus blob length (2).
+const hydraFixedLen = 4
+
+// WireLen returns the serialized length of the Hydra header.
+func (h *HydraRaw) WireLen() int { return hydraFixedLen + len(h.Blob) }
+
+// Decode parses the header from b and returns the remaining payload.
+func (h *HydraRaw) Decode(b []byte) ([]byte, error) {
+	if len(b) < hydraFixedLen {
+		return nil, fmt.Errorf("hydra: short header: %d bytes", len(b))
+	}
+	h.OrigType = EtherType(binary.BigEndian.Uint16(b[0:2]))
+	n := int(binary.BigEndian.Uint16(b[2:4]))
+	if len(b) < hydraFixedLen+n {
+		return nil, fmt.Errorf("hydra: blob truncated: want %d bytes, have %d", n, len(b)-hydraFixedLen)
+	}
+	h.Blob = b[hydraFixedLen : hydraFixedLen+n]
+	return b[hydraFixedLen+n:], nil
+}
+
+// Append serializes the header onto buf.
+func (h *HydraRaw) Append(buf []byte) []byte {
+	buf = binary.BigEndian.AppendUint16(buf, uint16(h.OrigType))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(h.Blob)))
+	return append(buf, h.Blob...)
+}
+
+// Decoded is a fully parsed packet. The Has* flags mirror P4 header
+// validity bits; the Aether UPF checkers match on them directly.
+type Decoded struct {
+	Eth Ethernet
+
+	HasHydra bool
+	Hydra    HydraRaw
+
+	HasVLAN bool
+	VLAN    VLAN
+
+	HasSourceRoute bool
+	SourceRoute    []SourceRouteHop
+
+	HasIPv4 bool
+	IPv4    IPv4
+	HasUDP  bool
+	UDP     UDP
+	HasTCP  bool
+	TCP     TCP
+	HasICMP bool
+	ICMP    ICMPEcho
+
+	HasGTPU bool
+	GTPU    GTPU
+
+	// Inner headers when the packet is GTP-U encapsulated.
+	HasInnerIPv4 bool
+	InnerIPv4    IPv4
+	HasInnerUDP  bool
+	InnerUDP     UDP
+	HasInnerTCP  bool
+	InnerTCP     TCP
+	HasInnerICMP bool
+	InnerICMP    ICMPEcho
+
+	Payload []byte
+}
+
+// Parse decodes a full packet from wire bytes. It never fails on an
+// unknown inner protocol — parsing just stops and the rest lands in
+// Payload — but it does fail on structurally broken headers.
+func Parse(data []byte) (*Decoded, error) {
+	d := &Decoded{}
+	rest, err := d.Eth.Decode(data)
+	if err != nil {
+		return nil, err
+	}
+	next := d.Eth.Type
+
+	if next == EtherTypeHydra {
+		d.HasHydra = true
+		rest, err = d.Hydra.Decode(rest)
+		if err != nil {
+			return nil, err
+		}
+		next = d.Hydra.OrigType
+	}
+
+	if next == EtherTypeVLAN {
+		d.HasVLAN = true
+		rest, err = d.VLAN.Decode(rest)
+		if err != nil {
+			return nil, err
+		}
+		next = d.VLAN.Type
+	}
+
+	if next == EtherTypeSourceRoute {
+		d.HasSourceRoute = true
+		d.SourceRoute, rest, err = DecodeSourceRoute(rest)
+		if err != nil {
+			return nil, err
+		}
+		next = EtherTypeIPv4 // the tutorial protocol always carries IPv4
+	}
+
+	if next != EtherTypeIPv4 {
+		d.Payload = rest
+		return d, nil
+	}
+
+	d.HasIPv4 = true
+	rest, err = d.IPv4.Decode(rest)
+	if err != nil {
+		return nil, err
+	}
+
+	switch d.IPv4.Protocol {
+	case ProtoUDP:
+		d.HasUDP = true
+		rest, err = d.UDP.Decode(rest)
+		if err != nil {
+			return nil, err
+		}
+		if d.UDP.DstPort == GTPUPort || d.UDP.SrcPort == GTPUPort {
+			// Port 2152 suggests GTP-U, but the port alone is only a
+			// heuristic: traffic that happens to use it without a valid
+			// GTP header falls back to opaque UDP payload.
+			if err := d.parseGTPU(rest); err == nil {
+				return d, nil
+			}
+			d.Payload = rest
+			return d, nil
+		}
+	case ProtoTCP:
+		d.HasTCP = true
+		rest, err = d.TCP.Decode(rest)
+		if err != nil {
+			return nil, err
+		}
+	case ProtoICMP:
+		d.HasICMP = true
+		rest, err = d.ICMP.Decode(rest)
+		if err != nil {
+			return nil, err
+		}
+	}
+	d.Payload = rest
+	return d, nil
+}
+
+func (d *Decoded) parseGTPU(b []byte) error {
+	rest, err := d.GTPU.Decode(b)
+	if err != nil {
+		return err
+	}
+	d.HasGTPU = true
+	if len(rest) == 0 {
+		d.Payload = rest
+		return nil
+	}
+	d.HasInnerIPv4 = true
+	rest, err = d.InnerIPv4.Decode(rest)
+	if err != nil {
+		return err
+	}
+	switch d.InnerIPv4.Protocol {
+	case ProtoUDP:
+		d.HasInnerUDP = true
+		rest, err = d.InnerUDP.Decode(rest)
+	case ProtoTCP:
+		d.HasInnerTCP = true
+		rest, err = d.InnerTCP.Decode(rest)
+	case ProtoICMP:
+		d.HasInnerICMP = true
+		rest, err = d.InnerICMP.Decode(rest)
+	}
+	if err != nil {
+		return err
+	}
+	d.Payload = rest
+	return nil
+}
+
+// Serialize re-encodes the packet to wire bytes, fixing up chained
+// EtherTypes, IPv4 total lengths, UDP lengths, and GTP-U lengths so a
+// mutated Decoded (e.g. telemetry inserted, tunnel stripped) re-encodes
+// consistently.
+func (d *Decoded) Serialize() []byte {
+	// Build from the inside out so lengths are known.
+	var inner []byte
+	if d.HasInnerIPv4 {
+		var l4 []byte
+		switch {
+		case d.HasInnerUDP:
+			d.InnerUDP.Length = uint16(UDPLen + len(d.Payload))
+			l4 = d.InnerUDP.Append(nil)
+		case d.HasInnerTCP:
+			l4 = d.InnerTCP.Append(nil)
+		case d.HasInnerICMP:
+			l4 = d.InnerICMP.Append(nil)
+		}
+		d.InnerIPv4.TotalLen = uint16(IPv4Len + len(l4) + len(d.Payload))
+		inner = d.InnerIPv4.Append(nil)
+		inner = append(inner, l4...)
+		inner = append(inner, d.Payload...)
+	}
+
+	var l3 []byte
+	if d.HasIPv4 {
+		var l4 []byte
+		switch {
+		case d.HasGTPU:
+			d.GTPU.Length = uint16(len(inner))
+			g := d.GTPU.Append(nil)
+			g = append(g, inner...)
+			d.UDP.Length = uint16(UDPLen + len(g))
+			l4 = d.UDP.Append(nil)
+			l4 = append(l4, g...)
+		case d.HasUDP:
+			d.UDP.Length = uint16(UDPLen + len(d.Payload))
+			l4 = d.UDP.Append(nil)
+			l4 = append(l4, d.Payload...)
+		case d.HasTCP:
+			l4 = d.TCP.Append(nil)
+			l4 = append(l4, d.Payload...)
+		case d.HasICMP:
+			l4 = d.ICMP.Append(nil)
+			l4 = append(l4, d.Payload...)
+		default:
+			l4 = d.Payload
+		}
+		d.IPv4.TotalLen = uint16(IPv4Len + len(l4))
+		l3 = d.IPv4.Append(nil)
+		l3 = append(l3, l4...)
+	} else {
+		l3 = d.Payload
+	}
+
+	if d.HasSourceRoute {
+		sr := AppendSourceRoute(nil, d.SourceRoute)
+		l3 = append(sr, l3...)
+	}
+
+	// Chain the EtherTypes from the outside in.
+	innermostType := EtherTypeIPv4
+	if d.HasSourceRoute {
+		innermostType = EtherTypeSourceRoute
+	} else if !d.HasIPv4 {
+		innermostType = d.Eth.Type // opaque payload: preserve as parsed
+		if d.HasHydra {
+			innermostType = d.Hydra.OrigType
+		}
+		if d.HasVLAN {
+			innermostType = d.VLAN.Type
+		}
+	}
+
+	if d.HasVLAN {
+		d.VLAN.Type = innermostType
+		l3 = append(d.VLAN.Append(nil), l3...)
+		innermostType = EtherTypeVLAN
+	}
+	if d.HasHydra {
+		d.Hydra.OrigType = innermostType
+		l3 = append(d.Hydra.Append(nil), l3...)
+		innermostType = EtherTypeHydra
+	}
+	d.Eth.Type = innermostType
+	return append(d.Eth.Append(nil), l3...)
+}
+
+// WireLen returns the serialized packet length without building it.
+func (d *Decoded) WireLen() int { return len(d.Serialize()) }
+
+// InsertHydra adds an empty Hydra header (first-hop injection, §4.1).
+// It is a no-op if the header is already present.
+func (d *Decoded) InsertHydra(blob []byte) {
+	if d.HasHydra {
+		d.Hydra.Blob = blob
+		return
+	}
+	d.HasHydra = true
+	d.Hydra = HydraRaw{Blob: blob}
+}
+
+// StripHydra removes the Hydra header (last-hop strip, §4.1), restoring
+// the original EtherType chain. Returns the blob that was carried.
+func (d *Decoded) StripHydra() []byte {
+	if !d.HasHydra {
+		return nil
+	}
+	blob := d.Hydra.Blob
+	d.HasHydra = false
+	d.Hydra = HydraRaw{}
+	return blob
+}

@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/netsim"
+	"repro/internal/resources"
+)
+
+func TestTable1Shape(t *testing.T) {
+	rows, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 11 {
+		t.Fatalf("Table 1 has %d rows, want 11", len(rows))
+	}
+	ratios := 0.0
+	for _, r := range rows {
+		// The conciseness claim: generated P4 is always larger than the
+		// Indus source (the paper's own app-filtering row is only ~2x,
+		// so the per-row bound is loose and the average is checked below).
+		if r.P4LoC < r.IndusLoC*3/2 {
+			t.Errorf("%s: P4 %d vs Indus %d — conciseness ratio too small", r.Key, r.P4LoC, r.IndusLoC)
+		}
+		ratios += float64(r.P4LoC) / float64(r.IndusLoC)
+		// Stage result: checkers do not grow the baseline's 12 stages.
+		if r.Stages != resources.BaselineStages {
+			t.Errorf("%s: stages %d, want %d", r.Key, r.Stages, resources.BaselineStages)
+		}
+		// PHV is above baseline and bounded.
+		if r.PHVPct <= resources.BaselinePHVPct || r.PHVPct > resources.BaselinePHVPct+12 {
+			t.Errorf("%s: PHV %.2f%% out of band", r.Key, r.PHVPct)
+		}
+	}
+	if avg := ratios / float64(len(rows)); avg < 4 {
+		t.Errorf("average P4/Indus ratio %.1f, want the order-of-magnitude shape (>= 4)", avg)
+	}
+	out := FormatTable1(rows)
+	for _, want := range []string{"Multi-Tenancy", "Application filtering", "Baseline", "44.53"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted table missing %q", want)
+		}
+	}
+}
+
+func TestFig12NoSignificantDifference(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	r, err := RunFig12(Fig12Config{
+		Duration:      1 * netsim.Second,
+		PingInterval:  4 * netsim.Millisecond,
+		BackgroundBps: 400_000_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Baseline.RTT) < 100 || len(r.Checkers.RTT) < 100 {
+		t.Fatalf("too few samples: %d / %d", len(r.Baseline.RTT), len(r.Checkers.RTT))
+	}
+	// The paper's result: no statistically significant latency
+	// difference between baseline and all checkers.
+	if r.TTest.Significant(0.01) {
+		t.Fatalf("unexpected significant RTT difference: %v", r.TTest)
+	}
+	// Sanity: RTTs are sub-millisecond on this fabric (Figure 12 shows
+	// 0.1–0.3 ms).
+	for _, v := range r.Baseline.RTT {
+		if v <= 0 || v > 5 {
+			t.Fatalf("implausible baseline RTT %v ms", v)
+		}
+	}
+	if !strings.Contains(FormatFig12b(r), "welch t-test") {
+		t.Error("formatting lost the t-test")
+	}
+	if !strings.Contains(FormatFig12a(r), "time_s") {
+		t.Error("formatting lost the series header")
+	}
+}
+
+func TestThroughputParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	base, chk, err := RunThroughput(ThroughputConfig{Packets: 20_000, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper: throughput with and without Hydra is almost identical.
+	if base.DeliveredRatio < 0.99 {
+		t.Fatalf("baseline delivered only %.1f%%", base.DeliveredRatio*100)
+	}
+	if chk.DeliveredRatio < 0.99 {
+		t.Fatalf("all-checkers delivered only %.1f%%", chk.DeliveredRatio*100)
+	}
+	rel := chk.DeliveredPps / base.DeliveredPps
+	if rel < 0.98 || rel > 1.02 {
+		t.Fatalf("delivered rate diverged: baseline %.0f pps vs checkers %.0f pps", base.DeliveredPps, chk.DeliveredPps)
+	}
+	if base.OfferedPps < 300_000 || base.OfferedPps > 400_000 {
+		t.Fatalf("offered load %.0f pps, want ≈350K", base.OfferedPps)
+	}
+}
+
+func TestAttachAllConfiguresEveryChecker(t *testing.T) {
+	sim := netsim.NewSimulator()
+	ls := netsim.BuildLeafSpine(sim, netsim.LeafSpineConfig{Leaves: 2, Spines: 2, HostsPerLeaf: 2, WithRouting: true})
+	atts, err := AttachAllCheckers(ls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(atts) != 12 {
+		t.Fatalf("attached %d checkers, want 12", len(atts))
+	}
+	for key, list := range atts {
+		if len(list) != 4 {
+			t.Errorf("%s attached to %d switches, want 4", key, len(list))
+		}
+	}
+	// With benign config, a ping and a UDP flow must pass unharmed.
+	if err := AllowFlows(atts, [][2]uint32{{uint32(ls.Host(0, 0).IP), uint32(ls.Host(1, 0).IP)}}); err != nil {
+		t.Fatal(err)
+	}
+	ls.Host(0, 0).Ping(ls.Host(1, 0).IP, 1)
+	ls.Host(0, 0).SendUDP(ls.Host(1, 0).IP, 999, 80, 100)
+	sim.RunAll()
+	if len(ls.Host(0, 0).RTTs) != 1 {
+		rej := map[string]uint64{}
+		for key, list := range atts {
+			for _, a := range list {
+				rej[key] += a.Rejected
+			}
+		}
+		t.Fatalf("ping lost under all-checkers config; rejections: %v", rej)
+	}
+	if ls.Host(1, 0).RxUDP != 1 {
+		t.Fatal("udp flow lost under all-checkers config")
+	}
+}

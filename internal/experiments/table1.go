@@ -1,0 +1,86 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§6): Table 1 (expressiveness + Tofino resource overheads),
+// Figure 12a/12b (RTT over time and CDF, baseline vs all checkers, with
+// the t-test), and the throughput comparison. The same harnesses back
+// cmd/hydra-bench and the repository's testing.B benchmarks.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/checkers"
+	"repro/internal/compiler"
+	"repro/internal/p4"
+	"repro/internal/resources"
+)
+
+// Table1Row is one property row: measured values alongside the paper's.
+type Table1Row struct {
+	Key  string
+	Name string
+
+	IndusLoC int
+	P4LoC    int
+	Stages   int
+	PHVPct   float64
+
+	PaperIndusLoC int
+	PaperP4LoC    int
+	PaperStages   int
+	PaperPHVPct   float64
+}
+
+// Table1 compiles the full corpus and produces the measured rows
+// (excluding the valley-free case-study program, which Table 1 does not
+// list).
+func Table1() ([]Table1Row, error) {
+	var rows []Table1Row
+	for _, p := range checkers.All {
+		if p.PaperIndusLoC == 0 {
+			continue
+		}
+		info, err := p.Parse()
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", p.Key, err)
+		}
+		prog, err := compiler.Compile(info, compiler.Options{Name: p.Key})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: compiling %s: %w", p.Key, err)
+		}
+		rep := resources.Analyze(prog)
+		rows = append(rows, Table1Row{
+			Key:           p.Key,
+			Name:          p.Name,
+			IndusLoC:      p.IndusLoC(),
+			P4LoC:         p4.LineCount(p4.Emit(prog)),
+			Stages:        rep.MergedStages,
+			PHVPct:        rep.PHVPct,
+			PaperIndusLoC: p.PaperIndusLoC,
+			PaperP4LoC:    p.PaperP4LoC,
+			PaperStages:   p.PaperStages,
+			PaperPHVPct:   p.PaperPHVPct,
+		})
+	}
+	return rows, nil
+}
+
+// FormatTable1 renders the rows as an aligned text table, paper values
+// in parentheses.
+func FormatTable1(rows []Table1Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1: Hydra properties — measured (paper)\n")
+	fmt.Fprintf(&b, "%-36s %15s %15s %12s %18s\n", "Property", "Indus LoC", "P4 Output LoC", "Stages", "PHV (%)")
+	fmt.Fprintf(&b, "%-36s %15s %15s %12s %18s\n", "Baseline (fabric-upf)", "-", "-",
+		fmt.Sprintf("%d (%d)", resources.BaselineStages, checkers.BaselineStages),
+		fmt.Sprintf("%.2f (%.2f)", resources.BaselinePHVPct, checkers.BaselinePHVPct))
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-36s %15s %15s %12s %18s\n",
+			r.Name,
+			fmt.Sprintf("%d (%d)", r.IndusLoC, r.PaperIndusLoC),
+			fmt.Sprintf("%d (%d)", r.P4LoC, r.PaperP4LoC),
+			fmt.Sprintf("%d (%d)", r.Stages, r.PaperStages),
+			fmt.Sprintf("%.2f (%.2f)", r.PHVPct, r.PaperPHVPct))
+	}
+	return b.String()
+}

@@ -1,0 +1,510 @@
+package eval
+
+import (
+	"testing"
+
+	"repro/internal/indus/ast"
+	"repro/internal/indus/parser"
+	"repro/internal/indus/types"
+)
+
+func compile(t *testing.T, src string) *Machine {
+	t.Helper()
+	prog, err := parser.Parse("test.indus", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info, err := types.Check(prog)
+	if err != nil {
+		t.Fatalf("types: %v", err)
+	}
+	return New(info)
+}
+
+func bit(w int, v uint64) Value { return NewBit(w, v) }
+
+func hop(sw *SwitchState, headers map[string]Value) Hop {
+	return Hop{Switch: sw, Headers: headers, PacketLen: 100}
+}
+
+func TestMultiTenancyForwardAndReject(t *testing.T) {
+	src := `
+control dict<bit<8>,bit<8>> tenants;
+tele bit<8> tenant;
+header bit<8> in_port;
+header bit<8> eg_port;
+{ tenant = tenants[in_port]; }
+{ }
+{ if (tenant != tenants[eg_port]) { reject; } }
+`
+	m := compile(t, src)
+
+	mkSwitch := func(id uint32) *SwitchState {
+		sw := NewSwitchState(id)
+		cv := NewControlDict()
+		cv.Put(bit(8, 1), bit(8, 10)) // port 1 -> tenant 10
+		cv.Put(bit(8, 2), bit(8, 20)) // port 2 -> tenant 20
+		cv.Put(bit(8, 3), bit(8, 10)) // port 3 -> tenant 10
+		sw.Controls["tenants"] = cv
+		return sw
+	}
+	first, last := mkSwitch(1), mkSwitch(2)
+
+	// Same tenant at ingress and egress: forward.
+	out, err := m.RunTrace([]Hop{
+		hop(first, map[string]Value{"in_port": bit(8, 1), "eg_port": bit(8, 9)}),
+		hop(last, map[string]Value{"in_port": bit(8, 9), "eg_port": bit(8, 3)}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Verdict != VerdictForward {
+		t.Fatalf("same-tenant packet: got %s, want forward", out.Verdict)
+	}
+
+	// Crossing tenants: reject.
+	out, err = m.RunTrace([]Hop{
+		hop(first, map[string]Value{"in_port": bit(8, 1), "eg_port": bit(8, 9)}),
+		hop(last, map[string]Value{"in_port": bit(8, 9), "eg_port": bit(8, 2)}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Verdict != VerdictReject {
+		t.Fatalf("cross-tenant packet: got %s, want reject", out.Verdict)
+	}
+	if got := out.Tele["tenant"]; !got.Equal(bit(8, 10)) {
+		t.Fatalf("tele tenant = %v, want 10", got)
+	}
+}
+
+func TestValleyFreeStateMachine(t *testing.T) {
+	src := `
+control bool is_spine_switch;
+tele bool visited_spine;
+tele bool to_reject;
+{ visited_spine = false; to_reject = false; }
+{
+  if (is_spine_switch) {
+    if (visited_spine) { to_reject = true; }
+    visited_spine = true;
+  }
+}
+{ if (to_reject) { reject; } }
+`
+	m := compile(t, src)
+
+	leaf := func(id uint32) *SwitchState {
+		sw := NewSwitchState(id)
+		sw.Controls["is_spine_switch"] = NewControlScalar(Bool(false))
+		return sw
+	}
+	spine := func(id uint32) *SwitchState {
+		sw := NewSwitchState(id)
+		sw.Controls["is_spine_switch"] = NewControlScalar(Bool(true))
+		return sw
+	}
+
+	valleyFree := []Hop{hop(leaf(1), nil), hop(spine(3), nil), hop(leaf(2), nil)}
+	out, err := m.RunTrace(valleyFree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Verdict != VerdictForward {
+		t.Fatalf("leaf-spine-leaf: got %s, want forward", out.Verdict)
+	}
+
+	valley := []Hop{hop(leaf(1), nil), hop(spine(3), nil), hop(leaf(2), nil), hop(spine(4), nil), hop(leaf(1), nil)}
+	out, err = m.RunTrace(valley)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Verdict != VerdictReject {
+		t.Fatalf("two-spine path: got %s, want reject", out.Verdict)
+	}
+}
+
+func TestStatefulFirewallReports(t *testing.T) {
+	src := `
+control dict<(bit<32>,bit<32>),bool> allowed;
+tele bool violated = false;
+header bit<32> ipv4_src;
+header bit<32> ipv4_dst;
+{
+  if (!allowed[(ipv4_src,ipv4_dst)]) { violated = true; }
+}
+{
+  if (last_hop && !allowed[(ipv4_dst, ipv4_src)]) {
+    report((ipv4_dst,ipv4_src));
+  }
+}
+{
+  if (violated) { reject; }
+}
+`
+	m := compile(t, src)
+	inside, outside := uint64(0x0a000001), uint64(0xc0a80101)
+
+	sw1, sw2 := NewSwitchState(1), NewSwitchState(2)
+	allow1, allow2 := NewControlDict(), NewControlDict()
+	// Outbound flow inside->outside is allowed on both switches.
+	key := Tuple{Elems: []Value{bit(32, inside), bit(32, outside)}}
+	allow1.Put(key, Bool(true))
+	allow2.Put(key, Bool(true))
+	sw1.Controls["allowed"] = allow1
+	sw2.Controls["allowed"] = allow2
+
+	hdrsOut := map[string]Value{"ipv4_src": bit(32, inside), "ipv4_dst": bit(32, outside)}
+	out, err := m.RunTrace([]Hop{hop(sw1, hdrsOut), hop(sw2, hdrsOut)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Verdict != VerdictForward {
+		t.Fatalf("outbound packet: got %s", out.Verdict)
+	}
+	// Reverse direction not yet installed: a report should request it.
+	if len(out.Reports) != 1 {
+		t.Fatalf("got %d reports, want 1", len(out.Reports))
+	}
+	wantArg := Tuple{Elems: []Value{bit(32, outside), bit(32, inside)}}
+	if !out.Reports[0].Args[0].Equal(wantArg) {
+		t.Fatalf("report arg %v, want %v", out.Reports[0].Args[0], wantArg)
+	}
+	if out.Reports[0].Block != types.BlockTelemetry {
+		t.Fatalf("report raised in %s, want telemetry", out.Reports[0].Block)
+	}
+
+	// Inbound packet with no allow rule: rejected at the edge.
+	hdrsIn := map[string]Value{"ipv4_src": bit(32, outside), "ipv4_dst": bit(32, inside)}
+	out, err = m.RunTrace([]Hop{hop(sw2, hdrsIn), hop(sw1, hdrsIn)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Verdict != VerdictReject {
+		t.Fatalf("unsolicited inbound packet: got %s, want reject", out.Verdict)
+	}
+
+	// Control plane reacts to the report: install the reverse rule.
+	revKey := Tuple{Elems: []Value{bit(32, outside), bit(32, inside)}}
+	allow1.Put(revKey, Bool(true))
+	allow2.Put(revKey, Bool(true))
+	out, err = m.RunTrace([]Hop{hop(sw2, hdrsIn), hop(sw1, hdrsIn)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Verdict != VerdictForward {
+		t.Fatalf("return traffic after install: got %s, want forward", out.Verdict)
+	}
+}
+
+func TestSensorPersistenceAcrossPackets(t *testing.T) {
+	src := `
+sensor bit<32> count = 0;
+tele bit<32> seen;
+{ }
+{ count += 1; seen = count; }
+{ }
+`
+	m := compile(t, src)
+	sw := NewSwitchState(7)
+	for i := 1; i <= 3; i++ {
+		out, err := m.RunTrace([]Hop{hop(sw, nil)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := out.Tele["seen"]; !got.Equal(bit(32, uint64(i))) {
+			t.Fatalf("packet %d: seen = %v", i, got)
+		}
+	}
+	// A different switch has independent sensor state.
+	out, _ := m.RunTrace([]Hop{hop(NewSwitchState(8), nil)})
+	if got := out.Tele["seen"]; !got.Equal(bit(32, 1)) {
+		t.Fatalf("fresh switch: seen = %v, want 1", got)
+	}
+}
+
+func TestTelemetryArrayPushAndLoop(t *testing.T) {
+	src := `
+tele bit<32>[4] path;
+tele bool revisited = false;
+{ }
+{
+  if (switch_id in path) { revisited = true; }
+  path.push(switch_id);
+}
+{ if (revisited) { reject; } }
+`
+	m := compile(t, src)
+	sws := []*SwitchState{NewSwitchState(1), NewSwitchState(2), NewSwitchState(3)}
+	out, err := m.RunTrace([]Hop{hop(sws[0], nil), hop(sws[1], nil), hop(sws[2], nil)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Verdict != VerdictForward {
+		t.Fatalf("loop-free path rejected")
+	}
+	arr := out.Tele["path"].(*Array)
+	if arr.Len() != 3 {
+		t.Fatalf("path has %d entries, want 3", arr.Len())
+	}
+
+	out, err = m.RunTrace([]Hop{hop(sws[0], nil), hop(sws[1], nil), hop(sws[0], nil)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Verdict != VerdictReject {
+		t.Fatalf("looping path not rejected")
+	}
+}
+
+func TestArrayEviction(t *testing.T) {
+	a := NewArray(ast.BitType{Width: 8}, 2)
+	a.Push(bit(8, 1))
+	a.Push(bit(8, 2))
+	a.Push(bit(8, 3)) // evicts 1
+	if a.Len() != 2 || !a.Get(0).Equal(bit(8, 2)) || !a.Get(1).Equal(bit(8, 3)) {
+		t.Fatalf("eviction wrong: %v", a)
+	}
+	if !a.Get(5).Equal(bit(8, 0)) {
+		t.Fatalf("out-of-range read should be zero")
+	}
+}
+
+func TestArithmeticSemantics(t *testing.T) {
+	src := `
+tele bit<8> x;
+tele bit<8> y;
+tele bit<8> z;
+tele bit<8> d0;
+tele bit<8> m0;
+tele bit<8> a;
+{
+  x = 200 + 100;      // wraps to 44
+  y = 3 - 5;          // wraps to 254
+  z = 16 * 17;        // wraps to 16
+  d0 = x / 0;         // division by zero yields 0
+  m0 = x % 0;         // modulo by zero yields 0
+  a = abs(3 - 5);     // |−2| = 2 under two's complement
+}
+{ }
+{ }
+`
+	m := compile(t, src)
+	out, err := m.RunTrace([]Hop{hop(NewSwitchState(1), nil)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]uint64{"x": 44, "y": 254, "z": 16, "d0": 0, "m0": 0, "a": 2}
+	for name, w := range want {
+		if got := out.Tele[name]; !got.Equal(bit(8, w)) {
+			t.Errorf("%s = %v, want %d", name, got, w)
+		}
+	}
+}
+
+func TestShortCircuit(t *testing.T) {
+	// `b && allowed[...]` must not fault when b is false even though the
+	// dict lookup would be well-defined; short-circuiting also matters
+	// for the common `valid && field == x` idiom.
+	src := `
+tele bool b = false;
+tele bool r1;
+tele bool r2;
+{
+  r1 = b && false;
+  r2 = true || b;
+}
+{ }
+{ }
+`
+	m := compile(t, src)
+	out, err := m.RunTrace([]Hop{hop(NewSwitchState(1), nil)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Tele["r1"] != Bool(false) || out.Tele["r2"] != Bool(true) {
+		t.Fatalf("short-circuit wrong: %v %v", out.Tele["r1"], out.Tele["r2"])
+	}
+}
+
+func TestBuiltinsOverTrace(t *testing.T) {
+	src := `
+tele bit<8> hops;
+tele bit<32> first_sw;
+tele bit<32> last_sw;
+tele bool saw_first;
+tele bool saw_last;
+{ }
+{
+  hops = hop_count;
+  if (first_hop) { saw_first = true; first_sw = switch_id; }
+  if (last_hop) { saw_last = true; last_sw = switch_id; }
+}
+{ }
+`
+	m := compile(t, src)
+	out, err := m.RunTrace([]Hop{
+		hop(NewSwitchState(10), nil), hop(NewSwitchState(20), nil), hop(NewSwitchState(30), nil),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Tele["hops"].Equal(bit(8, 3)) {
+		t.Errorf("hops = %v, want 3", out.Tele["hops"])
+	}
+	if !out.Tele["first_sw"].Equal(bit(32, 10)) || !out.Tele["last_sw"].Equal(bit(32, 30)) {
+		t.Errorf("first/last = %v/%v", out.Tele["first_sw"], out.Tele["last_sw"])
+	}
+	if out.Tele["saw_first"] != Bool(true) || out.Tele["saw_last"] != Bool(true) {
+		t.Errorf("first/last hop flags wrong")
+	}
+}
+
+func TestRejectThenReportBothApply(t *testing.T) {
+	// Figure 9 style: reject; report(...) in the same branch — both fire.
+	src := `
+tele bit<8> v = 1;
+{ }
+{ }
+{
+  if (v == 1) { reject; report(v); }
+}
+`
+	m := compile(t, src)
+	out, err := m.RunTrace([]Hop{hop(NewSwitchState(1), nil)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Verdict != VerdictReject || len(out.Reports) != 1 {
+		t.Fatalf("verdict=%s reports=%d, want reject with 1 report", out.Verdict, len(out.Reports))
+	}
+	if out.Reports[0].Block != types.BlockChecker {
+		t.Fatalf("report block = %s", out.Reports[0].Block)
+	}
+}
+
+func TestMultiVarForLockstep(t *testing.T) {
+	src := `
+tele bit<32>[4] ls;
+tele bit<32>[4] rs;
+tele bit<32> maxdiff = 0;
+{ }
+{
+  ls.push(packet_length);
+  rs.push(packet_length + 10);
+}
+{
+  for (l, r in ls, rs) {
+    maxdiff = max(maxdiff, abs(l - r));
+  }
+}
+`
+	m := compile(t, src)
+	out, err := m.RunTrace([]Hop{hop(NewSwitchState(1), nil), hop(NewSwitchState(2), nil)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Tele["maxdiff"].Equal(bit(32, 10)) {
+		t.Fatalf("maxdiff = %v, want 10", out.Tele["maxdiff"])
+	}
+}
+
+func TestMissingHeaderBindingIsAnError(t *testing.T) {
+	src := "header bit<8> p;\ntele bit<8> x;\n{ x = p; }{ }{ }"
+	m := compile(t, src)
+	_, err := m.RunTrace([]Hop{hop(NewSwitchState(1), nil)})
+	if err == nil {
+		t.Fatal("expected an error for unbound header variable")
+	}
+}
+
+func TestUninstalledControlReadsZero(t *testing.T) {
+	src := `
+control dict<bit<8>,bit<8>> d;
+control bit<8> scalar;
+control set<bit<8>> s;
+header bit<8> p;
+tele bit<8> x;
+tele bit<8> y;
+tele bool b;
+{ x = d[p]; y = scalar; b = p in s; }
+{ }
+{ if (b) { reject; } }
+`
+	m := compile(t, src)
+	out, err := m.RunTrace([]Hop{hop(NewSwitchState(1), map[string]Value{"p": bit(8, 5)})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Tele["x"].Equal(bit(8, 0)) || !out.Tele["y"].Equal(bit(8, 0)) {
+		t.Fatalf("uninstalled control reads: %v %v, want zeros", out.Tele["x"], out.Tele["y"])
+	}
+	if out.Verdict != VerdictForward {
+		t.Fatalf("empty set membership should be false")
+	}
+}
+
+func TestEmptyTraceFails(t *testing.T) {
+	m := compile(t, "{ }{ }{ }")
+	if _, err := m.RunTrace(nil); err == nil {
+		t.Fatal("expected error for empty trace")
+	}
+}
+
+func TestStepwiseAPIMatchesRunTrace(t *testing.T) {
+	src := `
+tele bit<8>[4] ids;
+{ }
+{ ids.push(hop_count); }
+{ if (ids.length == 2) { reject; } }
+`
+	m := compile(t, src)
+	hops := []Hop{hop(NewSwitchState(1), nil), hop(NewSwitchState(2), nil)}
+
+	ps := m.NewPacketState()
+	if err := m.RunInit(ps, hops[0], 0, false); err != nil {
+		t.Fatal(err)
+	}
+	for i, h := range hops {
+		if err := m.RunTelemetry(ps, h, i, i == 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.RunChecker(ps, hops[1], 1, true); err != nil {
+		t.Fatal(err)
+	}
+	stepwise := m.Finish(ps)
+
+	whole, err := m.RunTrace(hops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stepwise.Verdict != whole.Verdict {
+		t.Fatalf("stepwise %s != whole %s", stepwise.Verdict, whole.Verdict)
+	}
+	if stepwise.Verdict != VerdictReject {
+		t.Fatalf("checker should reject on 2-hop path")
+	}
+}
+
+func TestOutOfRangeIndexedWriteIsDropped(t *testing.T) {
+	// Matching the compiled pipeline (and the hardware it models), a
+	// write through an index beyond the array capacity is silently
+	// dropped rather than faulting.
+	src := `
+tele bit<8>[2] xs;
+tele bit<8> idx = 9;
+{ xs[idx] = 7; xs[0] = 1; }
+{ }
+{ }
+`
+	m := compile(t, src)
+	out, err := m.RunTrace([]Hop{hop(NewSwitchState(1), nil)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr := out.Tele["xs"].(*Array)
+	if arr.Len() != 1 || !arr.Get(0).Equal(bit(8, 1)) {
+		t.Fatalf("xs = %v, want [1]", arr)
+	}
+}

@@ -1,0 +1,231 @@
+// Package eval implements the reference interpreter for Indus: the
+// operational semantics of Figure 4, executed over a network-wide hop
+// trace. The compiler's pipeline backend is differentially tested against
+// this interpreter.
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/indus/ast"
+)
+
+// Value is an Indus runtime value.
+type Value interface {
+	fmt.Stringer
+	// Type returns the static type of the value.
+	Type() ast.Type
+	// Equal reports value equality (types must already match).
+	Equal(Value) bool
+	// key returns a canonical encoding usable as a dictionary key.
+	key() string
+}
+
+// Bit is a bit<Width> value; V is always masked to Width bits.
+type Bit struct {
+	Width int
+	V     uint64
+}
+
+// NewBit returns a bit<width> value, masking v to width bits.
+func NewBit(width int, v uint64) Bit { return Bit{Width: width, V: maskTo(width, v)} }
+
+func maskTo(width int, v uint64) uint64 {
+	if width >= 64 {
+		return v
+	}
+	return v & ((1 << uint(width)) - 1)
+}
+
+func (b Bit) String() string { return fmt.Sprintf("%d", b.V) }
+func (b Bit) Type() ast.Type { return ast.BitType{Width: b.Width} }
+func (b Bit) key() string    { return fmt.Sprintf("b%d:%d", b.Width, b.V) }
+func (b Bit) Equal(o Value) bool {
+	ob, ok := o.(Bit)
+	return ok && ob.V == b.V && ob.Width == b.Width
+}
+
+// Signed interprets the value as a two's-complement Width-bit integer.
+func (b Bit) Signed() int64 {
+	if b.Width < 64 && b.V&(1<<uint(b.Width-1)) != 0 {
+		return int64(b.V) - (1 << uint(b.Width))
+	}
+	return int64(b.V)
+}
+
+// Bool is an Indus boolean.
+type Bool bool
+
+func (b Bool) String() string { return fmt.Sprintf("%t", bool(b)) }
+func (Bool) Type() ast.Type   { return ast.BoolType{} }
+func (b Bool) key() string {
+	if b {
+		return "t"
+	}
+	return "f"
+}
+func (b Bool) Equal(o Value) bool {
+	ob, ok := o.(Bool)
+	return ok && ob == b
+}
+
+// Array is a fixed-capacity list with push semantics, mirroring a P4
+// header stack: Vals holds the valid (pushed) elements, oldest first.
+// When a push would exceed the capacity the oldest element is evicted, so
+// the array always retains the most recent Cap elements of the trace.
+type Array struct {
+	Elem ast.Type
+	Cap  int
+	Vals []Value
+}
+
+// NewArray returns an empty array of the given element type and capacity.
+func NewArray(elem ast.Type, capacity int) *Array {
+	return &Array{Elem: elem, Cap: capacity}
+}
+
+func (a *Array) String() string {
+	parts := make([]string, len(a.Vals))
+	for i, v := range a.Vals {
+		parts[i] = v.String()
+	}
+	return "[" + strings.Join(parts, ", ") + "]"
+}
+
+func (a *Array) Type() ast.Type { return ast.ArrayType{Elem: a.Elem, Len: a.Cap} }
+
+func (a *Array) key() string {
+	parts := make([]string, len(a.Vals))
+	for i, v := range a.Vals {
+		parts[i] = v.key()
+	}
+	return "a[" + strings.Join(parts, ",") + "]"
+}
+
+func (a *Array) Equal(o Value) bool {
+	oa, ok := o.(*Array)
+	if !ok || len(oa.Vals) != len(a.Vals) || oa.Cap != a.Cap {
+		return false
+	}
+	for i := range a.Vals {
+		if !a.Vals[i].Equal(oa.Vals[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Push appends v, evicting the oldest element if the array is full.
+func (a *Array) Push(v Value) {
+	if len(a.Vals) == a.Cap {
+		copy(a.Vals, a.Vals[1:])
+		a.Vals[len(a.Vals)-1] = v
+		return
+	}
+	a.Vals = append(a.Vals, v)
+}
+
+// Len returns the number of valid (pushed) elements.
+func (a *Array) Len() int { return len(a.Vals) }
+
+// Get returns the i'th valid element; the zero value of the element type
+// is returned for an index beyond the valid prefix (matching the
+// compiled code, which reads an invalid header-stack entry as zeros).
+func (a *Array) Get(i int) Value {
+	if i < 0 || i >= len(a.Vals) {
+		return Zero(a.Elem)
+	}
+	return a.Vals[i]
+}
+
+// Set writes the i'th element, extending the valid prefix with zeros as
+// needed (bounded by capacity).
+func (a *Array) Set(i int, v Value) error {
+	if i < 0 || i >= a.Cap {
+		return fmt.Errorf("index %d out of range for array of capacity %d", i, a.Cap)
+	}
+	for len(a.Vals) <= i {
+		a.Vals = append(a.Vals, Zero(a.Elem))
+	}
+	a.Vals[i] = v
+	return nil
+}
+
+// Clone returns a deep copy.
+func (a *Array) Clone() *Array {
+	vals := make([]Value, len(a.Vals))
+	copy(vals, a.Vals) // Bit and Bool are immutable; nested arrays are disallowed by types
+	return &Array{Elem: a.Elem, Cap: a.Cap, Vals: vals}
+}
+
+// Tuple is a compound value: dict key or report payload.
+type Tuple struct{ Elems []Value }
+
+func (t Tuple) String() string {
+	parts := make([]string, len(t.Elems))
+	for i, v := range t.Elems {
+		parts[i] = v.String()
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+func (t Tuple) Type() ast.Type {
+	elems := make([]ast.Type, len(t.Elems))
+	for i, v := range t.Elems {
+		elems[i] = v.Type()
+	}
+	return ast.TupleType{Elems: elems}
+}
+
+func (t Tuple) key() string {
+	parts := make([]string, len(t.Elems))
+	for i, v := range t.Elems {
+		parts[i] = v.key()
+	}
+	return "(" + strings.Join(parts, ",") + ")"
+}
+
+func (t Tuple) Equal(o Value) bool {
+	ot, ok := o.(Tuple)
+	if !ok || len(ot.Elems) != len(t.Elems) {
+		return false
+	}
+	for i := range t.Elems {
+		if !t.Elems[i].Equal(ot.Elems[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Zero returns the zero value of t: 0 for bits, false for bool, an empty
+// array for arrays, and a tuple of zeros for tuples.
+func Zero(t ast.Type) Value {
+	switch t := t.(type) {
+	case ast.BitType:
+		return Bit{Width: t.Width}
+	case ast.BoolType:
+		return Bool(false)
+	case ast.ArrayType:
+		return NewArray(t.Elem, t.Len)
+	case ast.TupleType:
+		elems := make([]Value, len(t.Elems))
+		for i, e := range t.Elems {
+			elems[i] = Zero(e)
+		}
+		return Tuple{Elems: elems}
+	}
+	panic(fmt.Sprintf("eval: no zero value for type %s", t))
+}
+
+// KeyOf returns the canonical dictionary-key encoding of v.
+func KeyOf(v Value) string { return v.key() }
+
+// Clone returns a deep copy of v.
+func Clone(v Value) Value {
+	if a, ok := v.(*Array); ok {
+		return a.Clone()
+	}
+	return v // Bit, Bool, Tuple are immutable
+}

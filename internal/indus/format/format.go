@@ -1,0 +1,228 @@
+// Package format pretty-prints Indus ASTs back to canonical source.
+// Formatting then re-parsing yields a structurally identical program
+// (the round-trip property the tests pin), which makes the formatter
+// safe for tooling like indusc -fmt.
+package format
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/indus/ast"
+)
+
+// Program renders a full program in canonical style.
+func Program(p *ast.Program) string {
+	var f formatter
+	for _, d := range p.Decls {
+		f.decl(d)
+	}
+	if len(p.Decls) > 0 {
+		f.b.WriteByte('\n')
+	}
+	f.block(p.Init)
+	f.block(p.Telemetry)
+	f.block(p.Checker)
+	return f.b.String()
+}
+
+type formatter struct {
+	b   strings.Builder
+	ind int
+}
+
+func (f *formatter) pf(format string, args ...any) {
+	f.b.WriteString(strings.Repeat("  ", f.ind))
+	fmt.Fprintf(&f.b, format, args...)
+	f.b.WriteByte('\n')
+}
+
+func (f *formatter) decl(d ast.Decl) {
+	line := fmt.Sprintf("%s %s %s", d.Kind, d.Type, d.Name)
+	if d.Annot != "" {
+		line += fmt.Sprintf(" @ %q", d.Annot)
+	}
+	if d.Init != nil {
+		line += " = " + Expr(d.Init)
+	}
+	f.pf("%s;", line)
+}
+
+func (f *formatter) block(b *ast.Block) {
+	if b == nil || len(b.Stmts) == 0 {
+		f.pf("{ }")
+		return
+	}
+	f.pf("{")
+	f.ind++
+	for _, s := range b.Stmts {
+		f.stmt(s)
+	}
+	f.ind--
+	f.pf("}")
+}
+
+func (f *formatter) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.Block:
+		f.block(s)
+
+	case *ast.Pass:
+		f.pf("pass;")
+
+	case *ast.Reject:
+		f.pf("reject;")
+
+	case *ast.Report:
+		if len(s.Args) == 0 {
+			f.pf("report;")
+			return
+		}
+		args := make([]string, len(s.Args))
+		for i, a := range s.Args {
+			args[i] = Expr(a)
+		}
+		f.pf("report(%s);", strings.Join(args, ", "))
+
+	case *ast.Assign:
+		f.pf("%s %s %s;", Expr(s.LHS), s.Op, Expr(s.RHS))
+
+	case *ast.If:
+		f.ifChain(s, "if")
+
+	case *ast.For:
+		seqs := make([]string, len(s.Seqs))
+		for i, q := range s.Seqs {
+			seqs[i] = Expr(q)
+		}
+		f.pf("for (%s in %s) {", strings.Join(s.Vars, ", "), strings.Join(seqs, ", "))
+		f.ind++
+		for _, t := range s.Body.Stmts {
+			f.stmt(t)
+		}
+		f.ind--
+		f.pf("}")
+
+	case *ast.ExprStmt:
+		f.pf("%s;", Expr(s.X))
+
+	default:
+		panic(fmt.Sprintf("format: unknown statement %T", s))
+	}
+}
+
+// ifChain prints if/elsif/else chains flat (the parser desugars elsif
+// into nested ifs; the formatter restores the surface syntax).
+func (f *formatter) ifChain(s *ast.If, kw string) {
+	f.pf("%s (%s) {", kw, Expr(s.Cond))
+	f.ind++
+	for _, t := range s.Then.Stmts {
+		f.stmt(t)
+	}
+	f.ind--
+	switch e := s.Else.(type) {
+	case nil:
+		f.pf("}")
+	case *ast.If:
+		f.b.WriteString(strings.Repeat("  ", f.ind))
+		f.b.WriteString("} ")
+		f.elsifChain(e)
+	case *ast.Block:
+		f.pf("} else {")
+		f.ind++
+		for _, t := range e.Stmts {
+			f.stmt(t)
+		}
+		f.ind--
+		f.pf("}")
+	default:
+		// An else branch holding a single non-if, non-block statement.
+		f.pf("} else {")
+		f.ind++
+		f.stmt(s.Else)
+		f.ind--
+		f.pf("}")
+	}
+}
+
+func (f *formatter) elsifChain(s *ast.If) {
+	fmt.Fprintf(&f.b, "elsif (%s) {\n", Expr(s.Cond))
+	f.ind++
+	for _, t := range s.Then.Stmts {
+		f.stmt(t)
+	}
+	f.ind--
+	switch e := s.Else.(type) {
+	case nil:
+		f.pf("}")
+	case *ast.If:
+		f.b.WriteString(strings.Repeat("  ", f.ind))
+		f.b.WriteString("} ")
+		f.elsifChain(e)
+	case *ast.Block:
+		f.pf("} else {")
+		f.ind++
+		for _, t := range e.Stmts {
+			f.stmt(t)
+		}
+		f.ind--
+		f.pf("}")
+	default:
+		f.pf("} else {")
+		f.ind++
+		f.stmt(s.Else)
+		f.ind--
+		f.pf("}")
+	}
+}
+
+// Expr renders an expression with minimal-but-safe parenthesization
+// (binary operations are always parenthesized, so precedence survives
+// the round trip regardless of the original spelling).
+func Expr(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.IntLit:
+		return fmt.Sprintf("%d", e.Value)
+	case *ast.BoolLit:
+		return fmt.Sprintf("%t", e.Value)
+	case *ast.Unary:
+		return e.Op.String() + maybeParen(e.X)
+	case *ast.Binary:
+		op := e.Op.String()
+		return fmt.Sprintf("(%s %s %s)", Expr(e.X), op, Expr(e.Y))
+	case *ast.Index:
+		return fmt.Sprintf("%s[%s]", Expr(e.X), Expr(e.Idx))
+	case *ast.Tuple:
+		parts := make([]string, len(e.Elems))
+		for i, x := range e.Elems {
+			parts[i] = Expr(x)
+		}
+		return "(" + strings.Join(parts, ", ") + ")"
+	case *ast.Call:
+		parts := make([]string, len(e.Args))
+		for i, x := range e.Args {
+			parts[i] = Expr(x)
+		}
+		return e.Name + "(" + strings.Join(parts, ", ") + ")"
+	case *ast.Method:
+		if len(e.Args) == 0 {
+			return Expr(e.Recv) + "." + e.Name
+		}
+		parts := make([]string, len(e.Args))
+		for i, x := range e.Args {
+			parts[i] = Expr(x)
+		}
+		return Expr(e.Recv) + "." + e.Name + "(" + strings.Join(parts, ", ") + ")"
+	}
+	panic(fmt.Sprintf("format: unknown expression %T", e))
+}
+
+func maybeParen(e ast.Expr) string {
+	switch e.(type) {
+	case *ast.Ident, *ast.IntLit, *ast.BoolLit, *ast.Index, *ast.Call, *ast.Tuple:
+		return Expr(e)
+	}
+	return "(" + Expr(e) + ")"
+}

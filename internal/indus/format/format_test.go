@@ -1,0 +1,87 @@
+package format
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/checkers"
+	"repro/internal/indus/parser"
+	"repro/internal/indus/types"
+	"repro/internal/ltlf"
+)
+
+// roundTrip asserts that formatting is parse-stable: the formatted
+// output parses, type-checks, and re-formats to the same text.
+func roundTrip(t *testing.T, label, src string) {
+	t.Helper()
+	prog1, err := parser.Parse(label, src)
+	if err != nil {
+		t.Fatalf("%s: original does not parse: %v", label, err)
+	}
+	out1 := Program(prog1)
+
+	prog2, err := parser.Parse(label+".fmt", out1)
+	if err != nil {
+		t.Fatalf("%s: formatted output does not parse: %v\n%s", label, err, out1)
+	}
+	if _, err := types.Check(prog2); err != nil {
+		t.Fatalf("%s: formatted output does not type-check: %v\n%s", label, err, out1)
+	}
+	out2 := Program(prog2)
+	if out1 != out2 {
+		t.Fatalf("%s: formatting is not idempotent:\n--- first ---\n%s\n--- second ---\n%s", label, out1, out2)
+	}
+}
+
+func TestCorpusRoundTrip(t *testing.T) {
+	for _, p := range checkers.All {
+		roundTrip(t, p.Key, p.Source)
+	}
+	roundTrip(t, "fig2", checkers.LoadBalanceFig2Src)
+}
+
+func TestGeneratedLTLfRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 20; i++ {
+		f := ltlf.Random(rng, []string{"p", "q"}, 3)
+		roundTrip(t, "ltlf", ltlf.ToIndus(f, 6))
+	}
+}
+
+func TestSurfaceSyntax(t *testing.T) {
+	src := `
+tele bit<8> x;
+header bit<8> p @ "hdr.p";
+{ x = p; }
+{
+  if (x == 1) { x = 2; } elsif (x == 2) { x = 3; } else { pass; }
+}
+{ if (x != 0) { reject; } }
+`
+	prog, err := parser.Parse("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Program(prog)
+	for _, want := range []string{
+		`header bit<8> p @ "hdr.p";`,
+		"} elsif ((x == 2)) {",
+		"} else {",
+		"reject;",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestEmptyBlocks(t *testing.T) {
+	prog, err := parser.Parse("t", "{ }{ }{ }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Program(prog); got != "{ }\n{ }\n{ }\n" {
+		t.Fatalf("empty program formats as %q", got)
+	}
+}

@@ -1,0 +1,310 @@
+// Package lexer converts Indus source text into a token stream.
+//
+// The lexer is a hand-written scanner in the style of the Go standard
+// library's text/scanner: it operates on a byte slice, tracks line/column
+// positions, and reports malformed input as ILLEGAL tokens rather than
+// aborting, so the parser can produce positioned diagnostics.
+package lexer
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/indus/token"
+)
+
+// Lexer scans an Indus source buffer.
+type Lexer struct {
+	src  []byte
+	file string
+
+	off  int // current read offset
+	line int
+	col  int
+
+	errs []error
+}
+
+// New returns a lexer over src. file is used in positions and may be empty.
+func New(file string, src []byte) *Lexer {
+	return &Lexer{src: src, file: file, line: 1, col: 1}
+}
+
+// Errors returns the scan errors accumulated so far.
+func (l *Lexer) Errors() []error { return l.errs }
+
+func (l *Lexer) errorf(pos token.Pos, format string, args ...any) {
+	l.errs = append(l.errs, fmt.Errorf("%s: %s", pos, fmt.Sprintf(format, args...)))
+}
+
+func (l *Lexer) pos() token.Pos {
+	return token.Pos{File: l.file, Line: l.line, Col: l.col}
+}
+
+// peek returns the byte at offset off+n without consuming, or 0 at EOF.
+func (l *Lexer) peek(n int) byte {
+	if l.off+n >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+n]
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *Lexer) skipSpaceAndComments() {
+	for l.off < len(l.src) {
+		switch c := l.src[l.off]; {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.peek(1) == '/':
+			for l.off < len(l.src) && l.src[l.off] != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.peek(1) == '*':
+			start := l.pos()
+			l.advance()
+			l.advance()
+			closed := false
+			for l.off < len(l.src) {
+				if l.src[l.off] == '*' && l.peek(1) == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				l.errorf(start, "unterminated block comment")
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isLetter(c byte) bool {
+	return c == '_' || ('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z')
+}
+
+func isDigit(c byte) bool { return '0' <= c && c <= '9' }
+
+func isHexDigit(c byte) bool {
+	return isDigit(c) || ('a' <= c && c <= 'f') || ('A' <= c && c <= 'F')
+}
+
+// Next returns the next token. At end of input it returns EOF forever.
+func (l *Lexer) Next() token.Token {
+	l.skipSpaceAndComments()
+	pos := l.pos()
+	if l.off >= len(l.src) {
+		return token.Token{Kind: token.EOF, Pos: pos}
+	}
+
+	c := l.src[l.off]
+	switch {
+	case isLetter(c):
+		start := l.off
+		for l.off < len(l.src) && (isLetter(l.src[l.off]) || isDigit(l.src[l.off])) {
+			l.advance()
+		}
+		lit := string(l.src[start:l.off])
+		kind := token.Lookup(lit)
+		if kind == token.IDENT {
+			return token.Token{Kind: token.IDENT, Lit: lit, Pos: pos}
+		}
+		return token.Token{Kind: kind, Lit: lit, Pos: pos}
+
+	case isDigit(c):
+		return l.scanNumber(pos)
+
+	case c == '"':
+		return l.scanString(pos)
+	}
+
+	// Operators and punctuation.
+	two := func(k token.Kind) token.Token {
+		l.advance()
+		l.advance()
+		return token.Token{Kind: k, Pos: pos}
+	}
+	one := func(k token.Kind) token.Token {
+		l.advance()
+		return token.Token{Kind: k, Pos: pos}
+	}
+	switch c {
+	case '+':
+		if l.peek(1) == '=' {
+			return two(token.PLUSASSIGN)
+		}
+		return one(token.PLUS)
+	case '-':
+		if l.peek(1) == '=' {
+			return two(token.MINUSASSIGN)
+		}
+		return one(token.MINUS)
+	case '*':
+		return one(token.STAR)
+	case '/':
+		return one(token.SLASH)
+	case '%':
+		return one(token.PERCENT)
+	case '~':
+		return one(token.TILDE)
+	case '&':
+		if l.peek(1) == '&' {
+			return two(token.LAND)
+		}
+		return one(token.AMP)
+	case '|':
+		if l.peek(1) == '|' {
+			return two(token.LOR)
+		}
+		return one(token.PIPE)
+	case '^':
+		return one(token.CARET)
+	case '=':
+		if l.peek(1) == '=' {
+			return two(token.EQ)
+		}
+		return one(token.ASSIGN)
+	case '!':
+		if l.peek(1) == '=' {
+			return two(token.NEQ)
+		}
+		return one(token.NOT)
+	case '<':
+		switch l.peek(1) {
+		case '=':
+			return two(token.LEQ)
+		case '<':
+			return two(token.SHL)
+		}
+		return one(token.LT)
+	case '>':
+		switch l.peek(1) {
+		case '=':
+			return two(token.GEQ)
+		case '>':
+			return two(token.SHR)
+		}
+		return one(token.GT)
+	case '(':
+		return one(token.LPAREN)
+	case ')':
+		return one(token.RPAREN)
+	case '{':
+		return one(token.LBRACE)
+	case '}':
+		return one(token.RBRACE)
+	case '[':
+		return one(token.LBRACKET)
+	case ']':
+		return one(token.RBRACKET)
+	case ',':
+		return one(token.COMMA)
+	case ';':
+		return one(token.SEMICOLON)
+	case '.':
+		return one(token.DOT)
+	case '@':
+		return one(token.AT)
+	}
+
+	l.advance()
+	l.errorf(pos, "illegal character %q", string(c))
+	return token.Token{Kind: token.ILLEGAL, Lit: string(c), Pos: pos}
+}
+
+func (l *Lexer) scanNumber(pos token.Pos) token.Token {
+	start := l.off
+	if l.src[l.off] == '0' && (l.peek(1) == 'x' || l.peek(1) == 'X') {
+		l.advance()
+		l.advance()
+		if !isHexDigit(l.peek(0)) {
+			l.errorf(pos, "malformed hex literal")
+			return token.Token{Kind: token.ILLEGAL, Lit: string(l.src[start:l.off]), Pos: pos}
+		}
+		for l.off < len(l.src) && isHexDigit(l.src[l.off]) {
+			l.advance()
+		}
+	} else if l.src[l.off] == '0' && (l.peek(1) == 'b' || l.peek(1) == 'B') {
+		l.advance()
+		l.advance()
+		if b := l.peek(0); b != '0' && b != '1' {
+			l.errorf(pos, "malformed binary literal")
+			return token.Token{Kind: token.ILLEGAL, Lit: string(l.src[start:l.off]), Pos: pos}
+		}
+		for l.off < len(l.src) && (l.src[l.off] == '0' || l.src[l.off] == '1') {
+			l.advance()
+		}
+	} else {
+		for l.off < len(l.src) && isDigit(l.src[l.off]) {
+			l.advance()
+		}
+	}
+	lit := string(l.src[start:l.off])
+	if l.off < len(l.src) && isLetter(l.src[l.off]) {
+		l.errorf(pos, "identifier immediately follows number %q", lit)
+	}
+	return token.Token{Kind: token.INT, Lit: lit, Pos: pos}
+}
+
+func (l *Lexer) scanString(pos token.Pos) token.Token {
+	l.advance() // opening quote
+	var sb strings.Builder
+	for l.off < len(l.src) {
+		c := l.src[l.off]
+		if c == '\n' {
+			break
+		}
+		l.advance()
+		if c == '"' {
+			return token.Token{Kind: token.STRING, Lit: sb.String(), Pos: pos}
+		}
+		if c == '\\' && l.off < len(l.src) {
+			esc := l.advance()
+			switch esc {
+			case 'n':
+				sb.WriteByte('\n')
+			case 't':
+				sb.WriteByte('\t')
+			case '"':
+				sb.WriteByte('"')
+			case '\\':
+				sb.WriteByte('\\')
+			default:
+				l.errorf(pos, "unknown escape \\%c", esc)
+				sb.WriteByte(esc)
+			}
+			continue
+		}
+		sb.WriteByte(c)
+	}
+	l.errorf(pos, "unterminated string literal")
+	return token.Token{Kind: token.ILLEGAL, Lit: sb.String(), Pos: pos}
+}
+
+// ScanAll lexes the entire buffer and returns all tokens up to and
+// including EOF. It is a convenience for tests and the parser.
+func ScanAll(file string, src []byte) ([]token.Token, []error) {
+	l := New(file, src)
+	var toks []token.Token
+	for {
+		t := l.Next()
+		toks = append(toks, t)
+		if t.Kind == token.EOF {
+			return toks, l.Errors()
+		}
+	}
+}

@@ -1,0 +1,175 @@
+package lexer
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/indus/token"
+)
+
+func kinds(t *testing.T, src string) []token.Kind {
+	t.Helper()
+	toks, errs := ScanAll("test", []byte(src))
+	for _, e := range errs {
+		t.Fatalf("unexpected lex error: %v", e)
+	}
+	out := make([]token.Kind, 0, len(toks))
+	for _, tk := range toks {
+		out = append(out, tk.Kind)
+	}
+	return out
+}
+
+func TestKeywordsAndIdents(t *testing.T) {
+	got := kinds(t, "tele sensor header control bit bool set dict tenant")
+	want := []token.Kind{
+		token.TELE, token.SENSOR, token.HEADER, token.CONTROL,
+		token.BIT, token.BOOL, token.SET, token.DICT, token.IDENT, token.EOF,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: got %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestOperators(t *testing.T) {
+	tests := []struct {
+		src  string
+		want []token.Kind
+	}{
+		{"a == b", []token.Kind{token.IDENT, token.EQ, token.IDENT, token.EOF}},
+		{"a != b", []token.Kind{token.IDENT, token.NEQ, token.IDENT, token.EOF}},
+		{"a <= b", []token.Kind{token.IDENT, token.LEQ, token.IDENT, token.EOF}},
+		{"a >= b", []token.Kind{token.IDENT, token.GEQ, token.IDENT, token.EOF}},
+		{"a && b", []token.Kind{token.IDENT, token.LAND, token.IDENT, token.EOF}},
+		{"a || b", []token.Kind{token.IDENT, token.LOR, token.IDENT, token.EOF}},
+		{"a += b", []token.Kind{token.IDENT, token.PLUSASSIGN, token.IDENT, token.EOF}},
+		{"a -= b", []token.Kind{token.IDENT, token.MINUSASSIGN, token.IDENT, token.EOF}},
+		{"a << 2", []token.Kind{token.IDENT, token.SHL, token.INT, token.EOF}},
+		{"a >> 2", []token.Kind{token.IDENT, token.SHR, token.INT, token.EOF}},
+		{"!a", []token.Kind{token.NOT, token.IDENT, token.EOF}},
+		{"~a", []token.Kind{token.TILDE, token.IDENT, token.EOF}},
+		{"a.push(b)", []token.Kind{token.IDENT, token.DOT, token.IDENT, token.LPAREN, token.IDENT, token.RPAREN, token.EOF}},
+	}
+	for _, tt := range tests {
+		got := kinds(t, tt.src)
+		if len(got) != len(tt.want) {
+			t.Errorf("%q: got %v, want %v", tt.src, got, tt.want)
+			continue
+		}
+		for i := range tt.want {
+			if got[i] != tt.want[i] {
+				t.Errorf("%q token %d: got %s, want %s", tt.src, i, got[i], tt.want[i])
+			}
+		}
+	}
+}
+
+func TestNumberLiterals(t *testing.T) {
+	tests := []struct{ src, lit string }{
+		{"42", "42"},
+		{"0", "0"},
+		{"0x2A", "0x2A"},
+		{"0b1010", "0b1010"},
+	}
+	for _, tt := range tests {
+		toks, errs := ScanAll("", []byte(tt.src))
+		if len(errs) > 0 {
+			t.Errorf("%q: unexpected errors %v", tt.src, errs)
+			continue
+		}
+		if toks[0].Kind != token.INT || toks[0].Lit != tt.lit {
+			t.Errorf("%q: got %v, want INT(%q)", tt.src, toks[0], tt.lit)
+		}
+	}
+}
+
+func TestStringLiteral(t *testing.T) {
+	toks, errs := ScanAll("", []byte(`"hdr.ipv4.src_addr"`))
+	if len(errs) > 0 {
+		t.Fatalf("unexpected errors: %v", errs)
+	}
+	if toks[0].Kind != token.STRING || toks[0].Lit != "hdr.ipv4.src_addr" {
+		t.Fatalf("got %v, want STRING", toks[0])
+	}
+}
+
+func TestStringEscapes(t *testing.T) {
+	toks, errs := ScanAll("", []byte(`"a\nb\t\"c\\"`))
+	if len(errs) > 0 {
+		t.Fatalf("unexpected errors: %v", errs)
+	}
+	if toks[0].Lit != "a\nb\t\"c\\" {
+		t.Fatalf("got %q", toks[0].Lit)
+	}
+}
+
+func TestComments(t *testing.T) {
+	src := `
+// line comment
+a /* block
+   spanning lines */ b
+/* empty */c
+`
+	got := kinds(t, src)
+	want := []token.Kind{token.IDENT, token.IDENT, token.IDENT, token.EOF}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestPositions(t *testing.T) {
+	src := "a\n  bb\n"
+	toks, _ := ScanAll("f.indus", []byte(src))
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Errorf("a at %v, want 1:1", toks[0].Pos)
+	}
+	if toks[1].Pos.Line != 2 || toks[1].Pos.Col != 3 {
+		t.Errorf("bb at %v, want 2:3", toks[1].Pos)
+	}
+	if got := toks[1].Pos.String(); got != "f.indus:2:3" {
+		t.Errorf("Pos.String() = %q", got)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	tests := []struct{ src, wantSub string }{
+		{"$", "illegal character"},
+		{`"unterminated`, "unterminated string"},
+		{"/* open", "unterminated block comment"},
+		{"0x", "malformed hex"},
+		{"0b2", "malformed binary"},
+		{"12ab", "identifier immediately follows number"},
+		{`"\q"`, "unknown escape"},
+	}
+	for _, tt := range tests {
+		_, errs := ScanAll("", []byte(tt.src))
+		if len(errs) == 0 {
+			t.Errorf("%q: expected an error containing %q", tt.src, tt.wantSub)
+			continue
+		}
+		found := false
+		for _, e := range errs {
+			if strings.Contains(e.Error(), tt.wantSub) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%q: errors %v do not mention %q", tt.src, errs, tt.wantSub)
+		}
+	}
+}
+
+func TestEOFIsSticky(t *testing.T) {
+	l := New("", []byte("a"))
+	l.Next()
+	for i := 0; i < 3; i++ {
+		if tk := l.Next(); tk.Kind != token.EOF {
+			t.Fatalf("call %d after end: got %v, want EOF", i, tk)
+		}
+	}
+}

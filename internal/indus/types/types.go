@@ -1,0 +1,758 @@
+// Package types implements the Indus type checker (§3.2 of the Hydra
+// paper). Beyond classic well-typedness it enforces the language's three
+// design restrictions:
+//
+//  1. header and control variables are read-only, so a checker can never
+//     interfere with forwarding;
+//  2. all state is statically allocated (bit widths and array lengths are
+//     compile-time constants), so programs map onto switch pipelines;
+//  3. loops iterate over fixed-length arrays only, so termination is
+//     guaranteed and the compiler can fully unroll them.
+//
+// It additionally restricts reject to the checker block and report to the
+// telemetry and checker blocks, matching where the compiler can realize
+// those exceptions, and records the resolved type of every expression for
+// use by the interpreter and compiler.
+package types
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/indus/ast"
+	"repro/internal/indus/token"
+)
+
+// BlockKind identifies which of the three program blocks a statement
+// belongs to; several rules depend on it.
+type BlockKind int
+
+const (
+	BlockInit BlockKind = iota
+	BlockTelemetry
+	BlockChecker
+)
+
+func (b BlockKind) String() string {
+	switch b {
+	case BlockInit:
+		return "init"
+	case BlockTelemetry:
+		return "telemetry"
+	case BlockChecker:
+		return "checker"
+	}
+	return fmt.Sprintf("BlockKind(%d)", int(b))
+}
+
+// Info is the result of a successful check: the symbol table and the
+// resolved type of every expression node.
+type Info struct {
+	Prog *ast.Program
+	// Decls maps variable names to their declarations.
+	Decls map[string]*ast.Decl
+	// ExprTypes records the type of every expression in the program.
+	ExprTypes map[ast.Expr]ast.Type
+	// MaxReportArity is the widest report(...) payload, used by the
+	// compiler to size report digests.
+	MaxReportArity int
+	// UsesBuiltin records which builtins the program references.
+	UsesBuiltin map[string]bool
+}
+
+// TypeOf returns the recorded type of e, or nil if e was not part of the
+// checked program.
+func (in *Info) TypeOf(e ast.Expr) ast.Type { return in.ExprTypes[e] }
+
+type checker struct {
+	info  *Info
+	errs  []error
+	block BlockKind
+	// loopVars maps in-scope loop variables to their element types; loop
+	// variables are read-only aliases of array slots.
+	loopVars map[string]ast.Type
+}
+
+// Check type-checks prog and returns the typing information.
+func Check(prog *ast.Program) (*Info, error) {
+	c := &checker{
+		info: &Info{
+			Prog:        prog,
+			Decls:       make(map[string]*ast.Decl),
+			ExprTypes:   make(map[ast.Expr]ast.Type),
+			UsesBuiltin: make(map[string]bool),
+		},
+		loopVars: make(map[string]ast.Type),
+	}
+
+	c.checkDecls(prog)
+
+	c.block = BlockInit
+	c.checkBlock(prog.Init)
+	c.block = BlockTelemetry
+	c.checkBlock(prog.Telemetry)
+	c.block = BlockChecker
+	c.checkBlock(prog.Checker)
+
+	if len(c.errs) > 0 {
+		return nil, errors.Join(c.errs...)
+	}
+	return c.info, nil
+}
+
+func (c *checker) errorf(pos token.Pos, format string, args ...any) {
+	c.errs = append(c.errs, fmt.Errorf("%s: %s", pos, fmt.Sprintf(format, args...)))
+}
+
+// ---------------------------------------------------------------------------
+// Declarations
+
+func (c *checker) checkDecls(prog *ast.Program) {
+	for i := range prog.Decls {
+		d := &prog.Decls[i]
+		if _, isBuiltin := ast.BuiltinType(d.Name); isBuiltin {
+			c.errorf(d.Pos, "declaration of %q shadows a builtin", d.Name)
+			continue
+		}
+		if prev, dup := c.info.Decls[d.Name]; dup {
+			c.errorf(d.Pos, "duplicate declaration of %q (previous at %s)", d.Name, prev.Pos)
+			continue
+		}
+		c.info.Decls[d.Name] = d
+		c.checkDeclType(d)
+		if d.Init != nil {
+			got := c.checkExpr(d.Init, d.Type)
+			if got != nil && !got.Equal(d.Type) {
+				c.errorf(d.Pos, "initializer for %q has type %s, want %s", d.Name, got, d.Type)
+			}
+		}
+	}
+}
+
+// checkDeclType enforces which types each variable kind may carry:
+// telemetry rides on packets (scalars and arrays), sensors are registers
+// (scalars or register arrays), headers are packet fields (scalars), and
+// control state is scalars, sets, or dictionaries.
+func (c *checker) checkDeclType(d *ast.Decl) {
+	scalar := func(t ast.Type) bool {
+		switch t.(type) {
+		case ast.BitType, ast.BoolType:
+			return true
+		}
+		return false
+	}
+	keyable := func(t ast.Type) bool {
+		if scalar(t) {
+			return true
+		}
+		tt, ok := t.(ast.TupleType)
+		if !ok {
+			return false
+		}
+		for _, e := range tt.Elems {
+			if !scalar(e) {
+				return false
+			}
+		}
+		return true
+	}
+
+	switch d.Kind {
+	case ast.KindTele:
+		switch t := d.Type.(type) {
+		case ast.BitType, ast.BoolType:
+		case ast.ArrayType:
+			if !scalar(t.Elem) {
+				c.errorf(d.Pos, "tele array %q must have scalar elements, got %s", d.Name, t.Elem)
+			}
+		default:
+			c.errorf(d.Pos, "tele variable %q must be a scalar or fixed array, got %s", d.Name, d.Type)
+		}
+	case ast.KindSensor:
+		switch t := d.Type.(type) {
+		case ast.BitType, ast.BoolType:
+		case ast.ArrayType:
+			if !scalar(t.Elem) {
+				c.errorf(d.Pos, "sensor array %q must have scalar elements, got %s", d.Name, t.Elem)
+			}
+		default:
+			c.errorf(d.Pos, "sensor variable %q must be a scalar or register array, got %s", d.Name, d.Type)
+		}
+	case ast.KindHeader:
+		if !scalar(d.Type) {
+			c.errorf(d.Pos, "header variable %q must be a scalar packet field, got %s", d.Name, d.Type)
+		}
+	case ast.KindControl:
+		switch t := d.Type.(type) {
+		case ast.BitType, ast.BoolType:
+		case ast.SetType:
+			if !keyable(t.Elem) {
+				c.errorf(d.Pos, "control set %q element type %s is not a valid match key", d.Name, t.Elem)
+			}
+		case ast.DictType:
+			if !keyable(t.Key) {
+				c.errorf(d.Pos, "control dict %q key type %s is not a valid match key", d.Name, t.Key)
+			}
+			if !scalar(t.Val) {
+				c.errorf(d.Pos, "control dict %q value type must be scalar, got %s", d.Name, t.Val)
+			}
+		default:
+			c.errorf(d.Pos, "control variable %q must be a scalar, set, or dict, got %s", d.Name, d.Type)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+
+func (c *checker) checkBlock(b *ast.Block) {
+	if b == nil {
+		return
+	}
+	for _, s := range b.Stmts {
+		c.checkStmt(s)
+	}
+}
+
+func (c *checker) checkStmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.Block:
+		c.checkBlock(s)
+
+	case *ast.Pass:
+
+	case *ast.Reject:
+		if c.block != BlockChecker {
+			c.errorf(s.Pos, "reject is only allowed in the checker block (found in %s block)", c.block)
+		}
+
+	case *ast.Report:
+		if c.block == BlockInit {
+			c.errorf(s.Pos, "report is not allowed in the init block")
+		}
+		arity := 0
+		for _, a := range s.Args {
+			t := c.checkExpr(a, nil)
+			if tt, ok := t.(ast.TupleType); ok {
+				arity += len(tt.Elems)
+			} else {
+				arity++
+			}
+		}
+		if arity > c.info.MaxReportArity {
+			c.info.MaxReportArity = arity
+		}
+
+	case *ast.Assign:
+		c.checkAssign(s)
+
+	case *ast.If:
+		got := c.checkExpr(s.Cond, ast.BoolType{})
+		if got != nil {
+			if _, ok := got.(ast.BoolType); !ok {
+				c.errorf(s.Pos, "if condition has type %s, want bool", got)
+			}
+		}
+		c.checkBlock(s.Then)
+		if s.Else != nil {
+			c.checkStmt(s.Else)
+		}
+
+	case *ast.For:
+		c.checkFor(s)
+
+	case *ast.ExprStmt:
+		m, ok := s.X.(*ast.Method)
+		if !ok || m.Name != "push" {
+			c.errorf(s.Pos, "expression statement must be a push call")
+			return
+		}
+		c.checkExpr(s.X, nil)
+
+	default:
+		panic(fmt.Sprintf("types: unknown statement %T", s))
+	}
+}
+
+func (c *checker) checkAssign(s *ast.Assign) {
+	lhsType := c.checkLValue(s.LHS)
+	rhs := c.checkExpr(s.RHS, lhsType)
+	if lhsType == nil || rhs == nil {
+		return
+	}
+	if !rhs.Equal(lhsType) {
+		c.errorf(s.Pos, "cannot assign %s to %s target", rhs, lhsType)
+		return
+	}
+	if s.Op == token.PLUSASSIGN || s.Op == token.MINUSASSIGN {
+		if _, ok := lhsType.(ast.BitType); !ok {
+			c.errorf(s.Pos, "%s requires a bit<n> target, got %s", s.Op, lhsType)
+		}
+	}
+}
+
+// checkLValue resolves the assignment target and enforces writability.
+func (c *checker) checkLValue(e ast.Expr) ast.Type {
+	switch e := e.(type) {
+	case *ast.Ident:
+		if _, isLoop := c.loopVars[e.Name]; isLoop {
+			c.errorf(e.Pos, "loop variable %q is read-only", e.Name)
+			return nil
+		}
+		d, ok := c.info.Decls[e.Name]
+		if !ok {
+			if _, isBuiltin := ast.BuiltinType(e.Name); isBuiltin {
+				c.errorf(e.Pos, "builtin %q is read-only", e.Name)
+			} else {
+				c.errorf(e.Pos, "assignment to undeclared variable %q", e.Name)
+			}
+			return nil
+		}
+		if !d.Kind.Writable() {
+			c.errorf(e.Pos, "%s variable %q is read-only", d.Kind, e.Name)
+			return nil
+		}
+		if d.Kind == ast.KindSensor && c.block == BlockChecker {
+			c.errorf(e.Pos, "sensor variable %q cannot be written in the checker block (checks are predicates)", e.Name)
+			return nil
+		}
+		c.info.ExprTypes[e] = d.Type
+		return d.Type
+
+	case *ast.Index:
+		// Array element assignment: base must itself be a writable array.
+		base := c.checkLValue(e.X)
+		if base == nil {
+			return nil
+		}
+		arr, ok := base.(ast.ArrayType)
+		if !ok {
+			c.errorf(e.Pos, "cannot assign through index of %s (only arrays)", base)
+			return nil
+		}
+		idx := c.checkExpr(e.Idx, ast.BitType{Width: 32})
+		if idx != nil {
+			if _, ok := idx.(ast.BitType); !ok {
+				c.errorf(e.Pos, "array index has type %s, want bit<n>", idx)
+			}
+		}
+		c.info.ExprTypes[e] = arr.Elem
+		return arr.Elem
+	}
+	c.errorf(e.Position(), "invalid assignment target %s", e)
+	return nil
+}
+
+func (c *checker) checkFor(s *ast.For) {
+	if len(s.Vars) != len(s.Seqs) {
+		c.errorf(s.Pos, "for loop has %d variables but %d sequences", len(s.Vars), len(s.Seqs))
+		return
+	}
+	saved := make(map[string]ast.Type, len(s.Vars))
+	var firstLen = -1
+	for i, name := range s.Vars {
+		seqType := c.checkExpr(s.Seqs[i], nil)
+		var elem ast.Type
+		if seqType != nil {
+			arr, ok := seqType.(ast.ArrayType)
+			if !ok {
+				c.errorf(s.Seqs[i].Position(), "for loop sequence has type %s, want a fixed array", seqType)
+			} else {
+				elem = arr.Elem
+				if firstLen == -1 {
+					firstLen = arr.Len
+				} else if arr.Len != firstLen {
+					c.errorf(s.Seqs[i].Position(), "lockstep for sequences have different lengths (%d vs %d)", firstLen, arr.Len)
+				}
+			}
+		}
+		if _, dup := c.info.Decls[name]; dup {
+			c.errorf(s.Pos, "loop variable %q shadows a declaration", name)
+		}
+		if prev, inScope := c.loopVars[name]; inScope {
+			saved[name] = prev
+		}
+		c.loopVars[name] = elem
+	}
+	c.checkBlock(s.Body)
+	for _, name := range s.Vars {
+		if prev, had := saved[name]; had {
+			c.loopVars[name] = prev
+		} else {
+			delete(c.loopVars, name)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+
+// checkExpr type-checks e. expected, when non-nil, provides a context type
+// used to give integer literals a width; it is a hint, not an obligation —
+// callers still compare the result.
+func (c *checker) checkExpr(e ast.Expr, expected ast.Type) ast.Type {
+	t := c.exprType(e, expected)
+	if t != nil {
+		c.info.ExprTypes[e] = t
+	}
+	return t
+}
+
+func (c *checker) exprType(e ast.Expr, expected ast.Type) ast.Type {
+	switch e := e.(type) {
+	case *ast.IntLit:
+		if bt, ok := expected.(ast.BitType); ok {
+			if bt.Width < 64 && e.Value >= 1<<uint(bt.Width) {
+				c.errorf(e.Pos, "literal %d does not fit in %s", e.Value, bt)
+			}
+			return bt
+		}
+		return ast.BitType{Width: 32}
+
+	case *ast.BoolLit:
+		return ast.BoolType{}
+
+	case *ast.Ident:
+		if t, inLoop := c.loopVars[e.Name]; inLoop {
+			return t // may be nil if the sequence was ill-typed
+		}
+		if t, isBuiltin := ast.BuiltinType(e.Name); isBuiltin {
+			c.info.UsesBuiltin[e.Name] = true
+			return t
+		}
+		d, ok := c.info.Decls[e.Name]
+		if !ok {
+			c.errorf(e.Pos, "undeclared variable %q", e.Name)
+			return nil
+		}
+		return d.Type
+
+	case *ast.Unary:
+		return c.unaryType(e, expected)
+
+	case *ast.Binary:
+		return c.binaryType(e, expected)
+
+	case *ast.Index:
+		return c.indexType(e)
+
+	case *ast.Tuple:
+		elems := make([]ast.Type, len(e.Elems))
+		var expectedElems []ast.Type
+		if tt, ok := expected.(ast.TupleType); ok && len(tt.Elems) == len(e.Elems) {
+			expectedElems = tt.Elems
+		}
+		for i, x := range e.Elems {
+			var exp ast.Type
+			if expectedElems != nil {
+				exp = expectedElems[i]
+			}
+			elems[i] = c.checkExpr(x, exp)
+			if elems[i] == nil {
+				return nil
+			}
+		}
+		return ast.TupleType{Elems: elems}
+
+	case *ast.Call:
+		return c.callType(e, expected)
+
+	case *ast.Method:
+		return c.methodType(e)
+	}
+	panic(fmt.Sprintf("types: unknown expression %T", e))
+}
+
+func (c *checker) unaryType(e *ast.Unary, expected ast.Type) ast.Type {
+	switch e.Op {
+	case token.NOT:
+		x := c.checkExpr(e.X, ast.BoolType{})
+		if x != nil {
+			if _, ok := x.(ast.BoolType); !ok {
+				c.errorf(e.Pos, "operator ! requires bool, got %s", x)
+				return nil
+			}
+		}
+		return ast.BoolType{}
+	case token.TILDE, token.MINUS:
+		x := c.checkExpr(e.X, expected)
+		if x == nil {
+			return nil
+		}
+		if _, ok := x.(ast.BitType); !ok {
+			c.errorf(e.Pos, "operator %s requires bit<n>, got %s", e.Op, x)
+			return nil
+		}
+		return x
+	}
+	panic("types: unknown unary operator " + e.Op.String())
+}
+
+func (c *checker) binaryType(e *ast.Binary, expected ast.Type) ast.Type {
+	switch e.Op {
+	case token.LAND, token.LOR:
+		x := c.checkExpr(e.X, ast.BoolType{})
+		y := c.checkExpr(e.Y, ast.BoolType{})
+		for _, t := range []ast.Type{x, y} {
+			if t != nil {
+				if _, ok := t.(ast.BoolType); !ok {
+					c.errorf(e.Pos, "operator %s requires bool operands, got %s", e.Op, t)
+				}
+			}
+		}
+		return ast.BoolType{}
+
+	case token.EQ, token.NEQ:
+		x, y := c.inferPair(e)
+		if x == nil || y == nil {
+			return ast.BoolType{}
+		}
+		if !x.Equal(y) {
+			c.errorf(e.Pos, "cannot compare %s with %s", x, y)
+		}
+		return ast.BoolType{}
+
+	case token.LT, token.LEQ, token.GT, token.GEQ:
+		x, y := c.inferPair(e)
+		for _, t := range []ast.Type{x, y} {
+			if t != nil {
+				if _, ok := t.(ast.BitType); !ok {
+					c.errorf(e.Pos, "operator %s requires bit<n> operands, got %s", e.Op, t)
+					return ast.BoolType{}
+				}
+			}
+		}
+		if x != nil && y != nil && !x.Equal(y) {
+			c.errorf(e.Pos, "mismatched operand widths: %s %s %s", x, e.Op, y)
+		}
+		return ast.BoolType{}
+
+	case token.IN:
+		y := c.checkExpr(e.Y, nil)
+		var elem ast.Type
+		switch yt := y.(type) {
+		case ast.SetType:
+			elem = yt.Elem
+		case ast.ArrayType:
+			elem = yt.Elem
+		case nil:
+		default:
+			c.errorf(e.Pos, "right side of in must be a set or array, got %s", y)
+		}
+		x := c.checkExpr(e.X, elem)
+		if x != nil && elem != nil && !x.Equal(elem) {
+			c.errorf(e.Pos, "membership test of %s in collection of %s", x, elem)
+		}
+		return ast.BoolType{}
+
+	case token.PLUS, token.MINUS, token.STAR, token.SLASH, token.PERCENT,
+		token.AMP, token.PIPE, token.CARET, token.SHL, token.SHR:
+		x, y := c.inferPairWith(e, expected)
+		for _, t := range []ast.Type{x, y} {
+			if t != nil {
+				if _, ok := t.(ast.BitType); !ok {
+					c.errorf(e.Pos, "operator %s requires bit<n> operands, got %s", e.Op, t)
+					return nil
+				}
+			}
+		}
+		if x == nil || y == nil {
+			return nil
+		}
+		if e.Op == token.SHL || e.Op == token.SHR {
+			return x // shift amount width is independent
+		}
+		if !x.Equal(y) {
+			c.errorf(e.Pos, "mismatched operand widths: %s %s %s", x, e.Op, y)
+			return nil
+		}
+		return x
+	}
+	panic("types: unknown binary operator " + e.Op.String())
+}
+
+// inferPair types both operands of a binary expression, letting a literal
+// on one side adopt the width of the other side.
+func (c *checker) inferPair(e *ast.Binary) (ast.Type, ast.Type) {
+	return c.inferPairWith(e, nil)
+}
+
+// inferPairWith additionally threads a contextual type, so that an
+// all-literal expression like 200 + 100 adopts the width of the
+// assignment target rather than the bit<32> default. When exactly one
+// side contains variables, its type is inferred first and becomes the
+// context for the literal-only side (so `x == 3 + 4` gives the sum x's
+// width).
+func (c *checker) inferPairWith(e *ast.Binary, expected ast.Type) (ast.Type, ast.Type) {
+	xLit := literalOnly(e.X)
+	yLit := literalOnly(e.Y)
+	switch {
+	case xLit && !yLit:
+		y := c.checkExpr(e.Y, expected)
+		hint := y
+		if hint == nil {
+			hint = expected
+		}
+		x := c.checkExpr(e.X, hint)
+		return x, y
+	case yLit && !xLit:
+		x := c.checkExpr(e.X, expected)
+		hint := x
+		if hint == nil {
+			hint = expected
+		}
+		y := c.checkExpr(e.Y, hint)
+		return x, y
+	default:
+		return c.checkExpr(e.X, expected), c.checkExpr(e.Y, expected)
+	}
+}
+
+// literalOnly reports whether the expression's leaves are all integer
+// literals, i.e. its width is entirely context-determined.
+func literalOnly(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.IntLit:
+		return true
+	case *ast.Unary:
+		return e.Op != token.NOT && literalOnly(e.X)
+	case *ast.Binary:
+		switch e.Op {
+		case token.PLUS, token.MINUS, token.STAR, token.SLASH, token.PERCENT,
+			token.AMP, token.PIPE, token.CARET, token.SHL, token.SHR:
+			return literalOnly(e.X) && literalOnly(e.Y)
+		}
+		return false
+	case *ast.Call:
+		for _, a := range e.Args {
+			if !literalOnly(a) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+func (c *checker) indexType(e *ast.Index) ast.Type {
+	base := c.checkExpr(e.X, nil)
+	switch bt := base.(type) {
+	case ast.ArrayType:
+		idx := c.checkExpr(e.Idx, ast.BitType{Width: 32})
+		if idx != nil {
+			if _, ok := idx.(ast.BitType); !ok {
+				c.errorf(e.Pos, "array index has type %s, want bit<n>", idx)
+			}
+		}
+		if lit, ok := e.Idx.(*ast.IntLit); ok && lit.Value >= uint64(bt.Len) {
+			c.errorf(e.Pos, "constant index %d out of range for %s", lit.Value, bt)
+		}
+		return bt.Elem
+	case ast.DictType:
+		key := c.checkExpr(e.Idx, bt.Key)
+		if key != nil && !key.Equal(bt.Key) {
+			c.errorf(e.Pos, "dict key has type %s, want %s", key, bt.Key)
+		}
+		return bt.Val
+	case nil:
+		c.checkExpr(e.Idx, nil)
+		return nil
+	default:
+		c.errorf(e.Pos, "cannot index %s", base)
+		c.checkExpr(e.Idx, nil)
+		return nil
+	}
+}
+
+func (c *checker) callType(e *ast.Call, expected ast.Type) ast.Type {
+	switch e.Name {
+	case "abs":
+		if len(e.Args) != 1 {
+			c.errorf(e.Pos, "abs takes 1 argument, got %d", len(e.Args))
+			return nil
+		}
+		t := c.checkExpr(e.Args[0], expected)
+		if t != nil {
+			if _, ok := t.(ast.BitType); !ok {
+				c.errorf(e.Pos, "abs requires bit<n>, got %s", t)
+				return nil
+			}
+		}
+		return t
+	case "max", "min":
+		if len(e.Args) != 2 {
+			c.errorf(e.Pos, "%s takes 2 arguments, got %d", e.Name, len(e.Args))
+			return nil
+		}
+		// Infer the variable-bearing argument first so a literal-only
+		// partner adopts its width (as in binary operators).
+		first, second := 0, 1
+		if literalOnly(e.Args[0]) && !literalOnly(e.Args[1]) {
+			first, second = 1, 0
+		}
+		a := c.checkExpr(e.Args[first], expected)
+		hint := a
+		if hint == nil {
+			hint = expected
+		}
+		b := c.checkExpr(e.Args[second], hint)
+		x, y := a, b
+		if first == 1 {
+			x, y = b, a
+		}
+		if x != nil && y != nil && !x.Equal(y) {
+			c.errorf(e.Pos, "%s arguments have mismatched types %s and %s", e.Name, x, y)
+		}
+		if x != nil {
+			if _, ok := x.(ast.BitType); !ok {
+				c.errorf(e.Pos, "%s requires bit<n> arguments, got %s", e.Name, x)
+				return nil
+			}
+		}
+		return x
+	}
+	c.errorf(e.Pos, "unknown function %q", e.Name)
+	return nil
+}
+
+func (c *checker) methodType(e *ast.Method) ast.Type {
+	recv := c.checkExpr(e.Recv, nil)
+	arr, isArr := recv.(ast.ArrayType)
+	switch e.Name {
+	case "push":
+		if recv != nil && !isArr {
+			c.errorf(e.Pos, "push requires an array receiver, got %s", recv)
+			return nil
+		}
+		if len(e.Args) != 1 {
+			c.errorf(e.Pos, "push takes 1 argument, got %d", len(e.Args))
+			return nil
+		}
+		var elem ast.Type
+		if isArr {
+			elem = arr.Elem
+		}
+		got := c.checkExpr(e.Args[0], elem)
+		if got != nil && elem != nil && !got.Equal(elem) {
+			c.errorf(e.Pos, "cannot push %s onto %s", got, arr)
+		}
+		// Pushing is only meaningful on packet-carried telemetry arrays.
+		if id, ok := e.Recv.(*ast.Ident); ok {
+			if d := c.info.Decls[id.Name]; d != nil && d.Kind != ast.KindTele {
+				c.errorf(e.Pos, "push target %q must be a tele array (got %s)", id.Name, d.Kind)
+			}
+		}
+		return nil // unit: valid only as a statement
+	case "length":
+		if recv != nil && !isArr {
+			c.errorf(e.Pos, "length requires an array receiver, got %s", recv)
+			return nil
+		}
+		if len(e.Args) != 0 {
+			c.errorf(e.Pos, "length takes no arguments")
+		}
+		return ast.BitType{Width: 32}
+	}
+	c.errorf(e.Pos, "unknown method %q", e.Name)
+	return nil
+}

@@ -1,0 +1,198 @@
+package types
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/indus/ast"
+	"repro/internal/indus/parser"
+)
+
+func wrap(decls, initB, teleB, checkB string) string {
+	return decls + "\n{" + initB + "}\n{" + teleB + "}\n{" + checkB + "}\n"
+}
+
+func check(t *testing.T, src string) (*Info, error) {
+	t.Helper()
+	prog, err := parser.Parse("test.indus", src)
+	if err != nil {
+		t.Fatalf("parse error: %v", err)
+	}
+	return Check(prog)
+}
+
+func mustCheck(t *testing.T, src string) *Info {
+	t.Helper()
+	info, err := check(t, src)
+	if err != nil {
+		t.Fatalf("type error: %v", err)
+	}
+	return info
+}
+
+func wantErr(t *testing.T, src, sub string) {
+	t.Helper()
+	_, err := check(t, src)
+	if err == nil {
+		t.Fatalf("expected error containing %q, got none", sub)
+	}
+	if !strings.Contains(err.Error(), sub) {
+		t.Fatalf("error %q does not contain %q", err, sub)
+	}
+}
+
+func TestWellTypedProgram(t *testing.T) {
+	info := mustCheck(t, wrap(
+		`control dict<bit<8>,bit<8>> tenants;
+		 tele bit<8> tenant;
+		 header bit<8> in_port;
+		 header bit<8> eg_port;`,
+		"tenant = tenants[in_port];",
+		"",
+		"if (tenant != tenants[eg_port]) { reject; }",
+	))
+	if len(info.Decls) != 4 {
+		t.Fatalf("got %d decls", len(info.Decls))
+	}
+	d := info.Decls["tenant"]
+	if !d.Type.Equal(ast.BitType{Width: 8}) {
+		t.Fatalf("tenant type %s", d.Type)
+	}
+}
+
+func TestReadOnlyEnforcement(t *testing.T) {
+	wantErr(t, wrap("header bit<8> p;", "p = 1;", "", ""), "read-only")
+	wantErr(t, wrap("control bit<8> c;", "c = 1;", "", ""), "read-only")
+	wantErr(t, wrap("", "last_hop = true;", "", ""), "read-only")
+	wantErr(t, wrap("tele bit<8>[2] xs;", "", "for (v in xs) { v = 1; }", ""), "read-only")
+}
+
+func TestBlockRestrictions(t *testing.T) {
+	wantErr(t, wrap("", "reject;", "", ""), "only allowed in the checker")
+	wantErr(t, wrap("", "", "reject;", ""), "only allowed in the checker")
+	wantErr(t, wrap("", "report;", "", ""), "not allowed in the init block")
+	// report is fine in telemetry and checker blocks.
+	mustCheck(t, wrap("", "", "report;", "report; reject;"))
+	// sensors cannot be written by the checker predicate.
+	wantErr(t, wrap("sensor bit<8> s;", "", "", "s = 1;"), "cannot be written in the checker")
+	mustCheck(t, wrap("sensor bit<8> s;", "s = 1;", "s += 2;", "if (s == 3) { reject; }"))
+}
+
+func TestDeclShapeRules(t *testing.T) {
+	wantErr(t, wrap("tele dict<bit<8>,bit<8>> d;", "", "", ""), "tele variable")
+	wantErr(t, wrap("header bit<8>[4] hs;", "", "", ""), "header variable")
+	wantErr(t, wrap("control bit<8>[4] cs;", "", "", ""), "control variable")
+	wantErr(t, wrap("control dict<bit<8>,bit<8>[3]> d;", "", "", ""), "value type must be scalar")
+	wantErr(t, wrap("control dict<dict<bit<8>,bool>,bool> d;", "", "", ""), "not a valid match key")
+	wantErr(t, wrap("tele bit<8> x; tele bit<8> x;", "", "", ""), "duplicate declaration")
+	wantErr(t, wrap("tele bool last_hop;", "", "", ""), "shadows a builtin")
+	mustCheck(t, wrap("control dict<(bit<32>,bit<8>,bit<32>,bit<16>),bit<8>> d;", "", "", ""))
+}
+
+func TestOperatorTyping(t *testing.T) {
+	decls := "tele bit<8> x; tele bit<16> y; tele bool b;"
+	wantErr(t, wrap(decls, "x = y;", "", ""), "cannot assign bit<16>")
+	wantErr(t, wrap(decls, "x = x + y;", "", ""), "mismatched operand widths")
+	wantErr(t, wrap(decls, "b = x;", "", ""), "cannot assign")
+	wantErr(t, wrap(decls, "x = b + b;", "", ""), "requires bit<n>")
+	wantErr(t, wrap(decls, "b = x && b;", "", ""), "requires bool")
+	wantErr(t, wrap(decls, "b = !x;", "", ""), "requires bool")
+	wantErr(t, wrap(decls, "x = ~b;", "", ""), "requires bit<n>")
+	wantErr(t, wrap(decls, "b = x == y;", "", ""), "cannot compare bit<8> with bit<16>")
+	wantErr(t, wrap(decls, "b = x < b;", "", ""), "requires bit<n> operands")
+	wantErr(t, wrap(decls, "if (x) { }", "", ""), "want bool")
+	wantErr(t, wrap(decls, "b += b;", "", ""), "requires a bit<n> target")
+
+	mustCheck(t, wrap(decls, `
+		x = x + 1; x = 255 - x; x = x * 2; x = x / 3; x = x % 4;
+		x = x & 7; x = x | 8; x = x ^ 9; x = ~x; x = -x;
+		x = x << 2; x = x >> 1;
+		b = x == 5; b = x != 5; b = x < 5 && x >= 1 || !b;
+		y = y + 1;`, "", ""))
+}
+
+func TestLiteralWidthInference(t *testing.T) {
+	decls := "tele bit<8> x;"
+	wantErr(t, wrap(decls, "x = 256;", "", ""), "does not fit")
+	mustCheck(t, wrap(decls, "x = 255;", "", ""))
+	// Literal on the left adopts the width of the right.
+	mustCheck(t, wrap(decls, "if (255 == x) { }", "", ""))
+	wantErr(t, wrap(decls, "if (256 == x) { }", "", ""), "does not fit")
+}
+
+func TestArraysAndLoops(t *testing.T) {
+	decls := "tele bit<32>[4] xs; tele bit<32>[4] ys; tele bit<32>[3] zs; tele bit<32> acc; tele bool b;"
+	mustCheck(t, wrap(decls, "", "xs.push(acc); acc = xs[0]; xs[1] = acc;",
+		"for (x, y in xs, ys) { acc = x + y; } b = acc in xs; acc = xs.length;"))
+	wantErr(t, wrap(decls, "", "for (x, z in xs, zs) { }", ""), "different lengths")
+	wantErr(t, wrap(decls, "", "for (x in acc) { }", ""), "want a fixed array")
+	wantErr(t, wrap(decls, "", "acc = xs[4];", ""), "out of range")
+	wantErr(t, wrap(decls, "", "xs.push(b);", ""), "cannot push bool")
+	wantErr(t, wrap(decls, "", "acc.push(1);", ""), "push requires an array")
+	wantErr(t, wrap(decls, "", "b = b in xs;", ""), "membership test of bool")
+	wantErr(t, wrap("sensor bit<8>[2] reg; tele bit<8> v;", "", "reg.push(v);", ""), "must be a tele array")
+	wantErr(t, wrap("tele bit<8>[2][2] m;", "", "", ""), "scalar elements")
+	wantErr(t, wrap(decls+"tele bit<8> xs2;", "", "for (xs in xs) {}", ""), "shadows a declaration")
+}
+
+func TestDictAndSetTyping(t *testing.T) {
+	decls := `control dict<(bit<32>,bit<32>),bool> allowed;
+	          control set<bit<8>> ports;
+	          header bit<32> src; header bit<32> dst; header bit<8> p;
+	          tele bool b;`
+	mustCheck(t, wrap(decls, "b = allowed[(src,dst)]; b = p in ports;", "", ""))
+	wantErr(t, wrap(decls, "b = allowed[src];", "", ""), "dict key has type")
+	wantErr(t, wrap(decls, "b = allowed[(src,p)];", "", ""), "dict key has type")
+	wantErr(t, wrap(decls, "b = src in ports;", "", ""), "membership test")
+	wantErr(t, wrap(decls, "b = ports[p];", "", ""), "cannot index")
+	wantErr(t, wrap(decls, "b = b in b;", "", ""), "right side of in")
+}
+
+func TestCallTyping(t *testing.T) {
+	decls := "tele bit<32> x; tele bit<32> y; tele bool b;"
+	mustCheck(t, wrap(decls, "x = abs(x - y); x = max(x, y); x = min(x, 4);", "", ""))
+	wantErr(t, wrap(decls, "x = abs(b);", "", ""), "abs requires bit<n>")
+	wantErr(t, wrap(decls, "x = abs(x, y);", "", ""), "abs takes 1 argument")
+	wantErr(t, wrap(decls, "x = max(x);", "", ""), "max takes 2 arguments")
+	wantErr(t, wrap("tele bit<8> w; tele bit<32> x;", "x = max(x, w);", "", ""), "mismatched types")
+}
+
+func TestBuiltins(t *testing.T) {
+	info := mustCheck(t, wrap("tele bit<32> sid; tele bit<8> hc; tele bit<32> pl; tele bool l;",
+		"", "sid = switch_id; hc = hop_count; pl = packet_length; l = last_hop || first_hop;", ""))
+	for _, b := range []string{"switch_id", "hop_count", "packet_length", "last_hop", "first_hop"} {
+		if !info.UsesBuiltin[b] {
+			t.Errorf("builtin %s not recorded", b)
+		}
+	}
+	wantErr(t, wrap("", "", "", "if (undeclared_thing) { }"), "undeclared variable")
+}
+
+func TestReportArity(t *testing.T) {
+	info := mustCheck(t, wrap("tele bit<8> a; tele bit<8> b;",
+		"", "report(a);", "report(a, b); report;"))
+	if info.MaxReportArity != 2 {
+		t.Fatalf("MaxReportArity = %d, want 2", info.MaxReportArity)
+	}
+}
+
+func TestExprTypesRecorded(t *testing.T) {
+	info := mustCheck(t, wrap("tele bit<8> x;", "x = x + 1;", "", ""))
+	found := false
+	for e, typ := range info.ExprTypes {
+		if _, ok := e.(*ast.Binary); ok {
+			if !typ.Equal(ast.BitType{Width: 8}) {
+				t.Errorf("x + 1 recorded as %s, want bit<8>", typ)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("binary expression type not recorded")
+	}
+}
+
+func TestInitializerTyping(t *testing.T) {
+	wantErr(t, wrap("tele bit<8> x = true;", "", "", ""), "initializer")
+	mustCheck(t, wrap("tele bit<8> x = 3; sensor bit<32> s = 0; tele bool b = false;", "", "", ""))
+}

@@ -1,0 +1,187 @@
+package ltlf
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Translator turns an LTLf formula into an Indus program (Theorem 3.1).
+//
+// Layout of the generated program, following §3.3:
+//
+//   - tele bit<8>[N] trace_idx — the increasing index sequence T;
+//   - tele bool[N] atom_<a> — one array per atomic predicate, populated
+//     each hop from a header variable of the same name;
+//   - the checker evaluates the Figure 5 first-order encoding, with the
+//     until operator realized as a single ordered scan (the ∀-prefix is
+//     maintained incrementally, which is equivalent over the ordered
+//     index array and avoids a quadratic unrolling);
+//   - the packet is rejected iff the formula does not hold at index 0.
+type Translator struct {
+	// MaxTrace bounds the trace length (the static array capacity N).
+	MaxTrace int
+
+	b       strings.Builder
+	tmp     int
+	loopVar int
+	decls   []string
+}
+
+// ToIndus translates the formula. Atom names become header bool
+// variables the substrate must bind at each hop.
+func ToIndus(f Formula, maxTrace int) string {
+	t := &Translator{MaxTrace: maxTrace}
+	return t.translate(f)
+}
+
+func (t *Translator) newTemp() string {
+	t.tmp++
+	name := fmt.Sprintf("r%d", t.tmp)
+	t.decls = append(t.decls, "tele bool "+name+" = false;")
+	return name
+}
+
+func (t *Translator) newLoopVar() string {
+	t.loopVar++
+	return fmt.Sprintf("y%d", t.loopVar)
+}
+
+func (t *Translator) pf(indent int, format string, args ...any) {
+	t.b.WriteString(strings.Repeat("  ", indent))
+	fmt.Fprintf(&t.b, format, args...)
+	t.b.WriteByte('\n')
+}
+
+func (t *Translator) translate(f Formula) string {
+	atoms := Atoms(f)
+
+	var src strings.Builder
+	fmt.Fprintf(&src, "// LTLf formula: %s\n", f)
+	fmt.Fprintf(&src, "tele bit<8>[%d] trace_idx;\n", t.MaxTrace)
+	for _, a := range atoms {
+		fmt.Fprintf(&src, "tele bool[%d] atom_%s;\n", t.MaxTrace, a)
+		fmt.Fprintf(&src, "header bool %s;\n", a)
+	}
+
+	// Emit the checker body first so the temp declarations are known.
+	result := t.emit(f, "0", 1)
+	body := t.b.String()
+
+	for _, d := range t.decls {
+		src.WriteString(d)
+		src.WriteByte('\n')
+	}
+
+	// init block: nothing to do.
+	src.WriteString("{ }\n")
+	// telemetry block: record the index and the atom valuations.
+	src.WriteString("{\n")
+	src.WriteString("  trace_idx.push(hop_count - 1);\n")
+	for _, a := range atoms {
+		fmt.Fprintf(&src, "  atom_%s.push(%s);\n", a, a)
+	}
+	src.WriteString("}\n")
+	// checker block: evaluate at index 0, reject on violation.
+	src.WriteString("{\n")
+	src.WriteString(body)
+	fmt.Fprintf(&src, "  if (!%s) { reject; report; }\n", result)
+	src.WriteString("}\n")
+	return src.String()
+}
+
+// emit generates statements computing the truth of f at index expression
+// idx into a fresh temp, returning the temp's name. Statements are
+// emitted at the given indent level.
+func (t *Translator) emit(f Formula, idx string, ind int) string {
+	switch f := f.(type) {
+	case Atom:
+		r := t.newTemp()
+		t.pf(ind, "%s = atom_%s[%s];", r, f.Name, idx)
+		return r
+
+	case Not:
+		x := t.emit(f.F, idx, ind)
+		r := t.newTemp()
+		t.pf(ind, "%s = !%s;", r, x)
+		return r
+
+	case And:
+		l := t.emit(f.L, idx, ind)
+		rr := t.emit(f.R, idx, ind)
+		r := t.newTemp()
+		t.pf(ind, "%s = %s && %s;", r, l, rr)
+		return r
+
+	case Or:
+		l := t.emit(f.L, idx, ind)
+		rr := t.emit(f.R, idx, ind)
+		r := t.newTemp()
+		t.pf(ind, "%s = %s || %s;", r, l, rr)
+		return r
+
+	case Next:
+		// ∃y. succ(idx, y) ∧ [φ]y — scan for the successor index.
+		r := t.newTemp()
+		y := t.newLoopVar()
+		t.pf(ind, "%s = false;", r)
+		t.pf(ind, "for (%s in trace_idx) {", y)
+		t.pf(ind+1, "if (%s == %s) {", y, t.plusOne(idx))
+		sub := t.emit(f.F, y, ind+2)
+		t.pf(ind+2, "%s = %s;", r, sub)
+		t.pf(ind+1, "}")
+		t.pf(ind, "}")
+		return r
+
+	case Until:
+		// Ordered scan: prefix tracks ∀z ∈ [idx, y). [φ]z.
+		r := t.newTemp()
+		prefix := t.newTemp()
+		y := t.newLoopVar()
+		t.pf(ind, "%s = false;", r)
+		t.pf(ind, "%s = true;", prefix)
+		t.pf(ind, "for (%s in trace_idx) {", y)
+		t.pf(ind+1, "if (%s >= %s) {", y, idx)
+		psi := t.emit(f.R, y, ind+2)
+		t.pf(ind+2, "if (%s && %s) { %s = true; }", prefix, psi, r)
+		phi := t.emit(f.L, y, ind+2)
+		t.pf(ind+2, "if (!%s) { %s = false; }", phi, prefix)
+		t.pf(ind+1, "}")
+		t.pf(ind, "}")
+		return r
+
+	case Eventually:
+		r := t.newTemp()
+		y := t.newLoopVar()
+		t.pf(ind, "%s = false;", r)
+		t.pf(ind, "for (%s in trace_idx) {", y)
+		t.pf(ind+1, "if (%s >= %s) {", y, idx)
+		sub := t.emit(f.F, y, ind+2)
+		t.pf(ind+2, "if (%s) { %s = true; }", sub, r)
+		t.pf(ind+1, "}")
+		t.pf(ind, "}")
+		return r
+
+	case Globally:
+		r := t.newTemp()
+		y := t.newLoopVar()
+		t.pf(ind, "%s = true;", r)
+		t.pf(ind, "for (%s in trace_idx) {", y)
+		t.pf(ind+1, "if (%s >= %s) {", y, idx)
+		sub := t.emit(f.F, y, ind+2)
+		t.pf(ind+2, "if (!%s) { %s = false; }", sub, r)
+		t.pf(ind+1, "}")
+		t.pf(ind, "}")
+		return r
+	}
+	panic(fmt.Sprintf("ltlf: unknown formula %T", f))
+}
+
+// plusOne renders idx+1, folding when idx is a literal so the generated
+// comparison keeps consistent operand widths.
+func (t *Translator) plusOne(idx string) string {
+	if n, err := strconv.Atoi(idx); err == nil {
+		return strconv.Itoa(n + 1)
+	}
+	return idx + " + 1"
+}

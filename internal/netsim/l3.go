@@ -1,0 +1,82 @@
+package netsim
+
+import (
+	"hash/fnv"
+
+	"repro/internal/dataplane"
+)
+
+// Route is one L3 forwarding entry: longest-prefix match on the
+// destination, ECMP across Ports.
+type Route struct {
+	Prefix dataplane.IP4
+	Bits   int
+	Ports  []int
+}
+
+// L3Program is a plain IPv4 router with ECMP, the fabric forwarding the
+// Aether deployment uses between leaves and spines ("routing IPv4
+// packets over the spine switches using ECMP", §5.2).
+type L3Program struct {
+	Routes []Route
+}
+
+// AddRoute appends a route.
+func (p *L3Program) AddRoute(prefix dataplane.IP4, bits int, ports ...int) {
+	p.Routes = append(p.Routes, Route{Prefix: prefix, Bits: bits, Ports: ports})
+}
+
+// Process implements ForwardingProgram.
+func (p *L3Program) Process(sw *Switch, pkt *dataplane.Decoded, meta *PacketMeta) []Egress {
+	if !pkt.HasIPv4 {
+		return nil
+	}
+	if pkt.IPv4.TTL <= 1 {
+		return nil
+	}
+	pkt.IPv4.TTL--
+
+	best := -1
+	bestBits := -1
+	for i, r := range p.Routes {
+		if r.Bits > bestBits && pkt.IPv4.Dst.InPrefix(r.Prefix, r.Bits) {
+			best, bestBits = i, r.Bits
+		}
+	}
+	if best < 0 {
+		return nil
+	}
+	ports := p.Routes[best].Ports
+	if len(ports) == 1 {
+		return []Egress{{Port: ports[0]}}
+	}
+	// ECMP: hash the flow 5-tuple so a flow sticks to one path.
+	return []Egress{{Port: ports[FlowHash(pkt)%uint32(len(ports))]}}
+}
+
+// FlowHash computes a deterministic 5-tuple hash (FNV-1a) used for ECMP
+// path selection and flowlet experiments.
+func FlowHash(pkt *dataplane.Decoded) uint32 {
+	h := fnv.New32a()
+	var b [13]byte
+	be32 := func(off int, v uint32) {
+		b[off] = byte(v >> 24)
+		b[off+1] = byte(v >> 16)
+		b[off+2] = byte(v >> 8)
+		b[off+3] = byte(v)
+	}
+	be32(0, uint32(pkt.IPv4.Src))
+	be32(4, uint32(pkt.IPv4.Dst))
+	b[8] = pkt.IPv4.Protocol
+	var sp, dp uint16
+	switch {
+	case pkt.HasUDP:
+		sp, dp = pkt.UDP.SrcPort, pkt.UDP.DstPort
+	case pkt.HasTCP:
+		sp, dp = pkt.TCP.SrcPort, pkt.TCP.DstPort
+	}
+	b[9], b[10] = byte(sp>>8), byte(sp)
+	b[11], b[12] = byte(dp>>8), byte(dp)
+	h.Write(b[:])
+	return h.Sum32()
+}

@@ -1,0 +1,137 @@
+package netsim
+
+// Node is anything that can terminate a link: a host NIC or a switch
+// port. Receive is called by the simulator when the last bit of a frame
+// arrives.
+type Node interface {
+	// Receive delivers a frame on the node's port.
+	Receive(frame []byte, port int)
+	// NodeName identifies the node in traces and errors.
+	NodeName() string
+}
+
+// endpoint is one side of a link.
+type endpoint struct {
+	node Node
+	port int
+}
+
+// direction carries the transmit state for one direction of a link.
+type direction struct {
+	busyUntil Time
+}
+
+// Link is a full-duplex point-to-point link with serialization delay
+// (bandwidth), propagation delay, and a drop-tail queue bounded in
+// bytes.
+type Link struct {
+	sim *Simulator
+
+	a, b endpoint
+	// BitsPerSec is the line rate; zero means infinite.
+	BitsPerSec int64
+	// PropDelay is the one-way propagation delay.
+	PropDelay Time
+	// QueueBytes bounds the transmit backlog per direction; zero means
+	// unbounded.
+	QueueBytes int
+
+	ab, ba direction
+
+	// Drops counts frames lost to queue overflow, per direction a->b
+	// and b->a.
+	DropsAB, DropsBA uint64
+	// Frames and Bytes count delivered traffic in both directions.
+	Frames uint64
+	Bytes  uint64
+
+	// taps are capture hooks invoked on every delivered frame.
+	taps []func(at Time, node string, port int, frame []byte)
+}
+
+// Connect wires two nodes with a new link and returns it. The same port
+// number may be reused on different nodes; each (node, port) pair must
+// be wired at most once (the caller owns that invariant).
+func Connect(sim *Simulator, a Node, aPort int, b Node, bPort int, bitsPerSec int64, prop Time) *Link {
+	return &Link{
+		sim:        sim,
+		a:          endpoint{a, aPort},
+		b:          endpoint{b, bPort},
+		BitsPerSec: bitsPerSec,
+		PropDelay:  prop,
+	}
+}
+
+// Send transmits a frame from the given node (which must be one of the
+// link's endpoints) toward the other side. It models serialization at
+// the line rate, a bounded transmit queue, and propagation delay.
+func (l *Link) Send(from Node, frame []byte) {
+	var dir *direction
+	var drops *uint64
+	var to endpoint
+	switch from {
+	case l.a.node:
+		dir, drops, to = &l.ab, &l.DropsAB, l.b
+	case l.b.node:
+		dir, drops, to = &l.ba, &l.DropsBA, l.a
+	default:
+		panic("netsim: Send from a node not on this link")
+	}
+
+	now := l.sim.Now()
+	start := dir.busyUntil
+	if start < now {
+		start = now
+	}
+
+	// Drop-tail: if the backlog (in bytes at line rate) exceeds the
+	// queue bound, the frame is lost.
+	if l.QueueBytes > 0 && l.BitsPerSec > 0 {
+		backlogBytes := int64(start-now) * l.BitsPerSec / (8 * int64(Second))
+		if backlogBytes > int64(l.QueueBytes) {
+			*drops++
+			return
+		}
+	}
+
+	var txTime Time
+	if l.BitsPerSec > 0 {
+		txTime = Time(int64(len(frame)) * 8 * int64(Second) / l.BitsPerSec)
+	}
+	dir.busyUntil = start + txTime
+
+	arrive := dir.busyUntil + l.PropDelay
+	buf := make([]byte, len(frame))
+	copy(buf, frame)
+	l.sim.At(arrive, func() {
+		l.Frames++
+		l.Bytes += uint64(len(buf))
+		for _, tap := range l.taps {
+			tap(l.sim.Now(), to.node.NodeName(), to.port, buf)
+		}
+		to.node.Receive(buf, to.port)
+	})
+}
+
+// Peer returns the node and port on the opposite side from `from`.
+func (l *Link) Peer(from Node) (Node, int) {
+	if from == l.a.node {
+		return l.b.node, l.b.port
+	}
+	return l.a.node, l.a.port
+}
+
+// QueueDelay returns the current transmit backlog (as time) in the
+// direction away from `from`.
+func (l *Link) QueueDelay(from Node) Time {
+	var dir *direction
+	if from == l.a.node {
+		dir = &l.ab
+	} else {
+		dir = &l.ba
+	}
+	if dir.busyUntil <= l.sim.Now() {
+		return 0
+	}
+	return dir.busyUntil - l.sim.Now()
+}

@@ -1,0 +1,96 @@
+package netsim
+
+import (
+	"repro/internal/compiler"
+	"repro/internal/dataplane"
+	"repro/internal/pipeline"
+)
+
+// HydraNIC implements the extension §4.1 leaves to future work: "In
+// principle, we could delegate these 'last-hop' and 'first-hop' tasks
+// to the NIC at end hosts." The sending host's NIC injects the
+// telemetry header and runs the init block; the receiving host's NIC
+// runs the checker block, enforces reject, and strips the header before
+// the packet reaches the host stack. Fabric switches then only run the
+// telemetry block (set Switch.NICOffload), which §4.3 notes makes Hydra
+// deployable on cores that "are not fully programmable but can run
+// telemetry".
+type HydraNIC struct {
+	Runtime *compiler.Runtime
+	State   *pipeline.State
+	// OnReport receives digests raised at this NIC.
+	OnReport func(h *Host, rep pipeline.Report)
+
+	Injected uint64
+	Checked  uint64
+	Rejected uint64
+}
+
+// AttachNIC wires a Hydra NIC to the host, with fresh per-NIC state.
+func (h *Host) AttachNIC(rt *compiler.Runtime, onReport func(*Host, pipeline.Report)) *HydraNIC {
+	h.nic = &HydraNIC{Runtime: rt, State: rt.Prog.NewState(), OnReport: onReport}
+	return h.nic
+}
+
+// NIC returns the attached Hydra NIC, or nil.
+func (h *Host) NIC() *HydraNIC { return h.nic }
+
+// nicEgress runs first-hop injection + init on an outgoing packet.
+func (h *Host) nicEgress(pkt *dataplane.Decoded) {
+	nic := h.nic
+	if nic == nil || pkt.HasHydra {
+		return
+	}
+	pkt.InsertHydra(nil)
+	env := compiler.HopEnv{
+		State:     nic.State,
+		SwitchID:  uint32(h.MAC.Uint64()), // NICs identify as their MAC
+		Headers:   BindPacketHeaders(pkt, nil),
+		PacketLen: uint32(pkt.WireLen()),
+	}
+	hr, err := nic.Runtime.RunBlocks(nil, env, compiler.BlockSet{Init: true}, true, false)
+	if err != nil {
+		h.ParseErrs++
+		return
+	}
+	nic.Injected++
+	pkt.Hydra.Blob = hr.Blob
+	for _, rep := range hr.Reports {
+		if nic.OnReport != nil {
+			nic.OnReport(h, rep)
+		}
+	}
+}
+
+// nicIngress runs the last-hop checker + strip on an incoming packet;
+// it reports whether the packet survives.
+func (h *Host) nicIngress(pkt *dataplane.Decoded) bool {
+	nic := h.nic
+	if nic == nil || !pkt.HasHydra {
+		return true
+	}
+	env := compiler.HopEnv{
+		State:     nic.State,
+		SwitchID:  uint32(h.MAC.Uint64()),
+		Headers:   BindPacketHeaders(pkt, nil),
+		PacketLen: uint32(pkt.WireLen()),
+	}
+	hr, err := nic.Runtime.RunBlocks(pkt.Hydra.Blob, env, compiler.BlockSet{Checker: true}, false, true)
+	if err != nil {
+		h.ParseErrs++
+		pkt.StripHydra()
+		return true
+	}
+	nic.Checked++
+	for _, rep := range hr.Reports {
+		if nic.OnReport != nil {
+			nic.OnReport(h, rep)
+		}
+	}
+	if hr.Reject {
+		nic.Rejected++
+		return false
+	}
+	pkt.StripHydra()
+	return true
+}

@@ -1,0 +1,123 @@
+// Package netsim is a deterministic discrete-event network simulator:
+// hosts, programmable switches, and links with bandwidth, propagation
+// delay, and drop-tail queues. It is the testbed substrate for the
+// paper's case studies (§5) and performance experiments (§6.2): Mininet
+// and the Aether hardware pods are replaced by this simulator, with the
+// Hydra checker attached to switches exactly where the compiler's
+// linking rules place it (init at first-hop ingress, telemetry at every
+// egress, checker at last-hop egress).
+package netsim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Time is simulation time in nanoseconds since simulation start.
+type Time int64
+
+// Common durations.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000
+	Millisecond Time = 1000 * 1000
+	Second      Time = 1000 * 1000 * 1000
+)
+
+// Duration converts to a time.Duration for printing.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+func (t Time) String() string { return t.Duration().String() }
+
+// Seconds returns the time in floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+type event struct {
+	at  Time
+	seq uint64 // FIFO tie-break for same-timestamp events
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// Simulator owns the event loop. It is single-threaded: all node
+// callbacks run inside Run, so nodes need no locking of their own.
+type Simulator struct {
+	now    Time
+	events eventHeap
+	seq    uint64
+
+	// Stats.
+	EventsRun uint64
+}
+
+// NewSimulator returns an empty simulator at time zero.
+func NewSimulator() *Simulator { return &Simulator{} }
+
+// Now returns the current simulation time.
+func (s *Simulator) Now() Time { return s.now }
+
+// At schedules fn to run at absolute time t (clamped to now).
+func (s *Simulator) At(t Time, fn func()) {
+	if t < s.now {
+		t = s.now
+	}
+	s.seq++
+	heap.Push(&s.events, event{at: t, seq: s.seq, fn: fn})
+}
+
+// After schedules fn to run delay from now.
+func (s *Simulator) After(delay Time, fn func()) { s.At(s.now+delay, fn) }
+
+// Run processes events until the queue empties or the clock passes
+// until; it returns the number of events processed.
+func (s *Simulator) Run(until Time) uint64 {
+	var n uint64
+	for len(s.events) > 0 {
+		if s.events[0].at > until {
+			break
+		}
+		e := heap.Pop(&s.events).(event)
+		s.now = e.at
+		e.fn()
+		n++
+		s.EventsRun++
+	}
+	if s.now < until {
+		s.now = until
+	}
+	return n
+}
+
+// RunAll drains every pending event (with a safety cap to catch
+// runaway packet loops).
+func (s *Simulator) RunAll() uint64 {
+	const cap = 50_000_000
+	var n uint64
+	for len(s.events) > 0 {
+		e := heap.Pop(&s.events).(event)
+		s.now = e.at
+		e.fn()
+		n++
+		s.EventsRun++
+		if n > cap {
+			panic(fmt.Sprintf("netsim: event cap exceeded at t=%s — forwarding loop?", s.now))
+		}
+	}
+	return n
+}
+
+// Pending reports the number of queued events.
+func (s *Simulator) Pending() int { return len(s.events) }

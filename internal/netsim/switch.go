@@ -1,0 +1,387 @@
+package netsim
+
+import (
+	"fmt"
+
+	"repro/internal/compiler"
+	"repro/internal/dataplane"
+	"repro/internal/pipeline"
+)
+
+// Egress is one forwarding decision: send the (possibly rewritten)
+// packet out of Port.
+type Egress struct {
+	Port int
+}
+
+// PacketMeta is the per-packet metadata a forwarding program can read
+// and set; the Hydra attachment also exposes parts of it as header
+// variables (e.g. fabric_metadata.skip_forwarding for the to_be_dropped
+// variable of Figure 9).
+type PacketMeta struct {
+	InPort int
+	// Drop set by the forwarding program: the packet is dropped after
+	// the egress pipeline (the checker still observes it, as the UPF
+	// checker of Figure 9 requires).
+	Drop bool
+	// Extra carries program-specific header bindings for the checker,
+	// keyed by annotation path.
+	Extra map[string]pipeline.Value
+}
+
+// ForwardingProgram is the switch's forwarding behavior — the analogue
+// of the P4 program Hydra links with, and deliberately independent of
+// the checker (§2: "This independence between forwarding and checking
+// is key").
+type ForwardingProgram interface {
+	// Process inspects (and may rewrite) the packet and returns egress
+	// decisions; returning nil drops the packet.
+	Process(sw *Switch, pkt *dataplane.Decoded, meta *PacketMeta) []Egress
+}
+
+// HydraAttachment links a compiled checker to a switch.
+type HydraAttachment struct {
+	Runtime *compiler.Runtime
+	// State is this switch's tables and registers for the checker
+	// program; the control plane installs entries into it.
+	State *pipeline.State
+	// OnReport receives report digests raised at this switch.
+	OnReport func(sw *Switch, rep pipeline.Report)
+	// Rejected counts packets dropped by the checker at this switch.
+	Rejected uint64
+	// Checked counts packets that ran the checker block here.
+	Checked uint64
+}
+
+// Switch is a programmable switch: a forwarding program, an optional
+// Hydra checker, ports wired to links, and a fixed pipeline latency.
+type Switch struct {
+	ID   uint32
+	Name string
+
+	sim   *Simulator
+	links map[int]*Link
+	// EdgePorts marks host-facing ports: Hydra injects telemetry when a
+	// packet enters on an edge port and strips + checks when it leaves
+	// through one (§4.1).
+	EdgePorts map[int]bool
+
+	Forwarding ForwardingProgram
+	// Checkers are the attached Hydra programs; several can be linked to
+	// one switch (the §6.2 "all checkers" configuration), each with its
+	// own fixed-size slice of the telemetry blob.
+	Checkers []*HydraAttachment
+
+	// NICOffload marks a fabric whose first/last-hop duties live on the
+	// end hosts' NICs (the §4.1 future-work extension): the switch never
+	// injects, strips, or checks — it only runs telemetry blocks.
+	NICOffload bool
+
+	// PipelineLatency models the fixed ingress+egress pipeline delay of
+	// a hardware switch. It is constant by construction — a Tofino
+	// pipeline takes the same time regardless of program — which is why
+	// the paper finds no latency difference with checkers on (§6.2).
+	PipelineLatency Time
+
+	// Counters.
+	RxFrames, TxFrames, Dropped uint64
+	// ParseErrors counts undecodable frames.
+	ParseErrors uint64
+}
+
+// NewSwitch creates a switch with the given identifier.
+func NewSwitch(sim *Simulator, id uint32, name string) *Switch {
+	return &Switch{
+		ID:              id,
+		Name:            name,
+		sim:             sim,
+		links:           map[int]*Link{},
+		EdgePorts:       map[int]bool{},
+		PipelineLatency: 500 * Nanosecond,
+	}
+}
+
+// NodeName implements Node.
+func (sw *Switch) NodeName() string { return sw.Name }
+
+// AttachLink wires a link to a port.
+func (sw *Switch) AttachLink(port int, l *Link) {
+	if _, dup := sw.links[port]; dup {
+		panic(fmt.Sprintf("netsim: %s port %d wired twice", sw.Name, port))
+	}
+	sw.links[port] = l
+}
+
+// Link returns the link on a port, or nil.
+func (sw *Switch) Link(port int) *Link { return sw.links[port] }
+
+// Sim returns the simulator the switch runs in.
+func (sw *Switch) Sim() *Simulator { return sw.sim }
+
+// Receive implements Node: a frame arrived on `port`.
+func (sw *Switch) Receive(frame []byte, port int) {
+	sw.RxFrames++
+	sw.sim.After(sw.PipelineLatency, func() { sw.process(frame, port) })
+}
+
+func (sw *Switch) process(frame []byte, inPort int) {
+	pkt, err := dataplane.Parse(frame)
+	if err != nil {
+		sw.ParseErrors++
+		return
+	}
+	meta := &PacketMeta{InPort: inPort}
+
+	// --- Hydra first-hop injection + init blocks. §4.2: "the init block
+	// must be placed at the beginning of the ingress pipeline on
+	// first-hop switches" — it therefore observes the packet before the
+	// forwarding tables rewrite it (e.g. before the UPF decapsulates a
+	// GTP tunnel, which the Figure 9 checker's init block relies on).
+	firstHop := false
+	if len(sw.Checkers) > 0 && !sw.NICOffload && !pkt.HasHydra && sw.EdgePorts[inPort] {
+		pkt.InsertHydra(nil)
+		firstHop = true
+		headers := sw.bindHeaders(pkt, meta, inPort, -1)
+		pktLen := uint32(pkt.WireLen())
+		parts := make([][]byte, len(sw.Checkers))
+		for i, at := range sw.Checkers {
+			env := compiler.HopEnv{State: at.State, SwitchID: sw.ID, Headers: headers, PacketLen: pktLen}
+			hr, err := at.Runtime.RunBlocks(nil, env, compiler.BlockSet{Init: true}, true, false)
+			if err != nil {
+				sw.ParseErrors++
+				hr.Blob = make([]byte, blobSize(at))
+			}
+			parts[i] = hr.Blob
+			for _, rep := range hr.Reports {
+				if at.OnReport != nil {
+					at.OnReport(sw, rep)
+				}
+			}
+		}
+		pkt.Hydra.Blob = joinBlobs(parts)
+	}
+
+	// --- Forwarding (independent of checking).
+	var egresses []Egress
+	if sw.Forwarding != nil {
+		egresses = sw.Forwarding.Process(sw, pkt, meta)
+	}
+	if len(egresses) == 0 && !meta.Drop {
+		sw.Dropped++
+		return
+	}
+
+	// --- Egress pipeline per output port: telemetry at every hop,
+	// checker + strip at the last hop (edge egress port).
+	for _, eg := range egresses {
+		out := pkt
+		if len(egresses) > 1 {
+			// Multicast: each copy carries independent telemetry.
+			clone, err := dataplane.Parse(pkt.Serialize())
+			if err != nil {
+				sw.ParseErrors++
+				continue
+			}
+			out = clone
+		}
+		sw.egress(out, meta, inPort, eg.Port, firstHop)
+	}
+	if meta.Drop && len(sw.Checkers) > 0 && len(egresses) == 0 {
+		// The forwarding program dropped the packet outright with no
+		// egress decision: the checker still observes it at this hop so
+		// properties like Figure 9's can fire (modelled as an egress to
+		// a drop port).
+		sw.egress(pkt, meta, inPort, -1, firstHop)
+	}
+}
+
+func (sw *Switch) egress(pkt *dataplane.Decoded, meta *PacketMeta, inPort, outPort int, firstHop bool) {
+	// A packet leaving through a host-facing port — or being dropped by
+	// the forwarding program — is at its last hop: the checker must run
+	// now or never (the Figure 9 property explicitly inspects packets
+	// the data plane decided to drop).
+	lastHop := (outPort >= 0 && sw.EdgePorts[outPort]) || meta.Drop
+	if sw.NICOffload {
+		// The receiving NIC is the last hop; the switch only remains
+		// responsible for packets it drops itself (they never reach a
+		// NIC, so the violation must surface here or never).
+		lastHop = meta.Drop
+	}
+
+	if len(sw.Checkers) > 0 && pkt.HasHydra {
+		headers := sw.bindHeaders(pkt, meta, inPort, outPort)
+		pktLen := uint32(pkt.WireLen())
+		parts := sw.splitBlob(pkt.Hydra.Blob)
+		rejected := false
+		for i, at := range sw.Checkers {
+			env := compiler.HopEnv{State: at.State, SwitchID: sw.ID, Headers: headers, PacketLen: pktLen}
+			check := lastHop || at.Runtime.CheckEveryHop
+			hr, err := at.Runtime.RunBlocks(parts[i], env, compiler.BlockSet{
+				Telemetry: true,
+				Checker:   check,
+			}, firstHop, lastHop)
+			if err != nil {
+				// A checker execution error must never take down
+				// forwarding; count it and forward unchecked.
+				sw.ParseErrors++
+				if parts[i] == nil {
+					parts[i] = make([]byte, blobSize(at))
+				}
+				continue
+			}
+			parts[i] = hr.Blob
+			for _, rep := range hr.Reports {
+				if at.OnReport != nil {
+					at.OnReport(sw, rep)
+				}
+			}
+			if check {
+				at.Checked++
+			}
+			if hr.Reject {
+				at.Rejected++
+				rejected = true
+			}
+		}
+		pkt.Hydra.Blob = joinBlobs(parts)
+		if rejected {
+			return // a checker halts the packet (reject, §2)
+		}
+		if lastHop {
+			pkt.StripHydra()
+		}
+	}
+
+	if meta.Drop || outPort < 0 {
+		sw.Dropped++
+		return
+	}
+	link := sw.links[outPort]
+	if link == nil {
+		sw.Dropped++
+		return
+	}
+	sw.TxFrames++
+	link.Send(sw, pkt.Serialize())
+}
+
+// bindHeaders builds the checker's header-variable environment from the
+// packet and metadata, using the standard annotation paths plus any
+// program-specific extras.
+func (sw *Switch) bindHeaders(pkt *dataplane.Decoded, meta *PacketMeta, inPort, outPort int) map[string]pipeline.Value {
+	h := BindPacketHeaders(pkt, map[string]pipeline.Value{
+		"standard_metadata.ingress_port":  pipeline.B(8, uint64(inPort)),
+		"standard_metadata.egress_port":   pipeline.B(8, uint64(maxInt(outPort, 0))),
+		"fabric_metadata.skip_forwarding": pipeline.BoolV(meta.Drop),
+	})
+	for k, v := range meta.Extra {
+		h[k] = v
+	}
+	return h
+}
+
+// BindPacketHeaders builds the packet-derived header bindings shared by
+// switches and Hydra NICs; extra entries (may be nil) are merged in.
+func BindPacketHeaders(pkt *dataplane.Decoded, extra map[string]pipeline.Value) map[string]pipeline.Value {
+	h := map[string]pipeline.Value{}
+	for k, v := range extra {
+		h[k] = v
+	}
+	if pkt.HasVLAN {
+		h["hdr.vlan_tag.vlan_id"] = pipeline.B(16, uint64(pkt.VLAN.VID))
+	}
+	if pkt.HasIPv4 {
+		h["hdr.ipv4.$valid$"] = pipeline.BoolV(true)
+		h["hdr.ipv4.src_addr"] = pipeline.B(32, uint64(pkt.IPv4.Src))
+		h["hdr.ipv4.dst_addr"] = pipeline.B(32, uint64(pkt.IPv4.Dst))
+		h["hdr.ipv4.protocol"] = pipeline.B(8, uint64(pkt.IPv4.Protocol))
+	} else {
+		h["hdr.ipv4.$valid$"] = pipeline.BoolV(false)
+	}
+	h["hdr.tcp.$valid$"] = pipeline.BoolV(pkt.HasTCP)
+	if pkt.HasTCP {
+		h["hdr.tcp.sport"] = pipeline.B(16, uint64(pkt.TCP.SrcPort))
+		h["hdr.tcp.dport"] = pipeline.B(16, uint64(pkt.TCP.DstPort))
+	}
+	h["hdr.udp.$valid$"] = pipeline.BoolV(pkt.HasUDP && !pkt.HasGTPU)
+	if pkt.HasUDP {
+		h["hdr.udp.sport"] = pipeline.B(16, uint64(pkt.UDP.SrcPort))
+		h["hdr.udp.dport"] = pipeline.B(16, uint64(pkt.UDP.DstPort))
+	}
+	h["hdr.inner_ipv4.$valid$"] = pipeline.BoolV(pkt.HasInnerIPv4)
+	if pkt.HasInnerIPv4 {
+		h["hdr.inner_ipv4.src_addr"] = pipeline.B(32, uint64(pkt.InnerIPv4.Src))
+		h["hdr.inner_ipv4.dst_addr"] = pipeline.B(32, uint64(pkt.InnerIPv4.Dst))
+		h["hdr.inner_ipv4.protocol"] = pipeline.B(8, uint64(pkt.InnerIPv4.Protocol))
+	}
+	h["hdr.inner_tcp.$valid$"] = pipeline.BoolV(pkt.HasInnerTCP)
+	if pkt.HasInnerTCP {
+		h["hdr.inner_tcp.dport"] = pipeline.B(16, uint64(pkt.InnerTCP.DstPort))
+	}
+	h["hdr.inner_udp.$valid$"] = pipeline.BoolV(pkt.HasInnerUDP)
+	if pkt.HasInnerUDP {
+		h["hdr.inner_udp.dport"] = pipeline.B(16, uint64(pkt.InnerUDP.DstPort))
+	}
+	h["hdr.srcRoutes[0].$valid$"] = pipeline.BoolV(pkt.HasSourceRoute && len(pkt.SourceRoute) > 0)
+	if pkt.HasSourceRoute && len(pkt.SourceRoute) > 0 {
+		h["hdr.srcRoutes[0].switch_id"] = pipeline.B(32, uint64(pkt.SourceRoute[0].SwitchID))
+	}
+	return h
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// AttachChecker wires an already-compiled runtime plus fresh per-switch
+// state to the switch and returns the attachment for control-plane use.
+// Multiple checkers may be attached; their telemetry shares the Hydra
+// header, each in a statically-sized slot.
+func (sw *Switch) AttachChecker(rt *compiler.Runtime, onReport func(*Switch, pipeline.Report)) *HydraAttachment {
+	at := &HydraAttachment{Runtime: rt, State: rt.Prog.NewState(), OnReport: onReport}
+	sw.Checkers = append(sw.Checkers, at)
+	return at
+}
+
+// Checker returns the first attached checker, or nil.
+func (sw *Switch) Checker() *HydraAttachment {
+	if len(sw.Checkers) == 0 {
+		return nil
+	}
+	return sw.Checkers[0]
+}
+
+// blobSize returns the fixed wire size of one checker's telemetry slot.
+func blobSize(at *HydraAttachment) int {
+	return (at.Runtime.Prog.TeleWireBits() + 7) / 8
+}
+
+// splitBlob slices the shared telemetry blob into per-checker slots; a
+// fresh (empty) blob yields nil slices, which DecodeTele zero-fills.
+func (sw *Switch) splitBlob(blob []byte) [][]byte {
+	out := make([][]byte, len(sw.Checkers))
+	if len(blob) == 0 {
+		return out
+	}
+	off := 0
+	for i, at := range sw.Checkers {
+		n := blobSize(at)
+		if off+n > len(blob) {
+			return make([][]byte, len(sw.Checkers)) // malformed: reset
+		}
+		out[i] = blob[off : off+n]
+		off += n
+	}
+	return out
+}
+
+func joinBlobs(parts [][]byte) []byte {
+	var out []byte
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}

@@ -1,0 +1,156 @@
+package netsim
+
+import (
+	"fmt"
+
+	"repro/internal/dataplane"
+)
+
+// LeafSpine is a built leaf-spine fabric: the topology of Figure 8 (2
+// leaves × 2 spines, used for the source-routing case study) and of the
+// Aether edge deployment's SDN fabric (Figure 10).
+//
+// Port conventions: on a leaf, ports 1..S connect to spines 1..S and
+// ports S+1..S+H connect hosts; on a spine, port i connects leaf i.
+type LeafSpine struct {
+	Sim    *Simulator
+	Leaves []*Switch
+	Spines []*Switch
+	// Hosts[l][h] is host h on leaf l.
+	Hosts [][]*Host
+	// Links for inspection: Up[l][s] is leaf l to spine s; Down[l][h]
+	// is leaf l to its h'th host.
+	Up   [][]*Link
+	Down [][]*Link
+
+	nSpine int
+}
+
+// LeafSpineConfig sizes the fabric.
+type LeafSpineConfig struct {
+	Leaves       int
+	Spines       int
+	HostsPerLeaf int
+	// LinkBps is the line rate of every link (default 10 Gb/s).
+	LinkBps int64
+	// PropDelay is per-link propagation (default 1 µs).
+	PropDelay Time
+	// QueueBytes bounds each link queue (default 512 KiB).
+	QueueBytes int
+	// WithRouting installs L3 ECMP forwarding on all switches; leave
+	// false when a custom forwarding program will be attached (e.g.
+	// source routing).
+	WithRouting bool
+}
+
+// HostIP returns the address of host h (0-based) on leaf l (0-based):
+// 10.0.<l+1>.<h+1>, matching Figure 8's addressing.
+func HostIP(l, h int) dataplane.IP4 {
+	return dataplane.MustIP4(fmt.Sprintf("10.0.%d.%d", l+1, h+1))
+}
+
+// LeafPrefix returns leaf l's /24.
+func LeafPrefix(l int) dataplane.IP4 {
+	return dataplane.MustIP4(fmt.Sprintf("10.0.%d.0", l+1))
+}
+
+// BuildLeafSpine constructs the fabric.
+func BuildLeafSpine(sim *Simulator, cfg LeafSpineConfig) *LeafSpine {
+	if cfg.LinkBps == 0 {
+		cfg.LinkBps = 10_000_000_000
+	}
+	if cfg.PropDelay == 0 {
+		cfg.PropDelay = Microsecond
+	}
+	if cfg.QueueBytes == 0 {
+		cfg.QueueBytes = 512 << 10
+	}
+
+	ls := &LeafSpine{Sim: sim, nSpine: cfg.Spines}
+
+	for s := 0; s < cfg.Spines; s++ {
+		sw := NewSwitch(sim, uint32(100+s+1), fmt.Sprintf("spine%d", s+1))
+		ls.Spines = append(ls.Spines, sw)
+	}
+	for l := 0; l < cfg.Leaves; l++ {
+		sw := NewSwitch(sim, uint32(l+1), fmt.Sprintf("leaf%d", l+1))
+		ls.Leaves = append(ls.Leaves, sw)
+	}
+
+	// Leaf-spine mesh.
+	ls.Up = make([][]*Link, cfg.Leaves)
+	for l, leaf := range ls.Leaves {
+		ls.Up[l] = make([]*Link, cfg.Spines)
+		for s, spine := range ls.Spines {
+			lk := Connect(sim, leaf, s+1, spine, l+1, cfg.LinkBps, cfg.PropDelay)
+			lk.QueueBytes = cfg.QueueBytes
+			leaf.AttachLink(s+1, lk)
+			spine.AttachLink(l+1, lk)
+			ls.Up[l][s] = lk
+		}
+	}
+
+	// Hosts.
+	ls.Hosts = make([][]*Host, cfg.Leaves)
+	ls.Down = make([][]*Link, cfg.Leaves)
+	for l, leaf := range ls.Leaves {
+		for h := 0; h < cfg.HostsPerLeaf; h++ {
+			port := cfg.Spines + 1 + h
+			mac := dataplane.MACFromUint64(uint64(l+1)<<8 | uint64(h+1))
+			host := NewHost(sim, fmt.Sprintf("h%d_%d", l+1, h+1), mac, HostIP(l, h))
+			host.GatewayMAC = dataplane.MACFromUint64(uint64(0xF0 + l))
+			lk := Connect(sim, leaf, port, host, 0, cfg.LinkBps, cfg.PropDelay)
+			lk.QueueBytes = cfg.QueueBytes
+			leaf.AttachLink(port, lk)
+			host.AttachLink(lk)
+			leaf.EdgePorts[port] = true
+			ls.Hosts[l] = append(ls.Hosts[l], host)
+			ls.Down[l] = append(ls.Down[l], lk)
+		}
+	}
+
+	if cfg.WithRouting {
+		ls.InstallRouting()
+	}
+	return ls
+}
+
+// InstallRouting programs plain L3 ECMP forwarding: leaves route local
+// hosts to their ports and remote leaf prefixes across all spines;
+// spines route each leaf prefix to that leaf's port.
+func (ls *LeafSpine) InstallRouting() {
+	spinePorts := make([]int, len(ls.Spines))
+	for s := range ls.Spines {
+		spinePorts[s] = s + 1
+	}
+	for l, leaf := range ls.Leaves {
+		prog := &L3Program{}
+		for h := range ls.Hosts[l] {
+			prog.AddRoute(HostIP(l, h), 32, ls.nSpine+1+h)
+		}
+		for other := range ls.Leaves {
+			if other != l {
+				prog.AddRoute(LeafPrefix(other), 24, spinePorts...)
+			}
+		}
+		leaf.Forwarding = prog
+	}
+	for _, spine := range ls.Spines {
+		prog := &L3Program{}
+		for l := range ls.Leaves {
+			prog.AddRoute(LeafPrefix(l), 24, l+1)
+		}
+		spine.Forwarding = prog
+	}
+}
+
+// AllSwitches returns leaves then spines.
+func (ls *LeafSpine) AllSwitches() []*Switch {
+	out := make([]*Switch, 0, len(ls.Leaves)+len(ls.Spines))
+	out = append(out, ls.Leaves...)
+	out = append(out, ls.Spines...)
+	return out
+}
+
+// Host returns host h on leaf l (0-based).
+func (ls *LeafSpine) Host(l, h int) *Host { return ls.Hosts[l][h] }

@@ -1,0 +1,524 @@
+// Package p4 renders compiled pipeline IR as tna-style P4-16 source, the
+// textual backend of the Indus compiler (§4.2, Figure 6). The emitted
+// program has the same structure the paper describes: a generated
+// telemetry header and parser, one control block per Indus block, one
+// match-action table per dictionary lookup site, registers for sensors,
+// and the strip_telemetry step at the last hop.
+//
+// The pipeline interpreter executes the same IR this package prints, so
+// simulation results and emitted code cannot drift apart.
+package p4
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/pipeline"
+)
+
+// Emitter renders one program.
+type Emitter struct {
+	prog *pipeline.Program
+	b    strings.Builder
+	ind  int
+
+	// siteNames[block] holds Figure 6-style per-site table instance
+	// names (tenants_in_port, tenants_eg_port), one per ApplyOp in
+	// WalkOps order, for each of the three blocks.
+	siteNames map[int][]string
+	seen      map[string]bool
+	siteCount map[string]int
+}
+
+// Emit renders the program as P4-16 source text.
+func Emit(prog *pipeline.Program) string {
+	e := &Emitter{prog: prog, siteNames: map[int][]string{}, seen: map[string]bool{}, siteCount: map[string]int{}}
+	e.collectApplySites()
+	e.header()
+	e.headers()
+	e.parser()
+	e.stripInject()
+	e.controls()
+	e.pipelineDecl()
+	return e.b.String()
+}
+
+// LineCount returns the non-blank, non-comment line count of src, the
+// measure used for Table 1's "P4 Output" column.
+func LineCount(src string) int {
+	n := 0
+	for _, line := range strings.Split(src, "\n") {
+		t := strings.TrimSpace(line)
+		if t == "" || strings.HasPrefix(t, "//") {
+			continue
+		}
+		n++
+	}
+	return n
+}
+
+func (e *Emitter) pf(format string, args ...any) {
+	e.b.WriteString(strings.Repeat("    ", e.ind))
+	fmt.Fprintf(&e.b, format, args...)
+	e.b.WriteByte('\n')
+}
+
+func (e *Emitter) blank() { e.b.WriteByte('\n') }
+
+func (e *Emitter) open(format string, args ...any) {
+	e.pf(format+" {", args...)
+	e.ind++
+}
+
+func (e *Emitter) close(suffix string) {
+	e.ind--
+	e.pf("}%s", suffix)
+}
+
+// ---------------------------------------------------------------------------
+// Site naming
+
+// collectApplySites walks all blocks and assigns each ApplyOp of a table
+// a distinct instance name, hinted by its first key expression when that
+// is a simple field (mirroring Figure 6's tenants_in_port).
+func (e *Emitter) collectApplySites() {
+	// Reverse the header bindings so a key like
+	// "standard_metadata.ingress_port" is hinted by its Indus name
+	// ("in_port"), reproducing Figure 6's tenants_in_port.
+	indusName := map[string]string{}
+	for name, path := range e.prog.HeaderBindings {
+		indusName[path] = name
+	}
+	walk := func(block int, ops []pipeline.Op) {
+		pipeline.WalkOps(ops, func(op pipeline.Op) {
+			ap, ok := op.(pipeline.ApplyOp)
+			if !ok {
+				return
+			}
+			hint := ""
+			if len(ap.Keys) > 0 {
+				if f, ok := ap.Keys[0].(pipeline.Field); ok {
+					if name, ok := indusName[string(f.Ref)]; ok {
+						hint = sanitize(name)
+					} else {
+						parts := strings.Split(string(f.Ref), ".")
+						hint = sanitize(parts[len(parts)-1])
+					}
+				}
+			}
+			name := ap.Table
+			if hint != "" {
+				name = ap.Table + "_" + hint
+			}
+			if e.seen[name] {
+				e.siteCount[ap.Table]++
+				name = fmt.Sprintf("%s_%d", name, e.siteCount[ap.Table])
+			}
+			e.seen[name] = true
+			e.siteNames[block] = append(e.siteNames[block], name)
+		})
+	}
+	walk(0, e.prog.Init)
+	walk(1, e.prog.Telemetry)
+	walk(2, e.prog.Checker)
+}
+
+func sanitize(s string) string {
+	var sb strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			sb.WriteRune(r)
+		default:
+			sb.WriteByte('_')
+		}
+	}
+	return sb.String()
+}
+
+// fieldName rewrites an IR FieldRef into the emitted P4 name.
+func fieldName(ref pipeline.FieldRef) string {
+	s := string(ref)
+	switch {
+	case strings.HasPrefix(s, "local."):
+		return "hydra_metadata." + s[len("local."):]
+	case strings.HasPrefix(s, "ctrl."):
+		return "hydra_metadata.ctrl_" + sanitize(s[len("ctrl."):])
+	case strings.HasSuffix(s, ".$count"):
+		return strings.TrimSuffix(s, ".$count") + "_count"
+	case strings.HasSuffix(s, ".$hit"):
+		return "hydra_metadata." + sanitize(strings.TrimSuffix(s, ".$hit")) + "_hit"
+	}
+	// Array slots keep header-stack syntax: base.N -> base[N].value.
+	if i := strings.LastIndexByte(s, '.'); i >= 0 {
+		if idx := s[i+1:]; isDigits(idx) {
+			return fmt.Sprintf("%s[%s].value", s[:i], idx)
+		}
+	}
+	return s
+}
+
+func isDigits(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, r := range s {
+		if r < '0' || r > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+// exprString renders an IR expression in P4 syntax.
+func exprString(x pipeline.Expr) string {
+	switch x := x.(type) {
+	case pipeline.Field:
+		return fieldName(x.Ref)
+	case pipeline.Const:
+		return fmt.Sprintf("%d", x.Val.V)
+	case pipeline.Unary:
+		inner := exprString(x.X)
+		switch x.Op {
+		case pipeline.OpAbs:
+			// P4 has no abs(); emit the two's-complement idiom.
+			return fmt.Sprintf("(((int<32>)%s < 0) ? (-%s) : %s)", inner, inner, inner)
+		case pipeline.OpNot:
+			return "!(" + inner + ")"
+		case pipeline.OpBNot:
+			return "~(" + inner + ")"
+		case pipeline.OpNeg:
+			return "-(" + inner + ")"
+		}
+	case pipeline.Bin:
+		switch x.Op {
+		case pipeline.OpMax:
+			a, b := exprString(x.X), exprString(x.Y)
+			return fmt.Sprintf("((%s >= %s) ? %s : %s)", a, b, a, b)
+		case pipeline.OpMin:
+			a, b := exprString(x.X), exprString(x.Y)
+			return fmt.Sprintf("((%s <= %s) ? %s : %s)", a, b, a, b)
+		}
+		return fmt.Sprintf("(%s %s %s)", exprString(x.X), x.Op, exprString(x.Y))
+	case pipeline.Mux:
+		return fmt.Sprintf("(%s ? %s : %s)", exprString(x.Cond), exprString(x.X), exprString(x.Y))
+	}
+	panic(fmt.Sprintf("p4: unknown expression %T", x))
+}
+
+// ---------------------------------------------------------------------------
+// Sections
+
+func (e *Emitter) header() {
+	e.pf("// Hydra checker %q — generated by indusc; do not edit.", e.prog.Name)
+	e.pf("#include <core.p4>")
+	e.pf("#include <tna.p4>")
+	e.blank()
+	e.pf("const bit<16> ETHERTYPE_HYDRA = 0x88B5;")
+	e.blank()
+	e.open("header ethernet_t")
+	e.pf("bit<48> dst_addr;")
+	e.pf("bit<48> src_addr;")
+	e.pf("bit<16> ether_type;")
+	e.close("")
+	e.blank()
+	e.open("struct headers_t")
+	e.pf("ethernet_t ethernet;")
+	e.close("")
+	e.blank()
+}
+
+func (e *Emitter) headers() {
+	e.pf("// Hydra Headers")
+	e.open("header hydra_header_t")
+	e.pf("eth_type2_t hydra_eth_type;")
+	e.pf("bit<8> hop_count;")
+	for _, f := range e.prog.Tele {
+		name := strings.TrimPrefix(f.Name, "hydra_header.")
+		if f.IsArray {
+			e.pf("bit<8> %s_count;", name)
+			continue
+		}
+		e.pf("bit<%d> %s;", f.Width, name)
+	}
+	e.close("")
+	e.blank()
+
+	for _, f := range e.prog.Tele {
+		if !f.IsArray {
+			continue
+		}
+		name := strings.TrimPrefix(f.Name, "hydra_header.")
+		e.open("header %s_t", name)
+		e.pf("bit<%d> value;", f.Width)
+		e.close("")
+		e.blank()
+	}
+
+	e.open("struct hydra_metadata_t")
+	e.pf("bool reject0;")
+	e.pf("bool last_hop;")
+	e.pf("bool first_hop;")
+	e.pf("bit<32> switch_id;")
+	for _, t := range e.prog.Tables {
+		for i, out := range t.Outputs {
+			e.pf("bit<%d> %s;", t.OutputWidths[i], strings.TrimPrefix(fieldName(out), "hydra_metadata."))
+		}
+		e.pf("bool %s_hit;", sanitize(t.Name))
+	}
+	e.close("")
+	e.blank()
+}
+
+func (e *Emitter) parser() {
+	e.pf("// Generated telemetry parser")
+	e.open("parser HydraParser(packet_in pkt, out headers_t hdr, out hydra_header_t hydra_header)")
+	e.open("state start")
+	e.pf("pkt.extract(hdr.ethernet);")
+	e.open("transition select(hdr.ethernet.ether_type)")
+	e.pf("ETHERTYPE_HYDRA : parse_hydra;")
+	e.pf("default : accept;")
+	e.close("")
+	e.close("")
+	e.open("state parse_hydra")
+	e.pf("pkt.extract(hydra_header);")
+	for _, f := range e.prog.Tele {
+		if !f.IsArray {
+			continue
+		}
+		name := strings.TrimPrefix(f.Name, "hydra_header.")
+		for i := 0; i < f.Cap; i++ {
+			e.pf("pkt.extract(hydra_header.%s[%d]);", name, i)
+		}
+	}
+	e.pf("transition accept;")
+	e.close("")
+	e.close("")
+	e.blank()
+
+	e.pf("// Generated telemetry deparser")
+	e.open("control HydraDeparser(packet_out pkt, in headers_t hdr, in hydra_header_t hydra_header)")
+	e.open("apply")
+	e.pf("pkt.emit(hdr.ethernet);")
+	e.pf("pkt.emit(hydra_header);")
+	for _, f := range e.prog.Tele {
+		if !f.IsArray {
+			continue
+		}
+		name := strings.TrimPrefix(f.Name, "hydra_header.")
+		for i := 0; i < f.Cap; i++ {
+			e.pf("pkt.emit(hydra_header.%s[%d]);", name, i)
+		}
+	}
+	e.close("")
+	e.close("")
+	e.blank()
+}
+
+// stripInject emits the edge-port tables of §4.1: injecting the Hydra
+// header at first-hop ingress ports and stripping it at last-hop egress
+// ports, so end hosts never see the extra headers.
+func (e *Emitter) stripInject() {
+	e.pf("// First-hop injection / last-hop strip (§4.1)")
+	e.open("control HydraEdge(inout headers_t hdr, inout hydra_header_t hydra_header, in bit<9> eg_port)")
+	e.open("action inject_telemetry()")
+	e.pf("hydra_header.setValid();")
+	e.pf("hydra_header.hydra_eth_type = hdr.ethernet.ether_type;")
+	e.pf("hdr.ethernet.ether_type = ETHERTYPE_HYDRA;")
+	e.close("")
+	e.open("action do_strip_telemetry()")
+	e.pf("hdr.ethernet.ether_type = hydra_header.hydra_eth_type;")
+	e.pf("hydra_header.setInvalid();")
+	for _, f := range e.prog.Tele {
+		if !f.IsArray {
+			continue
+		}
+		name := strings.TrimPrefix(f.Name, "hydra_header.")
+		e.pf("hydra_header.%s.pop_front(%d);", name, f.Cap)
+	}
+	e.close("")
+	e.open("table edge_ports")
+	e.open("key =")
+	e.pf("eg_port : exact;")
+	e.close("")
+	e.pf("actions = { inject_telemetry; do_strip_telemetry; NoAction; }")
+	e.pf("const default_action = NoAction();")
+	e.close("")
+	e.open("apply")
+	e.pf("edge_ports.apply();")
+	e.close("")
+	e.close("")
+	e.blank()
+}
+
+func (e *Emitter) controls() {
+	e.emitControl(0, "HydraInit", "// Generated Init Code", e.prog.Init, false)
+	e.emitControl(1, "HydraTelemetry", "// Generated Telemetry Code", e.prog.Telemetry, false)
+	e.emitControl(2, "HydraChecker", "// Generated Checker Code", e.prog.Checker, true)
+}
+
+func (e *Emitter) emitControl(block int, name, comment string, ops []pipeline.Op, strip bool) {
+	e.pf(comment)
+	e.open("control %s(inout hydra_header_t hydra_header, inout hydra_metadata_t hydra_metadata)", name)
+
+	// Registers referenced by this control.
+	regs := map[string]bool{}
+	pipeline.WalkOps(ops, func(op pipeline.Op) {
+		switch op := op.(type) {
+		case pipeline.RegReadOp:
+			regs[op.Reg] = true
+		case pipeline.RegWriteOp:
+			regs[op.Reg] = true
+		}
+	})
+	for _, r := range e.prog.Registers {
+		if regs[r.Name] {
+			e.pf("Register<bit<%d>, bit<32>>(%d) %s;", r.Width, r.Size, r.Name)
+		}
+	}
+
+	// Table declarations for the applies inside this control, in site
+	// order.
+	site := 0
+	pipeline.WalkOps(ops, func(op pipeline.Op) {
+		ap, ok := op.(pipeline.ApplyOp)
+		if !ok {
+			return
+		}
+		e.emitTable(e.siteNames[block][site], ap)
+		site++
+	})
+
+	e.open("apply")
+	site = 0
+	e.emitOps(ops, block, &site)
+	if strip {
+		e.pf("strip_telemetry(); // strip telemetry at last hop")
+	}
+	e.close("")
+	e.close("")
+	e.blank()
+}
+
+func (e *Emitter) emitTable(inst string, ap pipeline.ApplyOp) {
+	spec := e.tableSpec(ap.Table)
+	action := "set_" + sanitize(inst)
+	var params, body []string
+	for i, out := range spec.Outputs {
+		params = append(params, fmt.Sprintf("bit<%d> v%d", spec.OutputWidths[i], i))
+		body = append(body, fmt.Sprintf("%s = v%d;", fieldName(out), i))
+	}
+	e.open("action %s(%s)", action, strings.Join(params, ", "))
+	for _, line := range body {
+		e.pf("%s", line)
+	}
+	e.close("")
+	e.open("table %s", inst)
+	if len(ap.Keys) > 0 {
+		e.open("key =")
+		for i, k := range ap.Keys {
+			kind := "exact"
+			if i < len(spec.Keys) {
+				kind = spec.Keys[i].Kind.String()
+			}
+			e.pf("%s : %s;", exprString(k), kind)
+		}
+		e.close("")
+	}
+	e.pf("actions = { %s; NoAction; }", action)
+	e.pf("const default_action = NoAction();")
+	e.close("")
+}
+
+func (e *Emitter) tableSpec(name string) pipeline.TableSpec {
+	for _, t := range e.prog.Tables {
+		if t.Name == name {
+			return t
+		}
+	}
+	panic("p4: unknown table " + name)
+}
+
+func (e *Emitter) emitOps(ops []pipeline.Op, block int, site *int) {
+	for _, op := range ops {
+		switch op := op.(type) {
+		case pipeline.AssignOp:
+			e.pf("%s = %s;", fieldName(op.Dst), exprString(op.Src))
+
+		case pipeline.ApplyOp:
+			e.pf("%s.apply();", e.siteNames[block][*site])
+			*site++
+
+		case pipeline.RegReadOp:
+			e.pf("%s = %s.read(%s);", fieldName(op.Dst), op.Reg, exprString(op.Index))
+
+		case pipeline.RegWriteOp:
+			e.pf("%s.write(%s, %s);", op.Reg, exprString(op.Index), exprString(op.Src))
+
+		case pipeline.IfOp:
+			e.open("if (%s)", exprString(op.Cond))
+			e.emitOps(op.Then, block, site)
+			if len(op.Else) > 0 {
+				e.ind--
+				e.pf("} else {")
+				e.ind++
+				e.emitOps(op.Else, block, site)
+			}
+			e.close("")
+
+		case pipeline.PushOp:
+			cnt := fieldName(pipeline.ArrayCount(op.Base))
+			e.open("if (%s < %d)", cnt, op.Cap)
+			e.emitSlotSwitch(op.Base, op.Cap, cnt, exprString(op.Src))
+			e.pf("%s = %s + 1;", cnt, cnt)
+			e.ind--
+			e.pf("} else {")
+			e.ind++
+			for i := 0; i+1 < op.Cap; i++ {
+				e.pf("%s = %s;",
+					fieldName(pipeline.ArraySlot(op.Base, i)),
+					fieldName(pipeline.ArraySlot(op.Base, i+1)))
+			}
+			e.pf("%s = %s;", fieldName(pipeline.ArraySlot(op.Base, op.Cap-1)), exprString(op.Src))
+			e.close("")
+
+		case pipeline.SetSlotOp:
+			idx := exprString(op.Index)
+			for i := 0; i < op.Cap; i++ {
+				e.open("if (%s == %d)", idx, i)
+				e.pf("%s = %s;", fieldName(pipeline.ArraySlot(op.Base, i)), exprString(op.Src))
+				e.close("")
+			}
+			cnt := fieldName(pipeline.ArrayCount(op.Base))
+			e.open("if (%s >= %s)", idx, cnt)
+			e.pf("%s = (bit<8>)%s + 1;", cnt, idx)
+			e.close("")
+
+		case pipeline.ReportOp:
+			args := make([]string, len(op.Args))
+			for i, a := range op.Args {
+				args[i] = exprString(a)
+			}
+			e.pf("hydra_report.emit({%s});", strings.Join(args, ", "))
+
+		default:
+			panic(fmt.Sprintf("p4: unknown op %T", op))
+		}
+	}
+}
+
+// emitSlotSwitch writes src into slot `cnt` via an unrolled if chain
+// (header stacks cannot be indexed by a runtime value on tna).
+func (e *Emitter) emitSlotSwitch(base string, capacity int, cnt, src string) {
+	for i := 0; i < capacity; i++ {
+		e.open("if (%s == %d)", cnt, i)
+		e.pf("%s = %s;", fieldName(pipeline.ArraySlot(base, i)), src)
+		e.close("")
+	}
+}
+
+func (e *Emitter) pipelineDecl() {
+	e.pf("// Linking: init at first-hop ingress, telemetry at every egress,")
+	e.pf("// checker at last-hop egress (see §4.2).")
+	e.pf("Pipeline(HydraParser(), HydraInit(), HydraTelemetry(), HydraChecker(), HydraEdge(), HydraDeparser()) main;")
+}

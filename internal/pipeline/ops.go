@@ -1,0 +1,192 @@
+package pipeline
+
+import "fmt"
+
+// Op is one structured operation of the pipeline IR.
+type Op interface{ opNode() }
+
+// AssignOp writes Src to the PHV field Dst (width DstWidth).
+type AssignOp struct {
+	Dst      FieldRef
+	DstWidth int
+	Src      Expr
+}
+
+// ApplyOp applies the named table: the key expressions are evaluated,
+// the matching entry's action data (or the default) is written to the
+// table's output fields, and the hit flag lands in "<table>.$hit".
+type ApplyOp struct {
+	Table string
+	Keys  []Expr
+}
+
+// RegReadOp reads cell Index of register Reg into Dst.
+type RegReadOp struct {
+	Reg   string
+	Index Expr
+	Dst   FieldRef
+	Width int
+}
+
+// RegWriteOp writes Src into cell Index of register Reg.
+type RegWriteOp struct {
+	Reg   string
+	Index Expr
+	Src   Expr
+}
+
+// IfOp branches on Cond.
+type IfOp struct {
+	Cond Expr
+	Then []Op
+	Else []Op
+}
+
+// PushOp appends Src to the header-stack array Base (capacity Cap,
+// element width ElemWidth), evicting the oldest element when full so the
+// stack keeps the most recent Cap values.
+type PushOp struct {
+	Base      string
+	ElemWidth int
+	Cap       int
+	Src       Expr
+}
+
+// SetSlotOp writes Src to slot Index of array Base, growing the valid
+// count as needed (compiled from a[i] = e).
+type SetSlotOp struct {
+	Base      string
+	ElemWidth int
+	Cap       int
+	Index     Expr
+	Src       Expr
+}
+
+// ReportOp emits a report digest with the evaluated argument values.
+type ReportOp struct{ Args []Expr }
+
+func (AssignOp) opNode()   {}
+func (ApplyOp) opNode()    {}
+func (RegReadOp) opNode()  {}
+func (RegWriteOp) opNode() {}
+func (IfOp) opNode()       {}
+func (PushOp) opNode()     {}
+func (SetSlotOp) opNode()  {}
+func (ReportOp) opNode()   {}
+
+// Report is a report digest raised during execution.
+type Report struct {
+	Args []Value
+}
+
+// ExecContext carries the mutable execution state for one block run.
+type ExecContext struct {
+	PHV     PHV
+	State   *State
+	Reports []Report
+	// TableApplies counts table lookups, for the performance model.
+	TableApplies int
+	// OpsExecuted counts IR ops, for the performance model.
+	OpsExecuted int
+}
+
+// Exec runs a block of ops.
+func (c *ExecContext) Exec(ops []Op) error {
+	for _, op := range ops {
+		c.OpsExecuted++
+		switch op := op.(type) {
+		case AssignOp:
+			v := op.Src.Eval(c.PHV)
+			c.PHV.Set(op.Dst, B(op.DstWidth, v.V))
+
+		case ApplyOp:
+			t, ok := c.State.Tables[op.Table]
+			if !ok {
+				return fmt.Errorf("pipeline: apply of undeclared table %q", op.Table)
+			}
+			keys := make([]uint64, len(op.Keys))
+			for i, k := range op.Keys {
+				keys[i] = k.Eval(c.PHV).V
+			}
+			action, hit := t.Lookup(keys)
+			for i, out := range t.Outputs {
+				c.PHV.Set(out, action[i])
+			}
+			c.PHV.Set(t.HitField(), BoolV(hit))
+			c.TableApplies++
+
+		case RegReadOp:
+			r, ok := c.State.Registers[op.Reg]
+			if !ok {
+				return fmt.Errorf("pipeline: read of undeclared register %q", op.Reg)
+			}
+			idx := int(op.Index.Eval(c.PHV).V)
+			c.PHV.Set(op.Dst, B(op.Width, r.Read(idx)))
+
+		case RegWriteOp:
+			r, ok := c.State.Registers[op.Reg]
+			if !ok {
+				return fmt.Errorf("pipeline: write to undeclared register %q", op.Reg)
+			}
+			idx := int(op.Index.Eval(c.PHV).V)
+			r.Write(idx, op.Src.Eval(c.PHV).V)
+
+		case IfOp:
+			if op.Cond.Eval(c.PHV).Bool() {
+				if err := c.Exec(op.Then); err != nil {
+					return err
+				}
+			} else if err := c.Exec(op.Else); err != nil {
+				return err
+			}
+
+		case PushOp:
+			cnt := int(c.PHV.Get(ArrayCount(op.Base)).V)
+			v := op.Src.Eval(c.PHV)
+			if cnt < op.Cap {
+				c.PHV.Set(ArraySlot(op.Base, cnt), B(op.ElemWidth, v.V))
+				c.PHV.Set(ArrayCount(op.Base), B(8, uint64(cnt+1)))
+				break
+			}
+			// Full: shift out the oldest element.
+			for i := 0; i+1 < op.Cap; i++ {
+				c.PHV.Set(ArraySlot(op.Base, i), c.PHV.Get(ArraySlot(op.Base, i+1)))
+			}
+			c.PHV.Set(ArraySlot(op.Base, op.Cap-1), B(op.ElemWidth, v.V))
+
+		case SetSlotOp:
+			idx := int(op.Index.Eval(c.PHV).V)
+			if idx < 0 || idx >= op.Cap {
+				break // out-of-range writes are dropped, as on hardware
+			}
+			v := op.Src.Eval(c.PHV)
+			c.PHV.Set(ArraySlot(op.Base, idx), B(op.ElemWidth, v.V))
+			if cnt := int(c.PHV.Get(ArrayCount(op.Base)).V); idx >= cnt {
+				c.PHV.Set(ArrayCount(op.Base), B(8, uint64(idx+1)))
+			}
+
+		case ReportOp:
+			args := make([]Value, len(op.Args))
+			for i, a := range op.Args {
+				args[i] = a.Eval(c.PHV)
+			}
+			c.Reports = append(c.Reports, Report{Args: args})
+
+		default:
+			return fmt.Errorf("pipeline: unknown op %T", op)
+		}
+	}
+	return nil
+}
+
+// WalkOps visits every op in a block tree, depth-first; used by the
+// resource model and the P4 emitter.
+func WalkOps(ops []Op, visit func(Op)) {
+	for _, op := range ops {
+		visit(op)
+		if ifOp, ok := op.(IfOp); ok {
+			WalkOps(ifOp.Then, visit)
+			WalkOps(ifOp.Else, visit)
+		}
+	}
+}

@@ -1,0 +1,380 @@
+package pipeline
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"sync"
+)
+
+// MatchKind is how one key column of a table matches.
+type MatchKind int
+
+// Match kinds. Exact-only tables take a hash-map fast path; any other
+// kind makes the table a priority-ordered (TCAM-style) table.
+const (
+	MatchExact MatchKind = iota
+	MatchLPM
+	MatchTernary
+	MatchRange
+)
+
+func (k MatchKind) String() string {
+	switch k {
+	case MatchExact:
+		return "exact"
+	case MatchLPM:
+		return "lpm"
+	case MatchTernary:
+		return "ternary"
+	case MatchRange:
+		return "range"
+	}
+	return fmt.Sprintf("MatchKind(%d)", int(k))
+}
+
+// KeySpec describes one key column.
+type KeySpec struct {
+	Name  string
+	Width int
+	Kind  MatchKind
+}
+
+// KeyMatch is one entry's matcher for one key column.
+type KeyMatch struct {
+	// Exact / LPM / Ternary value.
+	Value uint64
+	// LPM prefix length in bits; Ternary mask; Range high bound.
+	Aux uint64
+	// Any matches everything (ternary with zero mask, or an explicit
+	// wildcard in any column kind).
+	Any bool
+}
+
+// ExactKey returns a matcher for an exact value.
+func ExactKey(v uint64) KeyMatch { return KeyMatch{Value: v} }
+
+// PrefixKey returns an LPM matcher for value/plen.
+func PrefixKey(v uint64, plen int) KeyMatch { return KeyMatch{Value: v, Aux: uint64(plen)} }
+
+// RangeKey returns a matcher for lo..hi inclusive.
+func RangeKey(lo, hi uint64) KeyMatch { return KeyMatch{Value: lo, Aux: hi} }
+
+// TernaryKey returns a value&mask matcher.
+func TernaryKey(v, mask uint64) KeyMatch { return KeyMatch{Value: v, Aux: mask} }
+
+// AnyKey returns a wildcard matcher.
+func AnyKey() KeyMatch { return KeyMatch{Any: true} }
+
+func (m KeyMatch) matches(kind MatchKind, width int, v uint64) bool {
+	if m.Any {
+		return true
+	}
+	switch kind {
+	case MatchExact:
+		return v == m.Value
+	case MatchLPM:
+		plen := int(m.Aux)
+		if plen <= 0 {
+			return true
+		}
+		if plen >= width {
+			return v == m.Value
+		}
+		shift := uint(width - plen)
+		return v>>shift == m.Value>>shift
+	case MatchTernary:
+		return v&m.Aux == m.Value&m.Aux
+	case MatchRange:
+		return m.Value <= v && v <= m.Aux
+	}
+	return false
+}
+
+// specificity orders LPM entries when priorities tie: longer prefixes win.
+func (m KeyMatch) specificity(kind MatchKind) int {
+	if m.Any {
+		return 0
+	}
+	if kind == MatchLPM {
+		return int(m.Aux)
+	}
+	return 1
+}
+
+// Entry is one table entry: matchers for each key column, a priority
+// (higher wins; TCAM-style tables only), and the action data written to
+// the table's output fields on a hit.
+type Entry struct {
+	Keys     []KeyMatch
+	Priority int
+	Action   []Value
+	// Name optionally labels the action for P4 output and debugging.
+	Name string
+}
+
+// Table is a match-action table. Outputs lists the PHV fields the action
+// data is written to, in order; on a miss the Default action data is
+// written instead, and the table's hit field (Name + ".$hit") is set to
+// 0. The entry store is safe for concurrent control-plane updates.
+type Table struct {
+	Name    string
+	Keys    []KeySpec
+	Outputs []FieldRef
+	Default []Value
+
+	mu      sync.RWMutex
+	exact   map[string]*Entry // fast path when all keys are exact
+	entries []*Entry          // TCAM path, kept sorted by priority desc
+	isExact bool
+	version uint64
+}
+
+// NewTable creates an empty table. All-exact key columns select the
+// hash-map fast path.
+func NewTable(name string, keys []KeySpec, outputs []FieldRef, def []Value) *Table {
+	t := &Table{Name: name, Keys: keys, Outputs: outputs, Default: def, isExact: true}
+	for _, k := range keys {
+		if k.Kind != MatchExact {
+			t.isExact = false
+		}
+	}
+	if t.isExact {
+		t.exact = make(map[string]*Entry)
+	}
+	return t
+}
+
+// HitField is the PHV field recording whether the last apply hit.
+func (t *Table) HitField() FieldRef { return FieldRef(t.Name + ".$hit") }
+
+func exactKeyString(keys []KeyMatch) string {
+	buf := make([]byte, 0, 24*len(keys))
+	for i, k := range keys {
+		if i > 0 {
+			buf = append(buf, '|')
+		}
+		buf = strconv.AppendUint(buf, k.Value, 10)
+	}
+	return string(buf)
+}
+
+// exactLookupKey encodes lookup values without an intermediate Builder;
+// the scratch buffer lets hot-path callers avoid a heap allocation for
+// short keys.
+func exactLookupKey(scratch []byte, vals []uint64) string {
+	buf := scratch[:0]
+	for i, v := range vals {
+		if i > 0 {
+			buf = append(buf, '|')
+		}
+		buf = strconv.AppendUint(buf, v, 10)
+	}
+	return string(buf)
+}
+
+// Insert adds or replaces an entry. For exact tables, replacement is by
+// key; for TCAM tables an identical (keys, priority) entry is replaced.
+func (t *Table) Insert(e Entry) error {
+	if len(e.Keys) != len(t.Keys) {
+		return fmt.Errorf("table %s: entry has %d keys, want %d", t.Name, len(e.Keys), len(t.Keys))
+	}
+	if len(e.Action) != len(t.Outputs) {
+		return fmt.Errorf("table %s: entry has %d action values, want %d", t.Name, len(e.Action), len(t.Outputs))
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.version++
+	if t.isExact {
+		for i, k := range e.Keys {
+			if k.Any {
+				return fmt.Errorf("table %s: wildcard key in exact-match column %d", t.Name, i)
+			}
+		}
+		t.exact[exactKeyString(e.Keys)] = &e
+		return nil
+	}
+	for i, old := range t.entries {
+		if old.Priority == e.Priority && sameKeys(old.Keys, e.Keys) {
+			t.entries[i] = &e
+			return nil
+		}
+	}
+	t.entries = append(t.entries, &e)
+	sort.SliceStable(t.entries, func(i, j int) bool {
+		if t.entries[i].Priority != t.entries[j].Priority {
+			return t.entries[i].Priority > t.entries[j].Priority
+		}
+		// Tie-break by total specificity so LPM behaves as expected
+		// without explicit priorities.
+		return t.specificityLocked(t.entries[i]) > t.specificityLocked(t.entries[j])
+	})
+	return nil
+}
+
+func (t *Table) specificityLocked(e *Entry) int {
+	s := 0
+	for i, k := range e.Keys {
+		s += k.specificity(t.Keys[i].Kind)
+	}
+	return s
+}
+
+func sameKeys(a, b []KeyMatch) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Delete removes entries whose keys equal the given matchers; it returns
+// the number removed.
+func (t *Table) Delete(keys []KeyMatch) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.version++
+	if t.isExact {
+		k := exactKeyString(keys)
+		if _, ok := t.exact[k]; ok {
+			delete(t.exact, k)
+			return 1
+		}
+		return 0
+	}
+	n := 0
+	kept := t.entries[:0]
+	for _, e := range t.entries {
+		if sameKeys(e.Keys, keys) {
+			n++
+			continue
+		}
+		kept = append(kept, e)
+	}
+	t.entries = kept
+	return n
+}
+
+// Clear removes all entries.
+func (t *Table) Clear() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.version++
+	if t.isExact {
+		t.exact = make(map[string]*Entry)
+	}
+	t.entries = nil
+}
+
+// Len returns the number of installed entries.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.isExact {
+		return len(t.exact)
+	}
+	return len(t.entries)
+}
+
+// Version increments on every mutation; the control plane uses it to
+// detect races in tests.
+func (t *Table) Version() uint64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.version
+}
+
+// Lookup matches the key values and returns the action data and whether
+// the lookup hit; on a miss the default action data is returned.
+func (t *Table) Lookup(vals []uint64) ([]Value, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.isExact {
+		var scratch [96]byte
+		if e, ok := t.exact[exactLookupKey(scratch[:], vals)]; ok {
+			return e.Action, true
+		}
+		return t.Default, false
+	}
+	for _, e := range t.entries {
+		hit := true
+		for i, k := range e.Keys {
+			if !k.matches(t.Keys[i].Kind, t.Keys[i].Width, vals[i]) {
+				hit = false
+				break
+			}
+		}
+		if hit {
+			return e.Action, true
+		}
+	}
+	return t.Default, false
+}
+
+// Entries returns a snapshot of the installed entries (TCAM order for
+// TCAM tables; unspecified order for exact tables).
+func (t *Table) Entries() []Entry {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var out []Entry
+	if t.isExact {
+		for _, e := range t.exact {
+			out = append(out, *e)
+		}
+		return out
+	}
+	for _, e := range t.entries {
+		out = append(out, *e)
+	}
+	return out
+}
+
+// Register is a P4-style register array holding Size cells of Width bits.
+type Register struct {
+	Name  string
+	Width int
+	Size  int
+
+	mu    sync.Mutex
+	cells []uint64
+}
+
+// NewRegister allocates a zeroed register array.
+func NewRegister(name string, width, size int) *Register {
+	return &Register{Name: name, Width: width, Size: size, cells: make([]uint64, size)}
+}
+
+// Read returns cell i (zero for out-of-range reads, as on hardware).
+func (r *Register) Read(i int) uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if i < 0 || i >= len(r.cells) {
+		return 0
+	}
+	return r.cells[i]
+}
+
+// Write stores v (masked to the register width) into cell i; writes out
+// of range are dropped.
+func (r *Register) Write(i int, v uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if i < 0 || i >= len(r.cells) {
+		return
+	}
+	r.cells[i] = Mask(r.Width, v)
+}
+
+// Reset zeroes all cells.
+func (r *Register) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := range r.cells {
+		r.cells[i] = 0
+	}
+}

@@ -1,0 +1,325 @@
+// Package resources models the two Tofino resources Table 1 of the Hydra
+// paper reports for each checker: pipeline stages and Packet Header
+// Vector (PHV) bits.
+//
+// PHV model: Tofino-1 exposes 224 PHV containers (64×8-bit, 96×16-bit,
+// 64×32-bit — 4096 bits). Fields occupy whole containers; 1-bit flags
+// pack eight to an 8-bit container within their group (header vs
+// metadata). Metadata that must cross from ingress to egress is bridged,
+// which the model charges as a 2× factor on metadata containers. The
+// baseline (the Aether fabric-upf profile) is taken from the paper:
+// 44.53 % of PHV and 12 stages.
+//
+// Stage model: within each compiled block, an op must be placed in a
+// stage strictly after every op that produces a value it consumes
+// (match/action dependencies); the block's stage need is the longest
+// such chain. Because Hydra checking code is independent of forwarding
+// (§6.2: "each of the checkers can be executed in parallel alongside the
+// base program"), a checker occupies max(baseline, chain) stages when
+// linked, not baseline + chain.
+package resources
+
+import (
+	"repro/internal/pipeline"
+)
+
+// Tofino-1 PHV geometry.
+const (
+	PHVTotalBits = 4096
+	// BridgeFactor charges ingress→egress bridged metadata twice.
+	BridgeFactor = 2
+)
+
+// Baseline resource usage of the forwarding program the checkers link
+// with (Table 1's first row).
+const (
+	BaselineStages = 12
+	BaselinePHVPct = 44.53
+)
+
+// Report is the resource estimate for one compiled checker.
+type Report struct {
+	Name string
+
+	// Raw field bits before container allocation.
+	HeaderFieldBits int
+	MetaFieldBits   int
+
+	// Bits of whole PHV containers after allocation (metadata already
+	// multiplied by BridgeFactor).
+	HeaderContainerBits int
+	MetaContainerBits   int
+
+	// AddedPHVBits is the checker's total PHV cost.
+	AddedPHVBits int
+	// PHVPct is baseline + added, as Table 1 reports it.
+	PHVPct float64
+
+	// ChainInit/ChainTelemetry/ChainChecker are the longest dependency
+	// chains of each block; StandaloneStages is their maximum.
+	ChainInit      int
+	ChainTelemetry int
+	ChainChecker   int
+	// StandaloneStages is the stage need of the checker alone.
+	StandaloneStages int
+	// MergedStages is the stage count after linking with the baseline.
+	MergedStages int
+
+	// Tables and Registers counted, for the resource narrative.
+	Tables    int
+	Registers int
+}
+
+// Analyze estimates the resource usage of a compiled checker.
+func Analyze(prog *pipeline.Program) Report {
+	r := Report{Name: prog.Name, Tables: len(prog.Tables), Registers: len(prog.Registers)}
+
+	// ---- PHV: header group (the generated telemetry header).
+	var headerWidths []int
+	headerWidths = append(headerWidths, 16, 8) // hydra_eth_type, hop_count
+	for _, f := range prog.Tele {
+		if f.IsArray {
+			headerWidths = append(headerWidths, 8) // valid count
+			for i := 0; i < f.Cap; i++ {
+				headerWidths = append(headerWidths, f.Width)
+			}
+			continue
+		}
+		headerWidths = append(headerWidths, f.Width)
+	}
+
+	// ---- PHV: metadata group (reject/last/first flags, switch id,
+	// control-table outputs and hit flags, compiler temporaries).
+	metaWidths := []int{1, 1, 1, 32} // reject0, last_hop, first_hop, switch_id
+	for _, t := range prog.Tables {
+		metaWidths = append(metaWidths, t.OutputWidths...)
+		metaWidths = append(metaWidths, 1) // hit flag
+	}
+	metaWidths = append(metaWidths, tempWidths(prog)...)
+
+	r.HeaderFieldBits = sum(headerWidths)
+	r.MetaFieldBits = sum(metaWidths)
+	r.HeaderContainerBits = AllocateContainers(headerWidths)
+	r.MetaContainerBits = AllocateContainers(metaWidths) * BridgeFactor
+	r.AddedPHVBits = r.HeaderContainerBits + r.MetaContainerBits
+	r.PHVPct = BaselinePHVPct + float64(r.AddedPHVBits)/PHVTotalBits*100
+
+	// ---- Stages.
+	r.ChainInit = ChainLength(prog.Init)
+	r.ChainTelemetry = ChainLength(prog.Telemetry)
+	r.ChainChecker = ChainLength(prog.Checker)
+	r.StandaloneStages = max3(r.ChainInit, r.ChainTelemetry, r.ChainChecker)
+	r.MergedStages = r.StandaloneStages
+	if BaselineStages > r.MergedStages {
+		r.MergedStages = BaselineStages
+	}
+	return r
+}
+
+func sum(ws []int) int {
+	n := 0
+	for _, w := range ws {
+		n += w
+	}
+	return n
+}
+
+func max3(a, b, c int) int {
+	if b > a {
+		a = b
+	}
+	if c > a {
+		a = c
+	}
+	return a
+}
+
+// AllocateContainers returns the PHV bits consumed by fields of the
+// given widths under container-granular allocation: 1-bit flags pack
+// eight per 8-bit container; other fields use the smallest container
+// (8/16/32) that holds them, spilling to multiple 32-bit containers
+// above 32 bits.
+func AllocateContainers(widths []int) int {
+	bits := 0
+	flags := 0
+	for _, w := range widths {
+		switch {
+		case w <= 0:
+		case w == 1:
+			flags++
+		case w <= 8:
+			bits += 8
+		case w <= 16:
+			bits += 16
+		case w <= 32:
+			bits += 32
+		default:
+			full := w / 32
+			bits += full * 32
+			if rem := w - full*32; rem > 0 {
+				bits += AllocateContainers([]int{rem})
+			}
+		}
+	}
+	bits += (flags + 7) / 8 * 8
+	return bits
+}
+
+// tempWidths collects the widths of compiler temporaries (local.* and
+// register-read destinations) appearing in the program.
+func tempWidths(prog *pipeline.Program) []int {
+	seen := map[pipeline.FieldRef]int{}
+	record := func(ref pipeline.FieldRef, w int) {
+		if len(ref) > 6 && ref[:6] == "local." {
+			if w > seen[ref] {
+				seen[ref] = w
+			}
+		}
+	}
+	walk := func(ops []pipeline.Op) {
+		pipeline.WalkOps(ops, func(op pipeline.Op) {
+			switch op := op.(type) {
+			case pipeline.AssignOp:
+				record(op.Dst, op.DstWidth)
+			case pipeline.RegReadOp:
+				record(op.Dst, op.Width)
+			}
+		})
+	}
+	walk(prog.Init)
+	walk(prog.Telemetry)
+	walk(prog.Checker)
+	var ws []int
+	for _, w := range seen {
+		ws = append(ws, w)
+	}
+	return ws
+}
+
+// ---------------------------------------------------------------------------
+// Stage chains
+
+// ChainLength computes the longest match/action dependency chain of a
+// block: each op lands in the earliest stage after all producers of the
+// fields it reads, and the block needs as many stages as its deepest op.
+func ChainLength(ops []pipeline.Op) int {
+	writeStage := map[pipeline.FieldRef]int{}
+	return placeOps(ops, 0, writeStage)
+}
+
+// placeOps returns the deepest stage used; condStage is the stage at
+// which the dominating branch condition became available.
+func placeOps(ops []pipeline.Op, condStage int, writeStage map[pipeline.FieldRef]int) int {
+	deepest := 0
+	for _, op := range ops {
+		switch op := op.(type) {
+		case pipeline.IfOp:
+			s := depOf(readsOfExpr(op.Cond), condStage, writeStage)
+			// Ops inside the branch can share the stage where the
+			// condition is evaluated only if they have no further deps;
+			// model them as gated at the condition's stage.
+			d := placeOps(op.Then, s, writeStage)
+			if d2 := placeOps(op.Else, s, writeStage); d2 > d {
+				d = d2
+			}
+			if s > d {
+				d = s
+			}
+			if d > deepest {
+				deepest = d
+			}
+		default:
+			reads, writes := opDeps(op)
+			s := depOf(reads, condStage, writeStage) + 1
+			for _, w := range writes {
+				if s > writeStage[w] {
+					writeStage[w] = s
+				}
+			}
+			if s > deepest {
+				deepest = s
+			}
+		}
+	}
+	return deepest
+}
+
+// depOf returns the latest stage among the producers of the read fields
+// and the gating condition.
+func depOf(reads []pipeline.FieldRef, condStage int, writeStage map[pipeline.FieldRef]int) int {
+	s := condStage
+	for _, f := range reads {
+		if writeStage[f] > s {
+			s = writeStage[f]
+		}
+	}
+	return s
+}
+
+// opDeps returns the fields an op reads and writes, with registers
+// serialized through a pseudo-field so read-after-write chains count.
+func opDeps(op pipeline.Op) (reads, writes []pipeline.FieldRef) {
+	switch op := op.(type) {
+	case pipeline.AssignOp:
+		return readsOfExpr(op.Src), []pipeline.FieldRef{op.Dst}
+	case pipeline.ApplyOp:
+		for _, k := range op.Keys {
+			reads = append(reads, readsOfExpr(k)...)
+		}
+		// Outputs are unknown here (they live in the table spec); model
+		// them through the ctrl pseudo-field namespace: the apply writes
+		// its table's output marker.
+		writes = append(writes, pipeline.FieldRef("ctrl."+op.Table), pipeline.FieldRef(op.Table+".$hit"))
+		return reads, writes
+	case pipeline.RegReadOp:
+		reads = append(readsOfExpr(op.Index), pipeline.FieldRef("reg:"+op.Reg))
+		return reads, []pipeline.FieldRef{op.Dst}
+	case pipeline.RegWriteOp:
+		reads = append(readsOfExpr(op.Index), readsOfExpr(op.Src)...)
+		return reads, []pipeline.FieldRef{pipeline.FieldRef("reg:" + op.Reg)}
+	case pipeline.PushOp:
+		reads = append(readsOfExpr(op.Src), pipeline.ArrayCount(op.Base))
+		for i := 0; i < op.Cap; i++ {
+			reads = append(reads, pipeline.ArraySlot(op.Base, i))
+			writes = append(writes, pipeline.ArraySlot(op.Base, i))
+		}
+		writes = append(writes, pipeline.ArrayCount(op.Base))
+		return reads, writes
+	case pipeline.SetSlotOp:
+		reads = append(readsOfExpr(op.Index), readsOfExpr(op.Src)...)
+		reads = append(reads, pipeline.ArrayCount(op.Base))
+		for i := 0; i < op.Cap; i++ {
+			writes = append(writes, pipeline.ArraySlot(op.Base, i))
+		}
+		writes = append(writes, pipeline.ArrayCount(op.Base))
+		return reads, writes
+	case pipeline.ReportOp:
+		for _, a := range op.Args {
+			reads = append(reads, readsOfExpr(a)...)
+		}
+		return reads, nil
+	}
+	return nil, nil
+}
+
+func readsOfExpr(e pipeline.Expr) []pipeline.FieldRef {
+	var out []pipeline.FieldRef
+	var walk func(pipeline.Expr)
+	walk = func(e pipeline.Expr) {
+		switch e := e.(type) {
+		case pipeline.Field:
+			out = append(out, e.Ref)
+		case pipeline.Unary:
+			walk(e.X)
+		case pipeline.Bin:
+			walk(e.X)
+			walk(e.Y)
+		case pipeline.Mux:
+			walk(e.Cond)
+			walk(e.X)
+			walk(e.Y)
+		}
+	}
+	walk(e)
+	return out
+}

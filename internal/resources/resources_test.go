@@ -1,0 +1,158 @@
+package resources
+
+import (
+	"testing"
+
+	"repro/internal/checkers"
+	"repro/internal/compiler"
+	"repro/internal/pipeline"
+)
+
+func analyzeCorpus(t *testing.T, key string) Report {
+	t.Helper()
+	info := checkers.MustParse(key)
+	prog, err := compiler.Compile(info, compiler.Options{Name: key})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Analyze(prog)
+}
+
+func TestAllocateContainers(t *testing.T) {
+	tests := []struct {
+		widths []int
+		want   int
+	}{
+		{nil, 0},
+		{[]int{8}, 8},
+		{[]int{5}, 8},
+		{[]int{9}, 16},
+		{[]int{16}, 16},
+		{[]int{17}, 32},
+		{[]int{32}, 32},
+		{[]int{48}, 48}, // 32 + 16
+		{[]int{33}, 40}, // 32 + 8
+		{[]int{64}, 64}, // 2 × 32
+		{[]int{1}, 8},   // one flag still burns a container
+		{[]int{1, 1, 1, 1, 1, 1, 1, 1}, 8},
+		{[]int{1, 1, 1, 1, 1, 1, 1, 1, 1}, 16}, // ninth flag spills
+		{[]int{8, 1, 16, 1}, 32},
+	}
+	for _, tt := range tests {
+		if got := AllocateContainers(tt.widths); got != tt.want {
+			t.Errorf("AllocateContainers(%v) = %d, want %d", tt.widths, got, tt.want)
+		}
+	}
+}
+
+func TestChainLength(t *testing.T) {
+	f := func(r string, w int) pipeline.Field {
+		return pipeline.Field{Ref: pipeline.FieldRef(r), Width: w}
+	}
+	// Independent assignments: depth 1.
+	ops := []pipeline.Op{
+		pipeline.AssignOp{Dst: "a", DstWidth: 8, Src: pipeline.C(8, 1)},
+		pipeline.AssignOp{Dst: "b", DstWidth: 8, Src: pipeline.C(8, 2)},
+	}
+	if got := ChainLength(ops); got != 1 {
+		t.Fatalf("independent ops: chain %d, want 1", got)
+	}
+	// a -> b -> c: depth 3.
+	ops = []pipeline.Op{
+		pipeline.AssignOp{Dst: "a", DstWidth: 8, Src: pipeline.C(8, 1)},
+		pipeline.AssignOp{Dst: "b", DstWidth: 8, Src: f("a", 8)},
+		pipeline.AssignOp{Dst: "c", DstWidth: 8, Src: f("b", 8)},
+	}
+	if got := ChainLength(ops); got != 3 {
+		t.Fatalf("chained ops: chain %d, want 3", got)
+	}
+	// Table apply feeding a branch that assigns: apply(1) -> if cond(uses
+	// output) gates assign at stage 2.
+	ops = []pipeline.Op{
+		pipeline.ApplyOp{Table: "t", Keys: []pipeline.Expr{f("hdr.x", 8)}},
+		pipeline.IfOp{
+			Cond: pipeline.Bin{Op: pipeline.OpEq, X: f("ctrl.t", 8), Y: pipeline.C(8, 1)},
+			Then: []pipeline.Op{pipeline.AssignOp{Dst: "y", DstWidth: 8, Src: pipeline.C(8, 1)}},
+		},
+	}
+	if got := ChainLength(ops); got != 2 {
+		t.Fatalf("apply+branch: chain %d, want 2", got)
+	}
+	// Register read-modify-write serializes through the register.
+	ops = []pipeline.Op{
+		pipeline.RegReadOp{Reg: "r", Index: pipeline.C(8, 0), Dst: "v", Width: 8},
+		pipeline.RegWriteOp{Reg: "r", Index: pipeline.C(8, 0), Src: f("v", 8)},
+		pipeline.RegReadOp{Reg: "r", Index: pipeline.C(8, 0), Dst: "w", Width: 8},
+	}
+	if got := ChainLength(ops); got != 3 {
+		t.Fatalf("register chain: %d, want 3", got)
+	}
+}
+
+func TestCorpusFitsBaselineStages(t *testing.T) {
+	// §6.2: "each of the checkers can be executed in parallel alongside
+	// the base program and they do not increase the number of stages".
+	for _, p := range checkers.All {
+		r := analyzeCorpus(t, p.Key)
+		if r.StandaloneStages > BaselineStages {
+			t.Errorf("%s: standalone chain %d exceeds the %d-stage baseline", p.Key, r.StandaloneStages, BaselineStages)
+		}
+		if r.MergedStages != BaselineStages {
+			t.Errorf("%s: merged stages %d, want %d", p.Key, r.MergedStages, BaselineStages)
+		}
+		if r.StandaloneStages <= 0 {
+			t.Errorf("%s: nonpositive chain", p.Key)
+		}
+	}
+}
+
+func TestPHVOverheadShape(t *testing.T) {
+	// The model must reproduce Table 1's shape: every checker adds a
+	// modest amount of PHV (under ~12 points) and stays above baseline.
+	byKey := map[string]Report{}
+	for _, p := range checkers.All {
+		r := analyzeCorpus(t, p.Key)
+		byKey[p.Key] = r
+		if r.PHVPct <= BaselinePHVPct {
+			t.Errorf("%s: PHV %.2f%% not above baseline", p.Key, r.PHVPct)
+		}
+		if r.PHVPct > BaselinePHVPct+12 {
+			t.Errorf("%s: PHV %.2f%% implausibly high", p.Key, r.PHVPct)
+		}
+	}
+	// The paper's two most expensive checkers are source-routing path
+	// validation and application filtering ("the properties that require
+	// the most PHV"); the model must agree that source routing tops the
+	// corpus and both sit above the cheap checkers.
+	sr := byKey["source-routing"].AddedPHVBits
+	af := byKey["app-filtering"].AddedPHVBits
+	for _, cheap := range []string{"waypointing", "egress-validity", "vlan-isolation", "multi-tenancy"} {
+		if byKey[cheap].AddedPHVBits >= sr {
+			t.Errorf("%s (%d bits) should cost less PHV than source-routing (%d)", cheap, byKey[cheap].AddedPHVBits, sr)
+		}
+		if byKey[cheap].AddedPHVBits >= af {
+			t.Errorf("%s (%d bits) should cost less PHV than app-filtering (%d)", cheap, byKey[cheap].AddedPHVBits, af)
+		}
+	}
+	// Waypointing carries a single boolean: it must be among the very
+	// cheapest.
+	if byKey["waypointing"].HeaderFieldBits > 32 {
+		t.Errorf("waypointing header bits = %d, want tiny", byKey["waypointing"].HeaderFieldBits)
+	}
+}
+
+func TestReportFieldsPopulated(t *testing.T) {
+	r := analyzeCorpus(t, "load-balance")
+	if r.Registers != 2 {
+		t.Errorf("registers = %d, want 2", r.Registers)
+	}
+	if r.Tables != 4 { // left_port, right_port, thresh, is_uplink
+		t.Errorf("tables = %d, want 4", r.Tables)
+	}
+	if r.ChainTelemetry < 2 {
+		t.Errorf("telemetry chain = %d, want >= 2 (register read-modify-write)", r.ChainTelemetry)
+	}
+	if r.HeaderContainerBits < r.HeaderFieldBits {
+		t.Errorf("container bits %d below field bits %d", r.HeaderContainerBits, r.HeaderFieldBits)
+	}
+}

@@ -1,0 +1,164 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 || s.Mean != 5 {
+		t.Fatalf("summary %+v", s)
+	}
+	if !almost(s.Variance, 32.0/7.0, 1e-12) {
+		t.Fatalf("variance = %v", s.Variance)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Fatalf("min/max %v/%v", s.Min, s.Max)
+	}
+	if z := Summarize(nil); z.N != 0 {
+		t.Fatal("empty summary")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {50, 3}, {100, 5}, {25, 2}, {75, 4}, {90, 4.6},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); !almost(got, c.want, 1e-9) {
+			t.Errorf("P%v = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if !math.IsNaN(Percentile(nil, 50)) {
+		t.Error("empty percentile should be NaN")
+	}
+}
+
+func TestCDF(t *testing.T) {
+	pts := CDF([]float64{3, 1, 2})
+	if len(pts) != 3 {
+		t.Fatal("len")
+	}
+	if pts[0].X != 1 || !almost(pts[0].P, 1.0/3, 1e-12) {
+		t.Fatalf("first point %+v", pts[0])
+	}
+	if pts[2].X != 3 || pts[2].P != 1 {
+		t.Fatalf("last point %+v", pts[2])
+	}
+}
+
+// TestRegIncBetaKnownValues checks I_x(a,b) against independently known
+// values: I_x(1,1) = x, I_x(2,1)=x², and symmetry I_x(a,b)=1-I_{1-x}(b,a).
+func TestRegIncBetaKnownValues(t *testing.T) {
+	for _, x := range []float64{0.1, 0.25, 0.5, 0.75, 0.9} {
+		if got := regIncBeta(1, 1, x); !almost(got, x, 1e-10) {
+			t.Errorf("I_%v(1,1) = %v", x, got)
+		}
+		if got := regIncBeta(2, 1, x); !almost(got, x*x, 1e-10) {
+			t.Errorf("I_%v(2,1) = %v, want %v", x, got, x*x)
+		}
+	}
+	f := func(a8, b8, x8 uint8) bool {
+		a := 0.5 + float64(a8%40)/4
+		b := 0.5 + float64(b8%40)/4
+		x := (float64(x8) + 0.5) / 256
+		return almost(regIncBeta(a, b, x), 1-regIncBeta(b, a, 1-x), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStudentTKnownQuantiles pins the t distribution against standard
+// table values: P(T>t) for known critical points.
+func TestStudentTKnownQuantiles(t *testing.T) {
+	cases := []struct {
+		t, df, want float64
+	}{
+		{2.776, 4, 0.025},  // t_{0.975,4}
+		{2.228, 10, 0.025}, // t_{0.975,10}
+		{1.812, 10, 0.05},  // t_{0.95,10}
+		{1.96, 1e6, 0.025}, // normal limit
+		{0, 10, 0.5},
+	}
+	for _, c := range cases {
+		if got := studentTCDFUpper(c.t, c.df); !almost(got, c.want, 2e-3) {
+			t.Errorf("P(T>%v; df=%v) = %v, want %v", c.t, c.df, got, c.want)
+		}
+	}
+}
+
+func TestWelchTTestSameDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	a := make([]float64, 400)
+	b := make([]float64, 400)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+		b[i] = rng.NormFloat64()
+	}
+	r, err := WelchTTest(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Significant(0.01) {
+		t.Fatalf("same-distribution samples flagged significant: %v", r)
+	}
+}
+
+func TestWelchTTestDifferentMeans(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := make([]float64, 200)
+	b := make([]float64, 200)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+		b[i] = rng.NormFloat64() + 1.0
+	}
+	r, err := WelchTTest(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Significant(0.001) {
+		t.Fatalf("shifted samples not flagged: %v", r)
+	}
+}
+
+func TestWelchTTestKnownExample(t *testing.T) {
+	// Classic Welch example (e.g. Wikipedia's A1/B1 variant): two small
+	// samples with clearly different means.
+	a := []float64{27.5, 21.0, 19.0, 23.6, 17.0, 17.9, 16.9, 20.1, 21.9, 22.6, 23.1, 19.6, 19.0, 21.7, 21.4}
+	b := []float64{27.1, 22.0, 20.8, 23.4, 23.4, 23.5, 25.8, 22.0, 24.8, 20.2, 21.9, 22.1, 22.9, 30.5, 24.5}
+	r, err := WelchTTest(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reference values computed independently (same data, Welch formula):
+	// t = -2.8586, df = 27.890, p = 0.0080.
+	if !almost(r.T, -2.8586, 0.001) {
+		t.Errorf("t = %v, want ≈ -2.8586", r.T)
+	}
+	if !almost(r.DF, 27.890, 0.01) {
+		t.Errorf("df = %v, want ≈ 27.890", r.DF)
+	}
+	if !almost(r.P, 0.00796, 0.0005) {
+		t.Errorf("p = %v, want ≈ 0.00796", r.P)
+	}
+}
+
+func TestWelchTTestEdgeCases(t *testing.T) {
+	if _, err := WelchTTest([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("tiny sample must error")
+	}
+	r, err := WelchTTest([]float64{5, 5, 5}, []float64{5, 5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.P != 1 {
+		t.Fatalf("identical constant samples: p = %v, want 1", r.P)
+	}
+}
