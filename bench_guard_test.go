@@ -1,0 +1,109 @@
+package repro_test
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// benchBaseline is the committed performance envelope in
+// BENCH_baseline.json. PHV usage is a deterministic compile-time
+// metric, so it is guarded tightly; packets-per-second is wall-clock
+// and machine-dependent, so the guard only fails when throughput drops
+// below EnginePPS×PPSMinFactor — a generous factor chosen to catch
+// order-of-magnitude regressions (an accidental O(n²), a lock on the
+// per-packet path) without flaking on slower hardware.
+type benchBaseline struct {
+	Note         string             `json:"note"`
+	EnginePPS    float64            `json:"engine_pps"`
+	PPSMinFactor float64            `json:"pps_min_factor"`
+	PHVTolerance float64            `json:"phv_tolerance"`
+	PHVPct       map[string]float64 `json:"phv_pct"`
+}
+
+const baselinePath = "BENCH_baseline.json"
+
+func measureEnginePPS(t testing.TB) float64 {
+	res, err := experiments.RunEngineReplay(experiments.EngineReplayConfig{
+		Packets: 20_000, Shards: 1, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counts.Forwarded != res.Counts.Packets || res.Counts.Errors != 0 {
+		t.Fatalf("benign replay must forward everything: %+v", res.Counts)
+	}
+	return res.WallPktsPerSec
+}
+
+// TestBenchRegressionGuard compares the current build against the
+// committed baseline. Set BENCH_BASELINE_UPDATE=1 to remeasure and
+// rewrite BENCH_baseline.json instead (do this deliberately, with the
+// diff reviewed — the file is the contract).
+func TestBenchRegressionGuard(t *testing.T) {
+	rows, err := experiments.Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	phv := make(map[string]float64, len(rows))
+	for _, r := range rows {
+		phv[r.Key] = r.PHVPct
+	}
+
+	if os.Getenv("BENCH_BASELINE_UPDATE") != "" {
+		base := benchBaseline{
+			Note:         "regenerate with: BENCH_BASELINE_UPDATE=1 go test -run TestBenchRegressionGuard",
+			EnginePPS:    measureEnginePPS(t),
+			PPSMinFactor: 0.25,
+			PHVTolerance: 0.01,
+			PHVPct:       phv,
+		}
+		data, err := json.MarshalIndent(base, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(baselinePath, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s: %.0f pps, %d phv rows", baselinePath, base.EnginePPS, len(base.PHVPct))
+		return
+	}
+
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		t.Fatalf("reading %s (regenerate with BENCH_BASELINE_UPDATE=1): %v", baselinePath, err)
+	}
+	var base benchBaseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		t.Fatalf("parsing %s: %v", baselinePath, err)
+	}
+
+	for key, want := range base.PHVPct {
+		got, ok := phv[key]
+		if !ok {
+			t.Errorf("checker %q is in %s but no longer in Table 1 — regenerate the baseline", key, baselinePath)
+			continue
+		}
+		if math.Abs(got-want) > base.PHVTolerance {
+			t.Errorf("%s: phv_pct = %.4f, baseline %.4f (tolerance %.4f) — a compiler layout change; "+
+				"if intended, regenerate the baseline", key, got, want, base.PHVTolerance)
+		}
+	}
+	for key := range phv {
+		if _, ok := base.PHVPct[key]; !ok {
+			t.Errorf("checker %q has no phv_pct baseline — regenerate %s", key, baselinePath)
+		}
+	}
+
+	if testing.Short() {
+		t.Skip("skipping wall-clock pps guard in -short mode")
+	}
+	floor := base.EnginePPS * base.PPSMinFactor
+	if pps := measureEnginePPS(t); pps < floor {
+		t.Errorf("engine replay ran at %.0f pps, below the guard floor %.0f (baseline %.0f × %.2f)",
+			pps, floor, base.EnginePPS, base.PPSMinFactor)
+	}
+}

@@ -135,6 +135,37 @@ func BenchmarkThroughputBaseline(b *testing.B) { benchThroughput(b, false) }
 func BenchmarkThroughputAllCheckers(b *testing.B) { benchThroughput(b, true) }
 
 // ---------------------------------------------------------------------------
+// Sharded checker engine
+
+// benchEngineShards replays the campus trace through the flow-sharded
+// engine with all corpus checkers attached. The engine is rebuilt per
+// iteration so per-shard load sensors start cold each time; `pps` is
+// the engine's packet-checking rate. Parallel speedup needs cores: on a
+// multi-core machine shards scale the rate, under GOMAXPROCS=1 they
+// tie.
+func benchEngineShards(b *testing.B, shards int) {
+	const packets = 10_000
+	var res experiments.EngineReplayResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = experiments.RunEngineReplay(experiments.EngineReplayConfig{
+			Packets: packets, Seed: 5, Shards: shards,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Counts.Forwarded != packets || res.Counts.Errors != 0 {
+			b.Fatalf("replay outcome changed: %+v", res.Counts)
+		}
+	}
+	b.ReportMetric(res.WallPktsPerSec, "pps")
+}
+
+func BenchmarkEngineShards1(b *testing.B) { benchEngineShards(b, 1) }
+func BenchmarkEngineShards4(b *testing.B) { benchEngineShards(b, 4) }
+func BenchmarkEngineShards8(b *testing.B) { benchEngineShards(b, 8) }
+
+// ---------------------------------------------------------------------------
 // Per-checker hot path
 
 // BenchmarkCheckerPerPacket measures one telemetry-hop execution of

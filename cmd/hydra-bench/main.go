@@ -6,6 +6,7 @@
 //	hydra-bench -table1                    # Table 1 (LoC, stages, PHV)
 //	hydra-bench -fig12a -fig12b            # Figure 12 RTT experiment
 //	hydra-bench -throughput                # campus-replay throughput
+//	hydra-bench -engine -shards 1,4,8      # sharded checker-engine replay
 //	hydra-bench -all                       # everything
 //
 // Figure 12's duration/background scale with -duration and -bps; see
@@ -16,6 +17,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"repro/internal/experiments"
 	"repro/internal/netsim"
@@ -27,19 +30,21 @@ func main() {
 		fig12a     = flag.Bool("fig12a", false, "regenerate Figure 12a (RTT over time)")
 		fig12b     = flag.Bool("fig12b", false, "regenerate Figure 12b (RTT CDF + t-test)")
 		throughput = flag.Bool("throughput", false, "regenerate the throughput comparison")
+		engineRun  = flag.Bool("engine", false, "run the sharded checker-engine replay")
 		all        = flag.Bool("all", false, "run everything")
 
 		durationS = flag.Float64("duration", 5, "figure 12: seconds of simulated time per configuration")
 		bps       = flag.Int64("bps", 2_000_000_000, "figure 12: background load per direction (bit/s)")
 		pingMs    = flag.Float64("ping-ms", 10, "figure 12: ping interval (ms)")
 		packets   = flag.Int("packets", 50000, "throughput: packets to replay")
+		shards    = flag.String("shards", "1,4,8", "engine: comma-separated worker counts (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
 	if *all {
-		*table1, *fig12a, *fig12b, *throughput = true, true, true, true
+		*table1, *fig12a, *fig12b, *throughput, *engineRun = true, true, true, true, true
 	}
-	if !*table1 && !*fig12a && !*fig12b && !*throughput {
+	if !*table1 && !*fig12a && !*fig12b && !*throughput && !*engineRun {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -72,6 +77,33 @@ func main() {
 		must(err)
 		fmt.Println(experiments.FormatThroughput(base, chk))
 	}
+
+	if *engineRun {
+		counts, err := parseShards(*shards)
+		must(err)
+		var results []experiments.EngineReplayResult
+		for _, n := range counts {
+			fmt.Fprintf(os.Stderr, "running engine replay with %d shard(s)...\n", n)
+			r, err := experiments.RunEngineReplay(experiments.EngineReplayConfig{
+				Packets: *packets, Shards: n,
+			})
+			must(err)
+			results = append(results, r)
+		}
+		fmt.Println(experiments.FormatEngineReplay(results))
+	}
+}
+
+func parseShards(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad -shards value %q: %w", part, err)
+		}
+		out = append(out, n)
+	}
+	return out, nil
 }
 
 func must(err error) {

@@ -1,4 +1,4 @@
-package compiler
+package compiler_test
 
 import (
 	"math/rand"
@@ -6,250 +6,21 @@ import (
 	"testing/quick"
 
 	"repro/internal/checkers"
+	"repro/internal/compiler"
+	"repro/internal/difftest"
 	"repro/internal/indus/ast"
 	"repro/internal/indus/eval"
-	"repro/internal/indus/parser"
-	"repro/internal/indus/types"
 	"repro/internal/pipeline"
 )
 
-// harness runs an Indus program on both backends — the reference
-// interpreter (internal/indus/eval) and the compiled pipeline — with
-// identical switch state, and compares outcomes.
-type harness struct {
-	t    *testing.T
-	info *types.Info
-	m    *eval.Machine
-	rt   *Runtime
+// The differential harness lives in internal/difftest so the engine and
+// conformance suites can reuse it; these aliases keep the scenario
+// tests terse.
+type hopSpec = difftest.HopSpec
 
-	evalSw map[uint32]*eval.SwitchState
-	pipeSw map[uint32]*pipeline.State
-}
+func newHarness(t *testing.T, src string) *difftest.Harness { return difftest.NewHarness(t, src) }
 
-func newHarness(t *testing.T, src string) *harness {
-	t.Helper()
-	prog, err := parser.Parse("test.indus", src)
-	if err != nil {
-		t.Fatalf("parse: %v", err)
-	}
-	info, err := types.Check(prog)
-	if err != nil {
-		t.Fatalf("types: %v", err)
-	}
-	compiled, err := Compile(info, Options{Name: "test"})
-	if err != nil {
-		t.Fatalf("compile: %v", err)
-	}
-	return &harness{
-		t:      t,
-		info:   info,
-		m:      eval.New(info),
-		rt:     &Runtime{Prog: compiled},
-		evalSw: map[uint32]*eval.SwitchState{},
-		pipeSw: map[uint32]*pipeline.State{},
-	}
-}
-
-func corpusHarness(t *testing.T, key string) *harness {
-	t.Helper()
-	p, ok := checkers.ByKey(key)
-	if !ok {
-		t.Fatalf("unknown corpus key %s", key)
-	}
-	return newHarness(t, p.Source)
-}
-
-func (h *harness) sw(id uint32) (*eval.SwitchState, *pipeline.State) {
-	if _, ok := h.evalSw[id]; !ok {
-		h.evalSw[id] = eval.NewSwitchState(id)
-		h.pipeSw[id] = h.rt.Prog.NewState()
-	}
-	return h.evalSw[id], h.pipeSw[id]
-}
-
-// valueFor builds an eval value of the declared scalar type.
-func valueFor(t ast.Type, v uint64) eval.Value {
-	switch t := t.(type) {
-	case ast.BitType:
-		return eval.NewBit(t.Width, v)
-	case ast.BoolType:
-		return eval.Bool(v != 0)
-	}
-	panic("valueFor: non-scalar")
-}
-
-func keyValues(keyType ast.Type, vals []uint64) eval.Value {
-	if tt, ok := keyType.(ast.TupleType); ok {
-		elems := make([]eval.Value, len(tt.Elems))
-		for i, et := range tt.Elems {
-			elems[i] = valueFor(et, vals[i])
-		}
-		return eval.Tuple{Elems: elems}
-	}
-	return valueFor(keyType, vals[0])
-}
-
-// installDict installs key->val into dict `name` on switch id, on both
-// backends.
-func (h *harness) installDict(id uint32, name string, key []uint64, val uint64) {
-	es, ps := h.sw(id)
-	d := h.info.Decls[name]
-	dt := d.Type.(ast.DictType)
-
-	cv, ok := es.Controls[name]
-	if !ok {
-		cv = eval.NewControlDict()
-		es.Controls[name] = cv
-	}
-	cv.Put(keyValues(dt.Key, key), valueFor(dt.Val, val))
-
-	keys := make([]pipeline.KeyMatch, len(key))
-	for i, k := range key {
-		keys[i] = pipeline.ExactKey(k)
-	}
-	w := 1
-	if bt, ok := dt.Val.(ast.BitType); ok {
-		w = bt.Width
-	}
-	if err := ps.Tables[name].Insert(pipeline.Entry{Keys: keys, Action: []pipeline.Value{pipeline.B(w, val)}}); err != nil {
-		h.t.Fatalf("install %s: %v", name, err)
-	}
-}
-
-// installScalar sets scalar control `name` on switch id on both backends.
-func (h *harness) installScalar(id uint32, name string, val uint64) {
-	es, ps := h.sw(id)
-	d := h.info.Decls[name]
-	es.Controls[name] = eval.NewControlScalar(valueFor(d.Type, val))
-	w := 1
-	if bt, ok := d.Type.(ast.BitType); ok {
-		w = bt.Width
-	}
-	if err := ps.Tables[name].Insert(pipeline.Entry{Action: []pipeline.Value{pipeline.B(w, val)}}); err != nil {
-		h.t.Fatalf("install %s: %v", name, err)
-	}
-}
-
-// installSet adds a member to control set `name` on switch id.
-func (h *harness) installSet(id uint32, name string, key ...uint64) {
-	es, ps := h.sw(id)
-	d := h.info.Decls[name]
-	st := d.Type.(ast.SetType)
-
-	cv, ok := es.Controls[name]
-	if !ok {
-		cv = eval.NewControlSet()
-		es.Controls[name] = cv
-	}
-	cv.Add(keyValues(st.Elem, key))
-
-	keys := make([]pipeline.KeyMatch, len(key))
-	for i, k := range key {
-		keys[i] = pipeline.ExactKey(k)
-	}
-	if err := ps.Tables[name].Insert(pipeline.Entry{Keys: keys}); err != nil {
-		h.t.Fatalf("install %s: %v", name, err)
-	}
-}
-
-// hopSpec is one hop of a differential trace.
-type hopSpec struct {
-	sw      uint32
-	headers map[string]uint64
-	pktLen  uint32
-}
-
-// flattenEvalArgs flattens tuples in report args to scalars, matching
-// the pipeline's digest layout.
-func flattenEvalArgs(args []eval.Value) []uint64 {
-	var out []uint64
-	var flat func(v eval.Value)
-	flat = func(v eval.Value) {
-		switch v := v.(type) {
-		case eval.Bit:
-			out = append(out, v.V)
-		case eval.Bool:
-			if v {
-				out = append(out, 1)
-			} else {
-				out = append(out, 0)
-			}
-		case eval.Tuple:
-			for _, e := range v.Elems {
-				flat(e)
-			}
-		default:
-			panic("unexpected report arg type")
-		}
-	}
-	for _, a := range args {
-		flat(a)
-	}
-	return out
-}
-
-// runBoth executes the trace on both backends and compares verdicts and
-// report payloads; it returns (rejected, reports).
-func (h *harness) runBoth(trace []hopSpec) (bool, [][]uint64) {
-	h.t.Helper()
-
-	evalHops := make([]eval.Hop, len(trace))
-	pipeEnvs := make([]HopEnv, len(trace))
-	for i, hs := range trace {
-		es, ps := h.sw(hs.sw)
-		pktLen := hs.pktLen
-		if pktLen == 0 {
-			pktLen = 100
-		}
-		headers := map[string]eval.Value{}
-		pipeHeaders := map[string]pipeline.Value{}
-		for name, v := range hs.headers {
-			d := h.info.Decls[name]
-			headers[name] = valueFor(d.Type, v)
-			w := 1
-			if bt, ok := d.Type.(ast.BitType); ok {
-				w = bt.Width
-			}
-			pipeHeaders[h.rt.Prog.HeaderBindings[name]] = pipeline.B(w, v)
-		}
-		evalHops[i] = eval.Hop{Switch: es, Headers: headers, PacketLen: pktLen}
-		pipeEnvs[i] = HopEnv{State: ps, SwitchID: hs.sw, Headers: pipeHeaders, PacketLen: pktLen}
-	}
-
-	want, err := h.m.RunTrace(evalHops)
-	if err != nil {
-		h.t.Fatalf("interpreter: %v", err)
-	}
-	got, err := h.rt.RunTrace(pipeEnvs)
-	if err != nil {
-		h.t.Fatalf("pipeline: %v", err)
-	}
-
-	if got.Reject != (want.Verdict == eval.VerdictReject) {
-		h.t.Fatalf("verdict mismatch: pipeline reject=%v, interpreter %s", got.Reject, want.Verdict)
-	}
-	if len(got.Reports) != len(want.Reports) {
-		h.t.Fatalf("report count mismatch: pipeline %d, interpreter %d", len(got.Reports), len(want.Reports))
-	}
-	var reports [][]uint64
-	for i := range got.Reports {
-		wantArgs := flattenEvalArgs(want.Reports[i].Args)
-		gotArgs := make([]uint64, len(got.Reports[i].Args))
-		for j, v := range got.Reports[i].Args {
-			gotArgs[j] = v.V
-		}
-		if len(gotArgs) != len(wantArgs) {
-			h.t.Fatalf("report %d arity mismatch: %v vs %v", i, gotArgs, wantArgs)
-		}
-		for j := range gotArgs {
-			if gotArgs[j] != wantArgs[j] {
-				h.t.Fatalf("report %d arg %d: pipeline %d, interpreter %d", i, j, gotArgs[j], wantArgs[j])
-			}
-		}
-		reports = append(reports, gotArgs)
-	}
-	return got.Reject, reports
-}
+func corpusHarness(t *testing.T, key string) *difftest.Harness { return difftest.CorpusHarness(t, key) }
 
 // ---------------------------------------------------------------------------
 // Differential scenarios over the corpus
@@ -257,19 +28,19 @@ func (h *harness) runBoth(trace []hopSpec) (bool, [][]uint64) {
 func TestDiffMultiTenancy(t *testing.T) {
 	h := corpusHarness(t, "multi-tenancy")
 	for _, id := range []uint32{1, 2} {
-		h.installDict(id, "tenants", []uint64{1}, 10)
-		h.installDict(id, "tenants", []uint64{2}, 20)
-		h.installDict(id, "tenants", []uint64{3}, 10)
+		h.InstallDict(id, "tenants", []uint64{1}, 10)
+		h.InstallDict(id, "tenants", []uint64{2}, 20)
+		h.InstallDict(id, "tenants", []uint64{3}, 10)
 	}
-	if rej, _ := h.runBoth([]hopSpec{
-		{sw: 1, headers: map[string]uint64{"in_port": 1, "eg_port": 9}},
-		{sw: 2, headers: map[string]uint64{"in_port": 9, "eg_port": 3}},
+	if rej, _ := h.RunBoth([]hopSpec{
+		{SW: 1, Headers: map[string]uint64{"in_port": 1, "eg_port": 9}},
+		{SW: 2, Headers: map[string]uint64{"in_port": 9, "eg_port": 3}},
 	}); rej {
 		t.Fatal("same-tenant path must forward")
 	}
-	if rej, _ := h.runBoth([]hopSpec{
-		{sw: 1, headers: map[string]uint64{"in_port": 1, "eg_port": 9}},
-		{sw: 2, headers: map[string]uint64{"in_port": 9, "eg_port": 2}},
+	if rej, _ := h.RunBoth([]hopSpec{
+		{SW: 1, Headers: map[string]uint64{"in_port": 1, "eg_port": 9}},
+		{SW: 2, Headers: map[string]uint64{"in_port": 9, "eg_port": 2}},
 	}); !rej {
 		t.Fatal("cross-tenant path must reject")
 	}
@@ -278,12 +49,12 @@ func TestDiffMultiTenancy(t *testing.T) {
 func TestDiffValleyFree(t *testing.T) {
 	h := corpusHarness(t, "valley-free")
 	for id, spine := range map[uint32]uint64{1: 0, 2: 0, 3: 1, 4: 1} {
-		h.installScalar(id, "is_spine_switch", spine)
+		h.InstallScalar(id, "is_spine_switch", spine)
 	}
-	if rej, _ := h.runBoth([]hopSpec{{sw: 1}, {sw: 3}, {sw: 2}}); rej {
+	if rej, _ := h.RunBoth([]hopSpec{{SW: 1}, {SW: 3}, {SW: 2}}); rej {
 		t.Fatal("valley-free path rejected")
 	}
-	if rej, _ := h.runBoth([]hopSpec{{sw: 1}, {sw: 3}, {sw: 2}, {sw: 4}, {sw: 1}}); !rej {
+	if rej, _ := h.RunBoth([]hopSpec{{SW: 1}, {SW: 3}, {SW: 2}, {SW: 4}, {SW: 1}}); !rej {
 		t.Fatal("valley path must reject")
 	}
 }
@@ -292,10 +63,10 @@ func TestDiffStatefulFirewall(t *testing.T) {
 	h := corpusHarness(t, "stateful-firewall")
 	in, out := uint64(0x0a000001), uint64(0xc0a80101)
 	for _, id := range []uint32{1, 2} {
-		h.installDict(id, "allowed", []uint64{in, out}, 1)
+		h.InstallDict(id, "allowed", []uint64{in, out}, 1)
 	}
 	hdrs := map[string]uint64{"ipv4_src": in, "ipv4_dst": out}
-	rej, reports := h.runBoth([]hopSpec{{sw: 1, headers: hdrs}, {sw: 2, headers: hdrs}})
+	rej, reports := h.RunBoth([]hopSpec{{SW: 1, Headers: hdrs}, {SW: 2, Headers: hdrs}})
 	if rej {
 		t.Fatal("allowed flow rejected")
 	}
@@ -304,17 +75,17 @@ func TestDiffStatefulFirewall(t *testing.T) {
 	}
 
 	back := map[string]uint64{"ipv4_src": out, "ipv4_dst": in}
-	if rej, _ := h.runBoth([]hopSpec{{sw: 2, headers: back}, {sw: 1, headers: back}}); !rej {
+	if rej, _ := h.RunBoth([]hopSpec{{SW: 2, Headers: back}, {SW: 1, Headers: back}}); !rej {
 		t.Fatal("unsolicited inbound flow must reject")
 	}
 }
 
 func TestDiffLoopFreedom(t *testing.T) {
 	h := corpusHarness(t, "loop-freedom")
-	if rej, _ := h.runBoth([]hopSpec{{sw: 1}, {sw: 2}, {sw: 3}, {sw: 4}}); rej {
+	if rej, _ := h.RunBoth([]hopSpec{{SW: 1}, {SW: 2}, {SW: 3}, {SW: 4}}); rej {
 		t.Fatal("loop-free path rejected")
 	}
-	rej, reports := h.runBoth([]hopSpec{{sw: 1}, {sw: 2}, {sw: 1}})
+	rej, reports := h.RunBoth([]hopSpec{{SW: 1}, {SW: 2}, {SW: 1}})
 	if !rej {
 		t.Fatal("loop must reject")
 	}
@@ -326,31 +97,31 @@ func TestDiffLoopFreedom(t *testing.T) {
 func TestDiffWaypointing(t *testing.T) {
 	h := corpusHarness(t, "waypointing")
 	for _, id := range []uint32{1, 2, 3} {
-		h.installScalar(id, "waypoint_id", 2)
+		h.InstallScalar(id, "waypoint_id", 2)
 	}
-	if rej, _ := h.runBoth([]hopSpec{{sw: 1}, {sw: 2}, {sw: 3}}); rej {
+	if rej, _ := h.RunBoth([]hopSpec{{SW: 1}, {SW: 2}, {SW: 3}}); rej {
 		t.Fatal("waypointed path rejected")
 	}
-	if rej, _ := h.runBoth([]hopSpec{{sw: 1}, {sw: 3}}); !rej {
+	if rej, _ := h.RunBoth([]hopSpec{{SW: 1}, {SW: 3}}); !rej {
 		t.Fatal("bypass must reject")
 	}
 }
 
 func TestDiffEgressValidity(t *testing.T) {
 	h := corpusHarness(t, "egress-validity")
-	h.installSet(1, "allowed_eg_ports", 1)
-	h.installSet(1, "allowed_eg_ports", 2)
-	h.installSet(2, "allowed_eg_ports", 4)
+	h.InstallSet(1, "allowed_eg_ports", 1)
+	h.InstallSet(1, "allowed_eg_ports", 2)
+	h.InstallSet(2, "allowed_eg_ports", 4)
 
-	if rej, _ := h.runBoth([]hopSpec{
-		{sw: 1, headers: map[string]uint64{"eg_port": 2}},
-		{sw: 2, headers: map[string]uint64{"eg_port": 4}},
+	if rej, _ := h.RunBoth([]hopSpec{
+		{SW: 1, Headers: map[string]uint64{"eg_port": 2}},
+		{SW: 2, Headers: map[string]uint64{"eg_port": 4}},
 	}); rej {
 		t.Fatal("allowed egress rejected")
 	}
-	rej, reports := h.runBoth([]hopSpec{
-		{sw: 1, headers: map[string]uint64{"eg_port": 3}},
-		{sw: 2, headers: map[string]uint64{"eg_port": 4}},
+	rej, reports := h.RunBoth([]hopSpec{
+		{SW: 1, Headers: map[string]uint64{"eg_port": 3}},
+		{SW: 2, Headers: map[string]uint64{"eg_port": 4}},
 	})
 	if !rej {
 		t.Fatal("bad egress must reject")
@@ -363,37 +134,37 @@ func TestDiffEgressValidity(t *testing.T) {
 func TestDiffRoutingValidity(t *testing.T) {
 	h := corpusHarness(t, "routing-validity")
 	for id, leaf := range map[uint32]uint64{1: 1, 2: 1, 3: 0, 4: 0} {
-		h.installScalar(id, "is_leaf", leaf)
+		h.InstallScalar(id, "is_leaf", leaf)
 	}
-	if rej, _ := h.runBoth([]hopSpec{{sw: 1}, {sw: 3}, {sw: 2}}); rej {
+	if rej, _ := h.RunBoth([]hopSpec{{SW: 1}, {SW: 3}, {SW: 2}}); rej {
 		t.Fatal("leaf-spine-leaf rejected")
 	}
-	if rej, _ := h.runBoth([]hopSpec{{sw: 3}, {sw: 2}}); !rej {
+	if rej, _ := h.RunBoth([]hopSpec{{SW: 3}, {SW: 2}}); !rej {
 		t.Fatal("spine-first path must reject")
 	}
-	if rej, _ := h.runBoth([]hopSpec{{sw: 1}, {sw: 2}, {sw: 3}, {sw: 1}}); !rej {
+	if rej, _ := h.RunBoth([]hopSpec{{SW: 1}, {SW: 2}, {SW: 3}, {SW: 1}}); !rej {
 		t.Fatal("leaf in the middle must reject")
 	}
 }
 
 func TestDiffVLANIsolation(t *testing.T) {
 	h := corpusHarness(t, "vlan-isolation")
-	h.installDict(1, "vlan_members", []uint64{100}, 1)
-	h.installDict(2, "vlan_members", []uint64{100}, 1)
-	h.installDict(3, "vlan_members", []uint64{200}, 1)
+	h.InstallDict(1, "vlan_members", []uint64{100}, 1)
+	h.InstallDict(2, "vlan_members", []uint64{100}, 1)
+	h.InstallDict(3, "vlan_members", []uint64{200}, 1)
 
 	v100 := map[string]uint64{"vlan_id": 100}
-	if rej, _ := h.runBoth([]hopSpec{{sw: 1, headers: v100}, {sw: 2, headers: v100}}); rej {
+	if rej, _ := h.RunBoth([]hopSpec{{SW: 1, Headers: v100}, {SW: 2, Headers: v100}}); rej {
 		t.Fatal("same-vlan path rejected")
 	}
 	// Switch 3 is not a member of VLAN 100.
-	if rej, _ := h.runBoth([]hopSpec{{sw: 1, headers: v100}, {sw: 3, headers: v100}}); !rej {
+	if rej, _ := h.RunBoth([]hopSpec{{SW: 1, Headers: v100}, {SW: 3, Headers: v100}}); !rej {
 		t.Fatal("non-member switch must reject")
 	}
 	// VLAN changes mid-path.
-	if rej, _ := h.runBoth([]hopSpec{
-		{sw: 1, headers: v100},
-		{sw: 2, headers: map[string]uint64{"vlan_id": 200}},
+	if rej, _ := h.RunBoth([]hopSpec{
+		{SW: 1, Headers: v100},
+		{SW: 2, Headers: map[string]uint64{"vlan_id": 200}},
 	}); !rej {
 		t.Fatal("vlan change must reject")
 	}
@@ -402,23 +173,23 @@ func TestDiffVLANIsolation(t *testing.T) {
 func TestDiffServiceChain(t *testing.T) {
 	h := corpusHarness(t, "service-chain")
 	for _, id := range []uint32{1, 2, 3, 4, 5} {
-		h.installScalar(id, "src_switch", 1)
-		h.installScalar(id, "dst_switch", 5)
-		h.installScalar(id, "chain_len", 2)
-		h.installDict(id, "chain_index", []uint64{2}, 1)
-		h.installDict(id, "chain_index", []uint64{3}, 2)
+		h.InstallScalar(id, "src_switch", 1)
+		h.InstallScalar(id, "dst_switch", 5)
+		h.InstallScalar(id, "chain_len", 2)
+		h.InstallDict(id, "chain_index", []uint64{2}, 1)
+		h.InstallDict(id, "chain_index", []uint64{3}, 2)
 	}
-	if rej, _ := h.runBoth([]hopSpec{{sw: 1}, {sw: 2}, {sw: 3}, {sw: 5}}); rej {
+	if rej, _ := h.RunBoth([]hopSpec{{SW: 1}, {SW: 2}, {SW: 3}, {SW: 5}}); rej {
 		t.Fatal("in-order chain rejected")
 	}
-	if rej, _ := h.runBoth([]hopSpec{{sw: 1}, {sw: 3}, {sw: 2}, {sw: 5}}); !rej {
+	if rej, _ := h.RunBoth([]hopSpec{{SW: 1}, {SW: 3}, {SW: 2}, {SW: 5}}); !rej {
 		t.Fatal("out-of-order chain must reject")
 	}
-	if rej, _ := h.runBoth([]hopSpec{{sw: 1}, {sw: 2}, {sw: 5}}); !rej {
+	if rej, _ := h.RunBoth([]hopSpec{{SW: 1}, {SW: 2}, {SW: 5}}); !rej {
 		t.Fatal("skipped waypoint must reject")
 	}
 	// A packet not starting at src_switch is out of scope: forward.
-	if rej, _ := h.runBoth([]hopSpec{{sw: 4}, {sw: 5}}); rej {
+	if rej, _ := h.RunBoth([]hopSpec{{SW: 4}, {SW: 5}}); rej {
 		t.Fatal("non-chain traffic must forward")
 	}
 }
@@ -426,19 +197,19 @@ func TestDiffServiceChain(t *testing.T) {
 func TestDiffSourceRoutingValidation(t *testing.T) {
 	h := corpusHarness(t, "source-routing")
 	ok := []hopSpec{
-		{sw: 1, headers: map[string]uint64{"sr_next": 1, "sr_valid": 1}},
-		{sw: 3, headers: map[string]uint64{"sr_next": 3, "sr_valid": 1}},
-		{sw: 2, headers: map[string]uint64{"sr_next": 2, "sr_valid": 1}},
+		{SW: 1, Headers: map[string]uint64{"sr_next": 1, "sr_valid": 1}},
+		{SW: 3, Headers: map[string]uint64{"sr_next": 3, "sr_valid": 1}},
+		{SW: 2, Headers: map[string]uint64{"sr_next": 2, "sr_valid": 1}},
 	}
-	if rej, _ := h.runBoth(ok); rej {
+	if rej, _ := h.RunBoth(ok); rej {
 		t.Fatal("valid source route rejected")
 	}
 	bad := []hopSpec{
-		{sw: 1, headers: map[string]uint64{"sr_next": 1, "sr_valid": 1}},
-		{sw: 4, headers: map[string]uint64{"sr_next": 3, "sr_valid": 1}}, // went to 4, route said 3
-		{sw: 2, headers: map[string]uint64{"sr_next": 2, "sr_valid": 1}},
+		{SW: 1, Headers: map[string]uint64{"sr_next": 1, "sr_valid": 1}},
+		{SW: 4, Headers: map[string]uint64{"sr_next": 3, "sr_valid": 1}}, // went to 4, route said 3
+		{SW: 2, Headers: map[string]uint64{"sr_next": 2, "sr_valid": 1}},
 	}
-	if rej, _ := h.runBoth(bad); !rej {
+	if rej, _ := h.RunBoth(bad); !rej {
 		t.Fatal("diverted packet must reject")
 	}
 }
@@ -449,20 +220,20 @@ func TestDiffSourceRoutingValidation(t *testing.T) {
 func TestDiffFigure2LoadBalance(t *testing.T) {
 	h := newHarness(t, checkers.LoadBalanceFig2Src)
 	for _, id := range []uint32{1, 2} {
-		h.installScalar(id, "left_port", 1)
-		h.installScalar(id, "right_port", 2)
-		h.installScalar(id, "thresh", 500)
-		h.installDict(id, "is_uplink", []uint64{1}, 1)
-		h.installDict(id, "is_uplink", []uint64{2}, 1)
+		h.InstallScalar(id, "left_port", 1)
+		h.InstallScalar(id, "right_port", 2)
+		h.InstallScalar(id, "thresh", 500)
+		h.InstallDict(id, "is_uplink", []uint64{1}, 1)
+		h.InstallDict(id, "is_uplink", []uint64{2}, 1)
 	}
 	// Build up imbalance on the left port; each trace snapshots the
 	// loads at both hops, and once the difference exceeds the threshold
 	// the checker's loop reports for every offending snapshot.
 	var sawReport bool
 	for i := 0; i < 4; i++ {
-		_, reports := h.runBoth([]hopSpec{
-			{sw: 1, headers: map[string]uint64{"eg_port": 1}, pktLen: 300},
-			{sw: 2, headers: map[string]uint64{"eg_port": 9}, pktLen: 300},
+		_, reports := h.RunBoth([]hopSpec{
+			{SW: 1, Headers: map[string]uint64{"eg_port": 1}, PktLen: 300},
+			{SW: 2, Headers: map[string]uint64{"eg_port": 9}, PktLen: 300},
 		})
 		if len(reports) > 0 {
 			sawReport = true
@@ -476,19 +247,19 @@ func TestDiffFigure2LoadBalance(t *testing.T) {
 func TestDiffLoadBalance(t *testing.T) {
 	h := corpusHarness(t, "load-balance")
 	for _, id := range []uint32{1, 2} {
-		h.installScalar(id, "left_port", 1)
-		h.installScalar(id, "right_port", 2)
-		h.installScalar(id, "thresh", 500)
-		h.installDict(id, "is_uplink", []uint64{1}, 1)
-		h.installDict(id, "is_uplink", []uint64{2}, 1)
+		h.InstallScalar(id, "left_port", 1)
+		h.InstallScalar(id, "right_port", 2)
+		h.InstallScalar(id, "thresh", 500)
+		h.InstallDict(id, "is_uplink", []uint64{1}, 1)
+		h.InstallDict(id, "is_uplink", []uint64{2}, 1)
 	}
 	// Balanced: alternate packets across the two uplinks; the running
 	// difference never exceeds the threshold.
 	for i := 0; i < 4; i++ {
 		port := uint64(1 + i%2)
-		if _, reports := h.runBoth([]hopSpec{
-			{sw: 1, headers: map[string]uint64{"eg_port": port}, pktLen: 400},
-			{sw: 2, headers: map[string]uint64{"eg_port": 9}, pktLen: 400},
+		if _, reports := h.RunBoth([]hopSpec{
+			{SW: 1, Headers: map[string]uint64{"eg_port": port}, PktLen: 400},
+			{SW: 2, Headers: map[string]uint64{"eg_port": 9}, PktLen: 400},
 		}); len(reports) != 0 {
 			t.Fatalf("balanced load reported an imbalance: %v", reports)
 		}
@@ -496,9 +267,9 @@ func TestDiffLoadBalance(t *testing.T) {
 	// Hammer the left port until the threshold trips.
 	var reported bool
 	for i := 0; i < 5; i++ {
-		_, reports := h.runBoth([]hopSpec{
-			{sw: 1, headers: map[string]uint64{"eg_port": 1}, pktLen: 400},
-			{sw: 2, headers: map[string]uint64{"eg_port": 9}, pktLen: 400},
+		_, reports := h.RunBoth([]hopSpec{
+			{SW: 1, Headers: map[string]uint64{"eg_port": 1}, PktLen: 400},
+			{SW: 2, Headers: map[string]uint64{"eg_port": 9}, PktLen: 400},
 		})
 		if len(reports) > 0 {
 			reported = true
@@ -515,8 +286,8 @@ func TestDiffAppFiltering(t *testing.T) {
 	const udp = 17
 	// deny=1 for (ue, udp, app, 80), allow=2 for (ue, udp, app, 81)
 	for _, id := range []uint32{1, 2} {
-		h.installDict(id, "filtering_actions", []uint64{ue, udp, app, 80}, 1)
-		h.installDict(id, "filtering_actions", []uint64{ue, udp, app, 81}, 2)
+		h.InstallDict(id, "filtering_actions", []uint64{ue, udp, app, 80}, 1)
+		h.InstallDict(id, "filtering_actions", []uint64{ue, udp, app, 81}, 2)
 	}
 	uplink := func(dport, dropped uint64) []hopSpec {
 		hdrs := map[string]uint64{
@@ -528,11 +299,11 @@ func TestDiffAppFiltering(t *testing.T) {
 			"outer_tcp_sport": 0, "outer_udp_sport": 0,
 			"to_be_dropped": dropped,
 		}
-		return []hopSpec{{sw: 1, headers: hdrs}, {sw: 2, headers: hdrs}}
+		return []hopSpec{{SW: 1, Headers: hdrs}, {SW: 2, Headers: hdrs}}
 	}
 
 	// Denied app forwarded by the data plane: reject + report.
-	rej, reports := h.runBoth(uplink(80, 0))
+	rej, reports := h.RunBoth(uplink(80, 0))
 	if !rej || len(reports) != 1 {
 		t.Fatalf("deny violation: rej=%v reports=%v", rej, reports)
 	}
@@ -540,7 +311,7 @@ func TestDiffAppFiltering(t *testing.T) {
 		t.Fatalf("report action = %d, want 1 (deny)", reports[0][4])
 	}
 	// Allowed app dropped by the data plane (the Figure 11 bug): report.
-	rej, reports = h.runBoth(uplink(81, 1))
+	rej, reports = h.RunBoth(uplink(81, 1))
 	if rej || len(reports) != 1 {
 		t.Fatalf("allow violation: rej=%v reports=%v", rej, reports)
 	}
@@ -548,12 +319,12 @@ func TestDiffAppFiltering(t *testing.T) {
 		t.Fatalf("report action = %d, want 2 (allow)", reports[0][4])
 	}
 	// Allowed and forwarded: clean.
-	rej, reports = h.runBoth(uplink(81, 0))
+	rej, reports = h.RunBoth(uplink(81, 0))
 	if rej || len(reports) != 0 {
 		t.Fatalf("clean uplink: rej=%v reports=%v", rej, reports)
 	}
 	// Denied and dropped: data plane already enforcing, nothing to say.
-	rej, reports = h.runBoth(uplink(80, 1))
+	rej, reports = h.RunBoth(uplink(80, 1))
 	if rej || len(reports) != 0 {
 		t.Fatalf("enforced deny: rej=%v reports=%v", rej, reports)
 	}
@@ -571,21 +342,21 @@ func TestDiffRandomTraces(t *testing.T) {
 			h := corpusHarness(t, "multi-tenancy")
 			for id := uint32(1); id <= 3; id++ {
 				for port := uint64(0); port < 8; port++ {
-					h.installDict(id, "tenants", []uint64{port}, uint64(rng.Intn(3)))
+					h.InstallDict(id, "tenants", []uint64{port}, uint64(rng.Intn(3)))
 				}
 			}
 			n := rng.Intn(4) + 1
 			trace := make([]hopSpec, n)
 			for i := range trace {
 				trace[i] = hopSpec{
-					sw: uint32(rng.Intn(3) + 1),
-					headers: map[string]uint64{
+					SW: uint32(rng.Intn(3) + 1),
+					Headers: map[string]uint64{
 						"in_port": uint64(rng.Intn(8)),
 						"eg_port": uint64(rng.Intn(8)),
 					},
 				}
 			}
-			h.runBoth(trace) // runBoth fails the test on divergence
+			h.RunBoth(trace) // RunBoth fails the test on divergence
 			return true
 		}
 		if err := quick.Check(f, cfg); err != nil {
@@ -600,9 +371,9 @@ func TestDiffRandomTraces(t *testing.T) {
 			n := rng.Intn(6) + 1
 			trace := make([]hopSpec, n)
 			for i := range trace {
-				trace[i] = hopSpec{sw: uint32(rng.Intn(4) + 1)}
+				trace[i] = hopSpec{SW: uint32(rng.Intn(4) + 1)}
 			}
-			h.runBoth(trace)
+			h.RunBoth(trace)
 			return true
 		}
 		if err := quick.Check(f, cfg); err != nil {
@@ -621,7 +392,7 @@ func TestCompileCorpus(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			prog, err := Compile(info, Options{Name: p.Key})
+			prog, err := compiler.Compile(info, compiler.Options{Name: p.Key})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -648,11 +419,11 @@ func TestCompileCorpus(t *testing.T) {
 // edge.
 func TestPerHopChecking(t *testing.T) {
 	info := checkers.MustParse("loop-freedom")
-	prog, err := Compile(info, Options{})
+	prog, err := compiler.Compile(info, compiler.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	rt := &Runtime{Prog: prog, CheckEveryHop: true}
+	rt := &compiler.Runtime{Prog: prog, CheckEveryHop: true}
 	st := prog.NewState()
 
 	var blob []byte
@@ -661,7 +432,7 @@ func TestPerHopChecking(t *testing.T) {
 	ids := []uint32{1, 2, 1, 3}
 	var rejectedAt = -1
 	for i, id := range ids {
-		hr, err := rt.RunHop(blob, HopEnv{State: st, SwitchID: id, PacketLen: 100}, i == 0, i == len(ids)-1)
+		hr, err := rt.RunHop(blob, compiler.HopEnv{State: st, SwitchID: id, PacketLen: 100}, i == 0, i == len(ids)-1)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -679,7 +450,7 @@ func TestPerHopChecking(t *testing.T) {
 // telemetry faithfully between hops.
 func TestTelemetryBlobRoundTrip(t *testing.T) {
 	info := checkers.MustParse("source-routing")
-	prog, err := Compile(info, Options{})
+	prog, err := compiler.Compile(info, compiler.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -737,9 +508,9 @@ header bit<8> which;
 `
 	h := newHarness(t, src)
 	for _, which := range []uint64{0, 1, 2, 3, 7} { // 7 is out of range: dropped write, zero read
-		h.runBoth([]hopSpec{
-			{sw: 5, headers: map[string]uint64{"which": which}},
-			{sw: 6, headers: map[string]uint64{"which": which}},
+		h.RunBoth([]hopSpec{
+			{SW: 5, Headers: map[string]uint64{"which": which}},
+			{SW: 6, Headers: map[string]uint64{"which": which}},
 		})
 	}
 }
@@ -757,10 +528,10 @@ tele bit<8> at_check;
 { at_check = hop_count; }
 `
 	h := newHarness(t, src)
-	_, _ = h.runBoth([]hopSpec{{sw: 1}, {sw: 2}, {sw: 3}})
+	_, _ = h.RunBoth([]hopSpec{{SW: 1}, {SW: 2}, {SW: 3}})
 
 	// And the concrete values: init sees 1, last telemetry/checker see 3.
-	info := h.info
+	info := h.Info()
 	m := eval.New(info)
 	out, err := m.RunTrace([]eval.Hop{
 		{Switch: eval.NewSwitchState(1), PacketLen: 1},
@@ -783,15 +554,15 @@ tele bit<8> at_check;
 // wire bytes whenever a program carries sub-byte or odd-width fields.
 func TestAlignedTelemetryEncoding(t *testing.T) {
 	info := checkers.MustParse("valley-free") // two booleans: 10 bits packed
-	packed := MustCompile(info, Options{Name: "vf"})
-	aligned := MustCompile(info, Options{Name: "vf", AlignedTele: true})
+	packed := compiler.MustCompile(info, compiler.Options{Name: "vf"})
+	aligned := compiler.MustCompile(info, compiler.Options{Name: "vf", AlignedTele: true})
 
 	if p, a := packed.TeleWireBits(), aligned.TeleWireBits(); a <= p {
 		t.Fatalf("aligned (%d bits) should exceed packed (%d bits)", a, p)
 	}
 
 	// Differential run under the aligned encoding: verdicts unchanged.
-	rtA := &Runtime{Prog: aligned}
+	rtA := &compiler.Runtime{Prog: aligned}
 	stA := aligned.NewState()
 	if err := stA.Tables["is_spine_switch"].Insert(pipeline.Entry{
 		Action: []pipeline.Value{pipeline.B(1, 1)},
@@ -799,7 +570,7 @@ func TestAlignedTelemetryEncoding(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Two spine hops on the same (spine-configured) state: reject.
-	res, err := rtA.RunTrace([]HopEnv{
+	res, err := rtA.RunTrace([]compiler.HopEnv{
 		{State: stA, SwitchID: 3, PacketLen: 100},
 		{State: stA, SwitchID: 4, PacketLen: 100},
 	})

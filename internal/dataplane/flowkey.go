@@ -1,0 +1,73 @@
+package dataplane
+
+import "encoding/binary"
+
+// FlowKey is the canonical 5-tuple identifying a transport flow. It is
+// the unit of affinity for RSS-style receive-side scaling: all packets
+// of a flow — in both directions — must hash to the same value so that
+// per-flow checker state stays on one shard.
+type FlowKey struct {
+	Src, Dst     IP4
+	Proto        uint8
+	Sport, Dport uint16
+}
+
+// FlowKeyOf extracts the 5-tuple from a decoded packet. Non-IPv4
+// packets yield the zero key (they all land on one shard, like
+// non-RSS-hashable traffic landing on queue 0 of a NIC).
+func FlowKeyOf(d *Decoded) FlowKey {
+	if !d.HasIPv4 {
+		return FlowKey{}
+	}
+	k := FlowKey{Src: d.IPv4.Src, Dst: d.IPv4.Dst, Proto: d.IPv4.Protocol}
+	switch {
+	case d.HasUDP:
+		k.Sport, k.Dport = d.UDP.SrcPort, d.UDP.DstPort
+	case d.HasTCP:
+		k.Sport, k.Dport = d.TCP.SrcPort, d.TCP.DstPort
+	}
+	return k
+}
+
+// rssKey is the symmetric Toeplitz key (0x6d5a repeating, Woo &
+// Zhang's choice): its 16-bit period makes the hash invariant under
+// (src,sport) <-> (dst,dport) exchange, so both directions of a flow —
+// which the stateful-firewall checker correlates — land on one shard.
+var rssKey = func() [40]byte {
+	var k [40]byte
+	for i := 0; i < len(k); i += 2 {
+		k[i], k[i+1] = 0x6d, 0x5a
+	}
+	return k
+}()
+
+// RSSHash is the Toeplitz hash of the flow key over the standard RSS
+// input layout (src, dst, sport, dport — plus the protocol byte, which
+// hardware RSS folds into the queue-indirection table instead).
+func (k FlowKey) RSSHash() uint32 {
+	var in [13]byte
+	binary.BigEndian.PutUint32(in[0:4], uint32(k.Src))
+	binary.BigEndian.PutUint32(in[4:8], uint32(k.Dst))
+	binary.BigEndian.PutUint16(in[8:10], k.Sport)
+	binary.BigEndian.PutUint16(in[10:12], k.Dport)
+	in[12] = k.Proto
+	return toeplitz(in[:])
+}
+
+// toeplitz computes the Toeplitz hash of data under rssKey: for every
+// set bit of the input, XOR in the 32-bit key window starting at that
+// bit position.
+func toeplitz(data []byte) uint32 {
+	var h uint32
+	w := binary.BigEndian.Uint32(rssKey[0:4])
+	for i, b := range data {
+		for bit := 0; bit < 8; bit++ {
+			if b&(0x80>>uint(bit)) != 0 {
+				h ^= w
+			}
+			next := rssKey[i+4] >> uint(7-bit) & 1
+			w = w<<1 | uint32(next)
+		}
+	}
+	return h
+}

@@ -1,0 +1,87 @@
+package dataplane
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randKey(rng *rand.Rand) FlowKey {
+	proto := ProtoTCP
+	if rng.Intn(2) == 0 {
+		proto = ProtoUDP
+	}
+	return FlowKey{
+		Src:   IP4(rng.Uint32()),
+		Dst:   IP4(rng.Uint32()),
+		Proto: proto,
+		Sport: uint16(rng.Uint32()),
+		Dport: uint16(rng.Uint32()),
+	}
+}
+
+// TestRSSHashSymmetry: the repeating-0x6d5a Toeplitz key must make the
+// hash invariant under direction reversal, so both halves of a
+// connection share a shard.
+func TestRSSHashSymmetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10_000; i++ {
+		k := randKey(rng)
+		rev := FlowKey{Src: k.Dst, Dst: k.Src, Proto: k.Proto, Sport: k.Dport, Dport: k.Sport}
+		if k.RSSHash() != rev.RSSHash() {
+			t.Fatalf("asymmetric hash: %+v -> %08x, reverse -> %08x", k, k.RSSHash(), rev.RSSHash())
+		}
+	}
+}
+
+// TestRSSHashSpread: distinct flows must spread across buckets; a
+// degenerate hash would serialize the engine onto one shard.
+func TestRSSHashSpread(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	const flows, buckets = 4096, 8
+	var counts [buckets]int
+	for i := 0; i < flows; i++ {
+		counts[randKey(rng).RSSHash()%buckets]++
+	}
+	for b, c := range counts {
+		if c < flows/buckets/2 || c > flows/buckets*2 {
+			t.Fatalf("bucket %d holds %d of %d flows (counts %v)", b, c, flows, counts)
+		}
+	}
+}
+
+// TestRSSHashZeroKey: all-zero input hashes to 0 — the Toeplitz hash
+// has no constant term, so non-IPv4 traffic lands deterministically on
+// shard 0.
+func TestRSSHashZeroKey(t *testing.T) {
+	if h := (FlowKey{}).RSSHash(); h != 0 {
+		t.Fatalf("zero key hashed to %08x", h)
+	}
+}
+
+func TestFlowKeyOf(t *testing.T) {
+	udp := &Decoded{
+		HasIPv4: true,
+		IPv4:    IPv4{Src: MustIP4("10.0.0.1"), Dst: MustIP4("10.0.0.2"), Protocol: ProtoUDP},
+		HasUDP:  true,
+		UDP:     UDP{SrcPort: 1234, DstPort: 53},
+	}
+	want := FlowKey{Src: MustIP4("10.0.0.1"), Dst: MustIP4("10.0.0.2"), Proto: ProtoUDP, Sport: 1234, Dport: 53}
+	if got := FlowKeyOf(udp); got != want {
+		t.Errorf("udp key %+v, want %+v", got, want)
+	}
+
+	tcp := &Decoded{
+		HasIPv4: true,
+		IPv4:    IPv4{Src: MustIP4("10.0.0.1"), Dst: MustIP4("10.0.0.2"), Protocol: ProtoTCP},
+		HasTCP:  true,
+		TCP:     TCP{SrcPort: 1234, DstPort: 80},
+	}
+	wantTCP := FlowKey{Src: MustIP4("10.0.0.1"), Dst: MustIP4("10.0.0.2"), Proto: ProtoTCP, Sport: 1234, Dport: 80}
+	if got := FlowKeyOf(tcp); got != wantTCP {
+		t.Errorf("tcp key %+v, want %+v", got, wantTCP)
+	}
+
+	if got := FlowKeyOf(&Decoded{}); got != (FlowKey{}) {
+		t.Errorf("non-IPv4 packet yielded non-zero key %+v", got)
+	}
+}

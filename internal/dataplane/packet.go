@@ -145,6 +145,15 @@ func Parse(data []byte) (*Decoded, error) {
 			if err := d.parseGTPU(rest); err == nil {
 				return d, nil
 			}
+			// parseGTPU may have set tunnel flags before hitting the
+			// broken framing; clear them so the fallback really is a
+			// plain UDP packet (a half-valid tunnel would re-serialize
+			// as garbage).
+			d.HasGTPU, d.GTPU = false, GTPU{}
+			d.HasInnerIPv4, d.InnerIPv4 = false, IPv4{}
+			d.HasInnerUDP, d.InnerUDP = false, UDP{}
+			d.HasInnerTCP, d.InnerTCP = false, TCP{}
+			d.HasInnerICMP, d.InnerICMP = false, ICMPEcho{}
 			d.Payload = rest
 			return d, nil
 		}

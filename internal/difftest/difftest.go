@@ -1,0 +1,264 @@
+// Package difftest is the reusable differential-testing harness: it
+// runs an Indus program on both backends — the reference interpreter
+// (internal/indus/eval) and the compiled pipeline (internal/compiler →
+// internal/pipeline) — with identical switch state, and fails the test
+// on any divergence in verdicts or report payloads. The conformance
+// suite in this package sweeps the whole checker corpus through
+// randomized traces; other packages import the harness for targeted
+// scenarios.
+package difftest
+
+import (
+	"testing"
+
+	"repro/internal/checkers"
+	"repro/internal/compiler"
+	"repro/internal/indus/ast"
+	"repro/internal/indus/eval"
+	"repro/internal/indus/parser"
+	"repro/internal/indus/types"
+	"repro/internal/pipeline"
+)
+
+// Harness holds one program compiled for both backends plus mirrored
+// per-switch state.
+type Harness struct {
+	tb   testing.TB
+	info *types.Info
+	m    *eval.Machine
+	rt   *compiler.Runtime
+
+	evalSw map[uint32]*eval.SwitchState
+	pipeSw map[uint32]*pipeline.State
+}
+
+// NewHarness parses, checks and compiles src for both backends.
+func NewHarness(tb testing.TB, src string) *Harness {
+	tb.Helper()
+	prog, err := parser.Parse("test.indus", src)
+	if err != nil {
+		tb.Fatalf("parse: %v", err)
+	}
+	info, err := types.Check(prog)
+	if err != nil {
+		tb.Fatalf("types: %v", err)
+	}
+	compiled, err := compiler.Compile(info, compiler.Options{Name: "test"})
+	if err != nil {
+		tb.Fatalf("compile: %v", err)
+	}
+	return &Harness{
+		tb:     tb,
+		info:   info,
+		m:      eval.New(info),
+		rt:     &compiler.Runtime{Prog: compiled},
+		evalSw: map[uint32]*eval.SwitchState{},
+		pipeSw: map[uint32]*pipeline.State{},
+	}
+}
+
+// CorpusHarness builds a harness for a checker from the corpus.
+func CorpusHarness(tb testing.TB, key string) *Harness {
+	tb.Helper()
+	p, ok := checkers.ByKey(key)
+	if !ok {
+		tb.Fatalf("unknown corpus key %s", key)
+	}
+	return NewHarness(tb, p.Source)
+}
+
+// Info exposes the type-checked program (decl table etc.).
+func (h *Harness) Info() *types.Info { return h.info }
+
+func (h *Harness) sw(id uint32) (*eval.SwitchState, *pipeline.State) {
+	if _, ok := h.evalSw[id]; !ok {
+		h.evalSw[id] = eval.NewSwitchState(id)
+		h.pipeSw[id] = h.rt.Prog.NewState()
+	}
+	return h.evalSw[id], h.pipeSw[id]
+}
+
+// valueFor builds an eval value of the declared scalar type.
+func valueFor(t ast.Type, v uint64) eval.Value {
+	switch t := t.(type) {
+	case ast.BitType:
+		return eval.NewBit(t.Width, v)
+	case ast.BoolType:
+		return eval.Bool(v != 0)
+	}
+	panic("valueFor: non-scalar")
+}
+
+func keyValues(keyType ast.Type, vals []uint64) eval.Value {
+	if tt, ok := keyType.(ast.TupleType); ok {
+		elems := make([]eval.Value, len(tt.Elems))
+		for i, et := range tt.Elems {
+			elems[i] = valueFor(et, vals[i])
+		}
+		return eval.Tuple{Elems: elems}
+	}
+	return valueFor(keyType, vals[0])
+}
+
+// InstallDict installs key->val into dict `name` on switch id, on both
+// backends.
+func (h *Harness) InstallDict(id uint32, name string, key []uint64, val uint64) {
+	es, ps := h.sw(id)
+	d := h.info.Decls[name]
+	dt := d.Type.(ast.DictType)
+
+	cv, ok := es.Controls[name]
+	if !ok {
+		cv = eval.NewControlDict()
+		es.Controls[name] = cv
+	}
+	cv.Put(keyValues(dt.Key, key), valueFor(dt.Val, val))
+
+	keys := make([]pipeline.KeyMatch, len(key))
+	for i, k := range key {
+		keys[i] = pipeline.ExactKey(k)
+	}
+	w := 1
+	if bt, ok := dt.Val.(ast.BitType); ok {
+		w = bt.Width
+	}
+	if err := ps.Tables[name].Insert(pipeline.Entry{Keys: keys, Action: []pipeline.Value{pipeline.B(w, val)}}); err != nil {
+		h.tb.Fatalf("install %s: %v", name, err)
+	}
+}
+
+// InstallScalar sets scalar control `name` on switch id on both backends.
+func (h *Harness) InstallScalar(id uint32, name string, val uint64) {
+	es, ps := h.sw(id)
+	d := h.info.Decls[name]
+	es.Controls[name] = eval.NewControlScalar(valueFor(d.Type, val))
+	w := 1
+	if bt, ok := d.Type.(ast.BitType); ok {
+		w = bt.Width
+	}
+	if err := ps.Tables[name].Insert(pipeline.Entry{Action: []pipeline.Value{pipeline.B(w, val)}}); err != nil {
+		h.tb.Fatalf("install %s: %v", name, err)
+	}
+}
+
+// InstallSet adds a member to control set `name` on switch id.
+func (h *Harness) InstallSet(id uint32, name string, key ...uint64) {
+	es, ps := h.sw(id)
+	d := h.info.Decls[name]
+	st := d.Type.(ast.SetType)
+
+	cv, ok := es.Controls[name]
+	if !ok {
+		cv = eval.NewControlSet()
+		es.Controls[name] = cv
+	}
+	cv.Add(keyValues(st.Elem, key))
+
+	keys := make([]pipeline.KeyMatch, len(key))
+	for i, k := range key {
+		keys[i] = pipeline.ExactKey(k)
+	}
+	if err := ps.Tables[name].Insert(pipeline.Entry{Keys: keys}); err != nil {
+		h.tb.Fatalf("install %s: %v", name, err)
+	}
+}
+
+// HopSpec is one hop of a differential trace: the switch it crosses and
+// the header-variable values (by Indus declaration name) bound there.
+type HopSpec struct {
+	SW      uint32
+	Headers map[string]uint64
+	PktLen  uint32
+}
+
+// flattenEvalArgs flattens tuples in report args to scalars, matching
+// the pipeline's digest layout.
+func flattenEvalArgs(args []eval.Value) []uint64 {
+	var out []uint64
+	var flat func(v eval.Value)
+	flat = func(v eval.Value) {
+		switch v := v.(type) {
+		case eval.Bit:
+			out = append(out, v.V)
+		case eval.Bool:
+			if v {
+				out = append(out, 1)
+			} else {
+				out = append(out, 0)
+			}
+		case eval.Tuple:
+			for _, e := range v.Elems {
+				flat(e)
+			}
+		default:
+			panic("unexpected report arg type")
+		}
+	}
+	for _, a := range args {
+		flat(a)
+	}
+	return out
+}
+
+// RunBoth executes the trace on both backends and compares verdicts and
+// report payloads; it returns (rejected, reports).
+func (h *Harness) RunBoth(trace []HopSpec) (bool, [][]uint64) {
+	h.tb.Helper()
+
+	evalHops := make([]eval.Hop, len(trace))
+	pipeEnvs := make([]compiler.HopEnv, len(trace))
+	for i, hs := range trace {
+		es, ps := h.sw(hs.SW)
+		pktLen := hs.PktLen
+		if pktLen == 0 {
+			pktLen = 100
+		}
+		headers := map[string]eval.Value{}
+		pipeHeaders := map[string]pipeline.Value{}
+		for name, v := range hs.Headers {
+			d := h.info.Decls[name]
+			headers[name] = valueFor(d.Type, v)
+			w := 1
+			if bt, ok := d.Type.(ast.BitType); ok {
+				w = bt.Width
+			}
+			pipeHeaders[h.rt.Prog.HeaderBindings[name]] = pipeline.B(w, v)
+		}
+		evalHops[i] = eval.Hop{Switch: es, Headers: headers, PacketLen: pktLen}
+		pipeEnvs[i] = compiler.HopEnv{State: ps, SwitchID: hs.SW, Headers: pipeHeaders, PacketLen: pktLen}
+	}
+
+	want, err := h.m.RunTrace(evalHops)
+	if err != nil {
+		h.tb.Fatalf("interpreter: %v", err)
+	}
+	got, err := h.rt.RunTrace(pipeEnvs)
+	if err != nil {
+		h.tb.Fatalf("pipeline: %v", err)
+	}
+
+	if got.Reject != (want.Verdict == eval.VerdictReject) {
+		h.tb.Fatalf("verdict mismatch: pipeline reject=%v, interpreter %s", got.Reject, want.Verdict)
+	}
+	if len(got.Reports) != len(want.Reports) {
+		h.tb.Fatalf("report count mismatch: pipeline %d, interpreter %d", len(got.Reports), len(want.Reports))
+	}
+	var reports [][]uint64
+	for i := range got.Reports {
+		wantArgs := flattenEvalArgs(want.Reports[i].Args)
+		gotArgs := make([]uint64, len(got.Reports[i].Args))
+		for j, v := range got.Reports[i].Args {
+			gotArgs[j] = v.V
+		}
+		if len(gotArgs) != len(wantArgs) {
+			h.tb.Fatalf("report %d arity mismatch: %v vs %v", i, gotArgs, wantArgs)
+		}
+		for j := range gotArgs {
+			if gotArgs[j] != wantArgs[j] {
+				h.tb.Fatalf("report %d arg %d: pipeline %d, interpreter %d", i, j, gotArgs[j], wantArgs[j])
+			}
+		}
+		reports = append(reports, gotArgs)
+	}
+	return got.Reject, reports
+}

@@ -1,0 +1,303 @@
+package engine_test
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/dataplane"
+	"repro/internal/engine"
+	"repro/internal/experiments"
+)
+
+// TestEngineMatchesSequential is the tentpole invariant: for the campus
+// replay, the sharded engine's merged counts and per-packet verdicts
+// are identical to the single-state sequential reference at every shard
+// count.
+func TestEngineMatchesSequential(t *testing.T) {
+	const packets, seed = 4000, 7
+	want, err := experiments.RunSequentialReplay(experiments.EngineReplayConfig{
+		Packets: packets, Seed: seed, KeepVerdicts: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Counts.Packets != packets {
+		t.Fatalf("sequential processed %d packets, want %d", want.Counts.Packets, packets)
+	}
+	if want.Counts.Errors != 0 {
+		t.Fatalf("sequential replay had %d checker errors", want.Counts.Errors)
+	}
+	if want.Counts.Forwarded != packets {
+		t.Fatalf("benign replay forwarded %d of %d packets; rejections by checker: %+v",
+			want.Counts.Forwarded, packets, want.Counts.PerChecker)
+	}
+
+	for _, shards := range []int{1, 2, 3, 8} {
+		got, err := experiments.RunEngineReplay(experiments.EngineReplayConfig{
+			Packets: packets, Seed: seed, Shards: shards, KeepVerdicts: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Shards != shards {
+			t.Errorf("shards=%d: engine reports %d shards", shards, got.Shards)
+		}
+		if !reflect.DeepEqual(got.Counts, want.Counts) {
+			t.Errorf("shards=%d: counts diverge\n got %+v\nwant %+v", shards, got.Counts, want.Counts)
+		}
+		if !reflect.DeepEqual(got.Verdicts, want.Verdicts) {
+			for i := range got.Verdicts {
+				if got.Verdicts[i] != want.Verdicts[i] {
+					t.Errorf("shards=%d: packet %d verdict %+v, sequential %+v", shards, i, got.Verdicts[i], want.Verdicts[i])
+					break
+				}
+			}
+		}
+	}
+}
+
+// violationWorkload builds packets over a few flows whose paths violate
+// checkers: egress through non-allow-listed port 13 (egress-validity
+// reject + report, multi-tenancy reject) and a leaf-only path that
+// skips the waypoint (waypointing, routing-validity, valley-free
+// rejects). The stateful firewall is left unseeded, so every packet
+// also trips it.
+func violationWorkload(n int) []engine.Packet {
+	badEgress := []engine.Hop{
+		{SwitchID: 1, InPort: 3, OutPort: 1},
+		{SwitchID: 3, InPort: 1, OutPort: 2},
+		{SwitchID: 2, InPort: 1, OutPort: 13},
+	}
+	noWaypoint := []engine.Hop{
+		{SwitchID: 2, InPort: 3, OutPort: 3},
+	}
+	pkts := make([]engine.Packet, n)
+	for i := range pkts {
+		key := dataplane.FlowKey{
+			Src:   dataplane.IP4(0xac100000 + uint32(i%5)),
+			Dst:   dataplane.IP4(0xac110000 + uint32(i%7)),
+			Proto: dataplane.ProtoUDP,
+			Sport: uint16(40000 + i%5), Dport: uint16(2000 + i%3),
+		}
+		hops := badEgress
+		if i%2 == 1 {
+			hops = noWaypoint
+		}
+		pkts[i] = engine.Packet{Key: key, Len: 512, Hops: hops, Index: int32(i)}
+	}
+	return pkts
+}
+
+type reportKey struct {
+	checker  string
+	switchID uint32
+	args     string
+}
+
+func sortedReports(reps []engine.Report) []reportKey {
+	out := make([]reportKey, len(reps))
+	for i, r := range reps {
+		k := reportKey{checker: r.Checker, switchID: r.SwitchID}
+		for _, a := range r.Args {
+			k.args += fmt.Sprintf("%d,", a)
+		}
+		out[i] = k
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.checker != b.checker {
+			return a.checker < b.checker
+		}
+		if a.switchID != b.switchID {
+			return a.switchID < b.switchID
+		}
+		return a.args < b.args
+	})
+	return out
+}
+
+// TestEngineViolations drives rejecting traffic through the engine and
+// checks counts, per-packet verdicts and the merged report stream (as a
+// multiset) against the sequential reference.
+func TestEngineViolations(t *testing.T) {
+	const n = 600
+	pkts := violationWorkload(n)
+
+	run := func(shards int) (engine.Counts, []engine.Verdict, []engine.Report) {
+		chks, err := experiments.CorpusCheckers()
+		if err != nil {
+			t.Fatal(err)
+		}
+		verdicts := make([]engine.Verdict, n)
+		if shards == 0 {
+			seq := engine.NewSequential(engine.Config{Checkers: chks, Verdicts: verdicts, KeepReports: true})
+			if err := experiments.ConfigureReplayEngine(seq.Install, nil); err != nil {
+				t.Fatal(err)
+			}
+			for i := range pkts {
+				seq.Process(pkts[i])
+			}
+			return seq.Counts(), verdicts, seq.Reports()
+		}
+		eng := engine.New(engine.Config{Shards: shards, Checkers: chks, Verdicts: verdicts, KeepReports: true, BatchSize: 16})
+		if err := experiments.ConfigureReplayEngine(eng.Install, nil); err != nil {
+			t.Fatal(err)
+		}
+		for i := range pkts {
+			eng.Submit(pkts[i])
+		}
+		counts := eng.Drain()
+		return counts, verdicts, eng.Reports()
+	}
+
+	wantCounts, wantVerdicts, wantReports := run(0)
+	if wantCounts.Rejected != n {
+		t.Fatalf("violation workload rejected %d of %d packets: %+v", wantCounts.Rejected, n, wantCounts.PerChecker)
+	}
+	if wantCounts.Reports == 0 || uint64(len(wantReports)) != wantCounts.Reports {
+		t.Fatalf("report count %d inconsistent with %d kept digests", wantCounts.Reports, len(wantReports))
+	}
+
+	for _, shards := range []int{1, 4} {
+		gotCounts, gotVerdicts, gotReports := run(shards)
+		if !reflect.DeepEqual(gotCounts, wantCounts) {
+			t.Errorf("shards=%d: counts diverge\n got %+v\nwant %+v", shards, gotCounts, wantCounts)
+		}
+		if !reflect.DeepEqual(gotVerdicts, wantVerdicts) {
+			t.Errorf("shards=%d: per-packet verdicts diverge from sequential", shards)
+		}
+		if !reflect.DeepEqual(sortedReports(gotReports), sortedReports(wantReports)) {
+			t.Errorf("shards=%d: report multiset diverges from sequential", shards)
+		}
+	}
+}
+
+// TestEngineBackpressure squeezes a large submission through tiny
+// batches and a depth-1 queue, so Submit must block on shard
+// backpressure; graceful drain must still account for every packet.
+func TestEngineBackpressure(t *testing.T) {
+	chks, err := experiments.CorpusCheckers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := engine.New(engine.Config{Shards: 2, BatchSize: 4, QueueDepth: 1, Checkers: chks})
+	if err := experiments.ConfigureReplayEngine(eng.Install, nil); err != nil {
+		t.Fatal(err)
+	}
+	pkts, _ := experiments.CampusEnginePackets(5000, 3)
+	for i := range pkts {
+		eng.Submit(pkts[i])
+	}
+	counts := eng.Drain()
+	if counts.Packets != 5000 || counts.Forwarded+counts.Rejected != 5000 {
+		t.Fatalf("drain lost packets: %+v", counts)
+	}
+	// Drain is idempotent.
+	if again := eng.Drain(); !reflect.DeepEqual(again, counts) {
+		t.Fatalf("second Drain returned different counts: %+v vs %+v", again, counts)
+	}
+}
+
+// TestShardAffinity: both directions of a flow must land on one shard
+// (the stateful firewall correlates them), and the spread across shards
+// must be genuine.
+func TestShardAffinity(t *testing.T) {
+	chks, err := experiments.CorpusCheckers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := engine.New(engine.Config{Shards: 8, Checkers: chks[:1]})
+	defer eng.Drain()
+	used := map[int]int{}
+	for i := 0; i < 512; i++ {
+		k := dataplane.FlowKey{
+			Src:   dataplane.IP4(0x0a000000 + uint32(i*2654435761)),
+			Dst:   dataplane.IP4(0x0a800000 + uint32(i*40503)),
+			Proto: dataplane.ProtoTCP,
+			Sport: uint16(1024 + i), Dport: 443,
+		}
+		rev := dataplane.FlowKey{Src: k.Dst, Dst: k.Src, Proto: k.Proto, Sport: k.Dport, Dport: k.Sport}
+		if eng.ShardOf(k) != eng.ShardOf(rev) {
+			t.Fatalf("flow %+v and its reverse map to shards %d and %d", k, eng.ShardOf(k), eng.ShardOf(rev))
+		}
+		used[eng.ShardOf(k)]++
+	}
+	if len(used) < 6 {
+		t.Fatalf("512 flows landed on only %d of 8 shards: %v", len(used), used)
+	}
+}
+
+// TestInstallUnknownChecker: installs against a checker the engine
+// doesn't run must fail loudly on both executors.
+func TestInstallUnknownChecker(t *testing.T) {
+	chks, err := experiments.CorpusCheckers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := engine.New(engine.Config{Shards: 1, Checkers: chks[:1]})
+	defer eng.Drain()
+	if err := eng.Install("no-such-checker", 1, nil); err == nil {
+		t.Error("engine Install accepted an unknown checker")
+	}
+	seq := engine.NewSequential(engine.Config{Checkers: chks[:1]})
+	if err := seq.Install("no-such-checker", 1, nil); err == nil {
+		t.Error("sequential Install accepted an unknown checker")
+	}
+}
+
+// TestConcurrentInstallDuringRun hammers a running engine's tables from
+// a control-plane goroutine while the workers process packets: after
+// the initial configuration has created every per-shard state replica,
+// Install calls go through the pipeline table mutexes and are safe
+// concurrently with packet processing (engine.Install's contract). The
+// extra firewall pairs allow flows that never appear in the trace, so
+// verdicts are unaffected; the test is the race detector's target and a
+// liveness check that installs can't wedge the dispatch path.
+func TestConcurrentInstallDuringRun(t *testing.T) {
+	chks, err := experiments.CorpusCheckers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := engine.New(engine.Config{Shards: 2, BatchSize: 16, Checkers: chks})
+	pkts, pairs := experiments.CampusEnginePackets(6000, 11)
+	if err := experiments.ConfigureReplayEngine(eng.Install, pairs); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			pair := [][2]uint32{{0xc0a80000 + uint32(i), 0xc0a90000 + uint32(i)}}
+			for _, sw := range []uint32{1, 2, 3, 4} {
+				if err := eng.Install("stateful-firewall", sw, experiments.FirewallSeed(pair)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}
+	}()
+
+	for i := range pkts {
+		eng.Submit(pkts[i])
+	}
+	close(stop)
+	<-done
+	counts := eng.Drain()
+	if counts.Packets != uint64(len(pkts)) || counts.Errors != 0 {
+		t.Fatalf("processed %d packets with %d errors, want %d and 0",
+			counts.Packets, counts.Errors, len(pkts))
+	}
+	if counts.Forwarded != counts.Packets {
+		t.Fatalf("concurrent installs changed verdicts: forwarded %d of %d; per-checker: %+v",
+			counts.Forwarded, counts.Packets, counts.PerChecker)
+	}
+}

@@ -1,0 +1,47 @@
+package engine
+
+import "repro/internal/pipeline"
+
+// Sequential executes the exact per-packet code path the sharded
+// workers run, inline on the caller's goroutine against a single
+// (unsharded) state set. It is the ground-truth reference the parallel
+// engine is differentially tested against — the same role the eval
+// interpreter plays for the compiled pipeline.
+type Sequential struct {
+	cfg Config
+	s   *shard
+}
+
+// NewSequential builds the single-state reference executor. Shards,
+// BatchSize and QueueDepth in cfg are ignored.
+func NewSequential(cfg Config) *Sequential {
+	cfg.Shards = 1
+	return &Sequential{cfg: cfg, s: newShard(0, &cfg)}
+}
+
+// Install applies fn to the named checker's state for switchID.
+func (q *Sequential) Install(checker string, switchID uint32, fn func(*pipeline.State) error) error {
+	for i, c := range q.cfg.Checkers {
+		if c.Name == checker {
+			return fn(q.s.state(i, switchID))
+		}
+	}
+	return errUnknownChecker(checker)
+}
+
+// Process runs all checkers over one packet.
+func (q *Sequential) Process(p Packet) { q.s.process(&p) }
+
+// Counts returns the aggregate outcome so far.
+func (q *Sequential) Counts() Counts {
+	c := q.s.counts
+	c.PerChecker = make([]CheckerCounts, len(q.cfg.Checkers))
+	for i, ck := range q.cfg.Checkers {
+		c.PerChecker[i] = q.s.perChecker[i]
+		c.PerChecker[i].Name = ck.Name
+	}
+	return c
+}
+
+// Reports returns the digests collected so far (requires KeepReports).
+func (q *Sequential) Reports() []Report { return q.s.reports }

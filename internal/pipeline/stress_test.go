@@ -1,0 +1,96 @@
+package pipeline
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestStressTablesAndRegisters hammers one state's tables — the
+// exact-map fast path and the TCAM slow path — plus a register array
+// from concurrent install/delete and lookup goroutines, the access
+// pattern a live engine shard sees while the control plane installs
+// entries mid-run. Run under -race this is the package's concurrency
+// audit; without -race it still checks the table never tears (a lookup
+// sees either the old or the new action, never garbage).
+func TestStressTablesAndRegisters(t *testing.T) {
+	exact := NewTable("exact",
+		[]KeySpec{{Name: "k", Width: 16, Kind: MatchExact}},
+		[]FieldRef{"v"}, []Value{B(32, 0)})
+	tcam := NewTable("tcam",
+		[]KeySpec{{Name: "addr", Width: 32, Kind: MatchLPM}, {Name: "proto", Width: 8, Kind: MatchTernary}},
+		[]FieldRef{"v"}, []Value{B(32, 0)})
+	reg := NewRegister("load", 32, 8)
+
+	const (
+		writers   = 2
+		readers   = 4
+		mutations = 3000
+		lookups   = 20000
+	)
+	var wg sync.WaitGroup
+
+	for w := 0; w < writers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < mutations; i++ {
+				k := uint64((i*7 + w*13) % 64)
+				if i%5 == 4 {
+					exact.Delete([]KeyMatch{ExactKey(k)})
+				} else if err := exact.Insert(Entry{
+					Keys:   []KeyMatch{ExactKey(k)},
+					Action: []Value{B(32, uint64(i))},
+				}); err != nil {
+					t.Error(err)
+					return
+				}
+				if i%3 == 0 {
+					if err := tcam.Insert(Entry{
+						Keys:     []KeyMatch{PrefixKey(k<<8, 24), TernaryKey(uint64(w), 0xff)},
+						Priority: i % 4,
+						Action:   []Value{B(32, uint64(i))},
+					}); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+				reg.Write(i%reg.Size, uint64(i))
+			}
+		}()
+	}
+
+	for r := 0; r < readers; r++ {
+		r := r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < lookups; i++ {
+				if v, hit := exact.Lookup([]uint64{uint64(i % 64)}); hit && v[0].W != 32 {
+					t.Errorf("reader %d: torn exact action %+v", r, v)
+					return
+				}
+				if v, hit := tcam.Lookup([]uint64{uint64(i%64) << 8, uint64(i % writers)}); hit && v[0].W != 32 {
+					t.Errorf("reader %d: torn tcam action %+v", r, v)
+					return
+				}
+				_ = reg.Read(i % reg.Size)
+				_ = exact.Len()
+				_ = tcam.Version()
+			}
+		}()
+	}
+
+	wg.Wait()
+
+	// The structures must still be coherent after the storm.
+	if exact.Len() > 64 {
+		t.Fatalf("exact table grew to %d entries from 64 keys", exact.Len())
+	}
+	if err := exact.Insert(Entry{Keys: []KeyMatch{ExactKey(1)}, Action: []Value{B(32, 42)}}); err != nil {
+		t.Fatal(err)
+	}
+	if v, hit := exact.Lookup([]uint64{1}); !hit || v[0].V != 42 {
+		t.Fatalf("post-storm lookup got %v (hit=%v), want 42", v, hit)
+	}
+}

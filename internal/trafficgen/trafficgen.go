@@ -188,6 +188,12 @@ func (p Packet) Decode() *dataplane.Decoded {
 	return d
 }
 
+// FlowKey returns the record's 5-tuple — the shard-affinity unit the
+// checker engine hashes for RSS-style dispatch.
+func (p Packet) FlowKey() dataplane.FlowKey {
+	return dataplane.FlowKey{Src: p.Src, Dst: p.Dst, Proto: p.Proto, Sport: p.Sport, Dport: p.Dport}
+}
+
 // UDPLoad is an iperf3-like UDP stream: constant bitrate by default,
 // Poisson arrivals at the same average rate when Poisson is set.
 type UDPLoad struct {
