@@ -57,7 +57,7 @@ func TestBenchRegressionGuard(t *testing.T) {
 		base := benchBaseline{
 			Note:         "regenerate with: BENCH_BASELINE_UPDATE=1 go test -run TestBenchRegressionGuard",
 			EnginePPS:    measureEnginePPS(t),
-			PPSMinFactor: 0.25,
+			PPSMinFactor: 0.35,
 			PHVTolerance: 0.01,
 			PHVPct:       phv,
 		}

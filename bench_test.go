@@ -196,6 +196,109 @@ func BenchmarkCheckerPerPacket(b *testing.B) {
 	}
 }
 
+// BenchmarkPHVSlots is the linking ablation: one telemetry-hop
+// execution of the loop-freedom checker on the map-PHV interpreter vs
+// the slot-resolved linked executor (flat []Value PHV, closure ops,
+// static-offset telemetry codec).
+func BenchmarkPHVSlots(b *testing.B) {
+	prog := compiler.MustCompile(checkers.MustParse("loop-freedom"), compiler.Options{})
+	for _, mode := range []struct {
+		name   string
+		noLink bool
+	}{{"map", true}, {"linked", false}} {
+		mode := mode
+		b.Run(mode.name, func(b *testing.B) {
+			rt := &compiler.Runtime{Prog: prog, NoLink: mode.noLink}
+			st := prog.NewState()
+			env := compiler.HopEnv{State: st, SwitchID: 7, PacketLen: 256, ReuseBlob: true}
+			var blob []byte
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				hr, err := rt.RunHop(blob, env, i == 0, false)
+				if err != nil {
+					b.Fatal(err)
+				}
+				blob = hr.Blob
+			}
+		})
+	}
+}
+
+// BenchmarkTableLookup measures the match-action table hot paths: the
+// packed-key exact map, the wide-key (string fallback) exact map, and
+// the pre-sorted TCAM scan with compiled per-entry matchers.
+func BenchmarkTableLookup(b *testing.B) {
+	b.Run("exact-packed", func(b *testing.B) {
+		t := pipeline.NewTable("t", []pipeline.KeySpec{{Width: 32}, {Width: 16}},
+			[]pipeline.FieldRef{"ctrl.v"}, []pipeline.Value{pipeline.B(16, 0)})
+		for i := 0; i < 256; i++ {
+			if err := t.Insert(pipeline.Entry{
+				Keys:   []pipeline.KeyMatch{pipeline.ExactKey(uint64(i)), pipeline.ExactKey(uint64(i % 16))},
+				Action: []pipeline.Value{pipeline.B(16, uint64(i))},
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, hit := t.LookupPacked(pipeline.PackedKey{uint64(i % 256), uint64(i % 16)}); !hit {
+				b.Fatal("miss")
+			}
+		}
+	})
+	b.Run("exact-wide", func(b *testing.B) {
+		keys := make([]pipeline.KeySpec, 6)
+		for i := range keys {
+			keys[i] = pipeline.KeySpec{Width: 16}
+		}
+		t := pipeline.NewTable("t", keys, []pipeline.FieldRef{"ctrl.v"}, []pipeline.Value{pipeline.B(16, 0)})
+		for i := 0; i < 64; i++ {
+			km := make([]pipeline.KeyMatch, 6)
+			for j := range km {
+				km[j] = pipeline.ExactKey(uint64(i + j))
+			}
+			if err := t.Insert(pipeline.Entry{Keys: km, Action: []pipeline.Value{pipeline.B(16, uint64(i))}}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		vals := make([]uint64, 6)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for j := range vals {
+				vals[j] = uint64(i%64 + j)
+			}
+			if _, hit := t.Lookup(vals); !hit {
+				b.Fatal("miss")
+			}
+		}
+	})
+	b.Run("tcam", func(b *testing.B) {
+		t := pipeline.NewTable("t",
+			[]pipeline.KeySpec{{Width: 32, Kind: pipeline.MatchTernary}, {Width: 16, Kind: pipeline.MatchRange}},
+			[]pipeline.FieldRef{"ctrl.v"}, []pipeline.Value{pipeline.B(16, 0)})
+		for i := 0; i < 64; i++ {
+			if err := t.Insert(pipeline.Entry{
+				Keys:     []pipeline.KeyMatch{pipeline.TernaryKey(uint64(i), 0xFF), pipeline.RangeKey(uint64(i*10), uint64(i*10+9))},
+				Priority: i,
+				Action:   []pipeline.Value{pipeline.B(16, uint64(i))},
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			k := uint64(i % 64)
+			if _, hit := t.LookupPacked(pipeline.PackedKey{k, k*10 + 5}); !hit {
+				b.Fatal("miss")
+			}
+		}
+	})
+}
+
 // BenchmarkInterpreterVsPipeline compares the reference interpreter
 // against the compiled pipeline on the same trace (a compiler speedup
 // ablation: the differential tests prove they agree; this measures the

@@ -14,9 +14,12 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -38,8 +41,31 @@ func main() {
 		pingMs    = flag.Float64("ping-ms", 10, "figure 12: ping interval (ms)")
 		packets   = flag.Int("packets", 50000, "throughput: packets to replay")
 		shards    = flag.String("shards", "1,4,8", "engine: comma-separated worker counts (0 = GOMAXPROCS)")
+
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		benchJSON  = flag.String("benchjson", "", "write engine replay results as JSON to this file (- for stdout)")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		must(err)
+		must(pprof.StartCPUProfile(f))
+		defer func() {
+			pprof.StopCPUProfile()
+			must(f.Close())
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			must(err)
+			runtime.GC()
+			must(pprof.WriteHeapProfile(f))
+			must(f.Close())
+		}()
+	}
 
 	if *all {
 		*table1, *fig12a, *fig12b, *throughput, *engineRun = true, true, true, true, true
@@ -91,7 +117,49 @@ func main() {
 			results = append(results, r)
 		}
 		fmt.Println(experiments.FormatEngineReplay(results))
+		if *benchJSON != "" {
+			must(writeBenchJSON(*benchJSON, results))
+		}
+	} else if *benchJSON != "" {
+		fmt.Fprintln(os.Stderr, "hydra-bench: -benchjson requires -engine (or -all)")
+		os.Exit(2)
 	}
+}
+
+// writeBenchJSON emits the engine replay results in a flat,
+// machine-readable form for dashboards and regression tooling.
+func writeBenchJSON(path string, results []experiments.EngineReplayResult) error {
+	type row struct {
+		Shards    int     `json:"shards"`
+		Packets   uint64  `json:"packets"`
+		Forwarded uint64  `json:"forwarded"`
+		Rejected  uint64  `json:"rejected"`
+		Reports   uint64  `json:"reports"`
+		Errors    uint64  `json:"errors"`
+		PPS       float64 `json:"pps"`
+	}
+	rows := make([]row, len(results))
+	for i, r := range results {
+		rows[i] = row{
+			Shards:    r.Shards,
+			Packets:   r.Counts.Packets,
+			Forwarded: r.Counts.Forwarded,
+			Rejected:  r.Counts.Rejected,
+			Reports:   r.Counts.Reports,
+			Errors:    r.Counts.Errors,
+			PPS:       r.WallPktsPerSec,
+		}
+	}
+	data, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
 }
 
 func parseShards(s string) ([]int, error) {

@@ -2,6 +2,7 @@ package compiler
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"repro/internal/pipeline"
@@ -11,34 +12,53 @@ import (
 // switches do: init at the first hop's ingress, telemetry at every hop's
 // egress, checker at the last hop's egress (§4.2). The telemetry blob it
 // threads between hops is exactly the Hydra header payload on the wire.
+//
+// By default the Runtime executes through the slot-resolved linked form
+// of the program (pipeline.Link): a flat PHV vector, closure-compiled
+// ops, and packed table keys — no string hashing or per-packet maps.
+// NoLink forces the original map-based interpreter, kept as the
+// reference semantics for differential testing.
 type Runtime struct {
 	Prog *pipeline.Program
 	// CheckEveryHop enables the §4.3 per-hop checking variant: the
 	// checker block runs at every hop instead of only the last one, so
 	// violations are caught (and packets can be dropped) mid-network.
 	CheckEveryHop bool
+	// NoLink disables the linked executor; set it before the first Run*
+	// call. Used by the conformance suite to pin the reference path.
+	NoLink bool
 
-	// needed caches the header-binding paths the program actually
-	// reads, so RunBlocks copies only those from the (much larger)
-	// per-hop binding environment.
-	neededOnce sync.Once
-	needed     []pipeline.FieldRef
-	phvSize    int
+	linkOnce sync.Once
+	linked   *pipeline.Linked
 
-	// phvPool recycles PHV maps between hops; a PHV never outlives the
-	// RunBlocks call that uses it (results copy all values out).
+	// bindings caches the sorted header-binding paths the program reads;
+	// both executors bind headers in this order, and HopEnv.SlotHeaders
+	// is indexed by it.
+	bindOnce sync.Once
+	bindings []string
+	phvSize  int
+
+	// phvPool recycles PHV maps between hops (map path only); a PHV
+	// never outlives the RunBlocks call that uses it.
 	phvPool sync.Pool
 }
 
-// neededHeaders returns the binding paths the compiled program reads.
-func (r *Runtime) neededHeaders() []pipeline.FieldRef {
-	r.neededOnce.Do(func() {
+// Bindings returns the header-binding paths the compiled program reads,
+// sorted and deduplicated. HopEnv.SlotHeaders[i] corresponds to
+// Bindings()[i].
+func (r *Runtime) Bindings() []string {
+	r.bindOnce.Do(func() {
+		seen := make(map[string]bool, len(r.Prog.HeaderBindings))
 		for _, path := range r.Prog.HeaderBindings {
-			r.needed = append(r.needed, pipeline.FieldRef(path))
+			if !seen[path] {
+				seen[path] = true
+				r.bindings = append(r.bindings, path)
+			}
 		}
+		sort.Strings(r.bindings)
 		// PHV capacity: builtins + bindings + telemetry fields (arrays
 		// count slots) + a slack for temporaries and table outputs.
-		n := 8 + len(r.needed)
+		n := 8 + len(r.bindings)
 		for _, f := range r.Prog.Tele {
 			if f.IsArray {
 				n += f.Cap + 1
@@ -48,7 +68,23 @@ func (r *Runtime) neededHeaders() []pipeline.FieldRef {
 		}
 		r.phvSize = n + 8
 	})
-	return r.needed
+	return r.bindings
+}
+
+// Linked returns the slot-resolved executable form of the program,
+// linking it on first use, or nil when NoLink is set or the program
+// fails to link (it then runs on the map interpreter, which surfaces
+// the same error at execution time).
+func (r *Runtime) Linked() *pipeline.Linked {
+	if r.NoLink {
+		return nil
+	}
+	r.linkOnce.Do(func() {
+		if lk, err := pipeline.Link(r.Prog); err == nil {
+			r.linked = lk
+		}
+	})
+	return r.linked
 }
 
 // HopEnv is the per-hop execution environment.
@@ -61,8 +97,18 @@ type HopEnv struct {
 	// Headers binds forwarding-program fields (keyed by annotation path,
 	// e.g. "hdr.ipv4.src_addr") into the checker's PHV.
 	Headers map[string]pipeline.Value
+	// SlotHeaders is the allocation-free alternative to Headers:
+	// SlotHeaders[i] binds Runtime.Bindings()[i], with a zero-width
+	// Value marking an absent binding. When non-nil it takes precedence
+	// over Headers.
+	SlotHeaders []pipeline.Value
 	// PacketLen is the wire length exposed as packet_length.
 	PacketLen uint32
+	// ReuseBlob lets RunBlocks encode the outgoing telemetry into the
+	// incoming blob's storage. Only safe when the caller owns that
+	// storage outright — not when sibling checkers alias subslices of a
+	// shared backing array (netsim's split blobs).
+	ReuseBlob bool
 }
 
 // HopResult is the outcome of running the program at one hop.
@@ -92,7 +138,61 @@ type BlockSet struct {
 // RunBlocks executes the selected blocks against the telemetry blob and
 // hop environment and returns the updated blob plus any verdicts.
 func (r *Runtime) RunBlocks(blob []byte, env HopEnv, bs BlockSet, first, last bool) (HopResult, error) {
-	needed := r.neededHeaders()
+	if lk := r.Linked(); lk != nil {
+		return r.runLinked(lk, blob, env, bs, first, last)
+	}
+	return r.runMapped(blob, env, bs, first, last)
+}
+
+// runLinked is the hot path: pooled flat PHV, closure ops, in-place
+// telemetry encode when the caller allows it.
+func (r *Runtime) runLinked(lk *pipeline.Linked, blob []byte, env HopEnv, bs BlockSet, first, last bool) (HopResult, error) {
+	c := lk.AcquireCtx()
+	c.State = env.State
+	if err := lk.DecodeTele(blob, c.PHV); err != nil {
+		lk.ReleaseCtx(c)
+		return HopResult{}, err
+	}
+	c.PHV[lk.SlotSwitch] = pipeline.B(32, uint64(env.SwitchID))
+	c.PHV[lk.SlotPktLen] = pipeline.B(32, uint64(env.PacketLen))
+	c.PHV[lk.SlotLast] = pipeline.BoolV(last)
+	c.PHV[lk.SlotFirst] = pipeline.BoolV(first)
+	if env.SlotHeaders != nil {
+		lk.BindHeaderSlots(c.PHV, env.SlotHeaders)
+	} else if env.Headers != nil {
+		lk.BindHeaderMap(c.PHV, env.Headers)
+	}
+
+	if bs.Init {
+		lk.ExecInit(c)
+	}
+	if bs.Telemetry {
+		lk.ExecTelemetry(c)
+	}
+	if bs.Checker {
+		lk.ExecChecker(c)
+	}
+
+	// Decode fully precedes encode, so reusing the incoming blob's
+	// storage is safe within one call — but only when the caller owns it.
+	var dst []byte
+	if env.ReuseBlob {
+		dst = blob[:0]
+	}
+	res := HopResult{
+		Blob:         lk.EncodeTele(dst, c.PHV),
+		Reject:       c.PHV[lk.SlotReject].Bool(),
+		Reports:      c.Reports,
+		TableApplies: c.TableApplies,
+		OpsExecuted:  c.OpsExecuted,
+	}
+	lk.ReleaseCtx(c)
+	return res, nil
+}
+
+// runMapped is the reference interpreter over the map PHV.
+func (r *Runtime) runMapped(blob []byte, env HopEnv, bs BlockSet, first, last bool) (HopResult, error) {
+	bindings := r.Bindings()
 	phv, _ := r.phvPool.Get().(pipeline.PHV)
 	if phv == nil {
 		phv = make(pipeline.PHV, r.phvSize)
@@ -108,9 +208,17 @@ func (r *Runtime) RunBlocks(blob []byte, env HopEnv, bs BlockSet, first, last bo
 	phv.Set(pipeline.FieldPktLen, pipeline.B(32, uint64(env.PacketLen)))
 	phv.Set(pipeline.FieldLastHop, pipeline.BoolV(last))
 	phv.Set(pipeline.FieldFirst, pipeline.BoolV(first))
-	for _, path := range needed {
-		if v, ok := env.Headers[string(path)]; ok {
-			phv.Set(path, v)
+	if env.SlotHeaders != nil {
+		for i, path := range bindings {
+			if i < len(env.SlotHeaders) && env.SlotHeaders[i].W != 0 {
+				phv.Set(pipeline.FieldRef(path), env.SlotHeaders[i])
+			}
+		}
+	} else if env.Headers != nil {
+		for _, path := range bindings {
+			if v, ok := env.Headers[path]; ok {
+				phv.Set(pipeline.FieldRef(path), v)
+			}
 		}
 	}
 

@@ -1,14 +1,16 @@
 // Package difftest is the reusable differential-testing harness: it
-// runs an Indus program on both backends — the reference interpreter
-// (internal/indus/eval) and the compiled pipeline (internal/compiler →
-// internal/pipeline) — with identical switch state, and fails the test
-// on any divergence in verdicts or report payloads. The conformance
-// suite in this package sweeps the whole checker corpus through
-// randomized traces; other packages import the harness for targeted
-// scenarios.
+// runs an Indus program on every backend — the reference interpreter
+// (internal/indus/eval), the map-based pipeline interpreter, and the
+// slot-resolved linked executor (pipeline.Link) — with identical
+// switch state, and fails the test on any divergence in verdicts,
+// report payloads, or (between the two pipeline executors) the
+// byte-exact telemetry blob. The conformance suite in this package
+// sweeps the whole checker corpus through randomized traces; other
+// packages import the harness for targeted scenarios.
 package difftest
 
 import (
+	"bytes"
 	"testing"
 
 	"repro/internal/checkers"
@@ -26,10 +28,15 @@ type Harness struct {
 	tb   testing.TB
 	info *types.Info
 	m    *eval.Machine
-	rt   *compiler.Runtime
+	// rt executes through the linked (slot-resolved) path; rtRef pins
+	// the map-based interpreter. Each needs its own per-switch state —
+	// register writes would otherwise cross-contaminate the backends.
+	rt    *compiler.Runtime
+	rtRef *compiler.Runtime
 
-	evalSw map[uint32]*eval.SwitchState
-	pipeSw map[uint32]*pipeline.State
+	evalSw    map[uint32]*eval.SwitchState
+	pipeSw    map[uint32]*pipeline.State
+	pipeSwRef map[uint32]*pipeline.State
 }
 
 // NewHarness parses, checks and compiles src for both backends.
@@ -48,12 +55,14 @@ func NewHarness(tb testing.TB, src string) *Harness {
 		tb.Fatalf("compile: %v", err)
 	}
 	return &Harness{
-		tb:     tb,
-		info:   info,
-		m:      eval.New(info),
-		rt:     &compiler.Runtime{Prog: compiled},
-		evalSw: map[uint32]*eval.SwitchState{},
-		pipeSw: map[uint32]*pipeline.State{},
+		tb:        tb,
+		info:      info,
+		m:         eval.New(info),
+		rt:        &compiler.Runtime{Prog: compiled},
+		rtRef:     &compiler.Runtime{Prog: compiled, NoLink: true},
+		evalSw:    map[uint32]*eval.SwitchState{},
+		pipeSw:    map[uint32]*pipeline.State{},
+		pipeSwRef: map[uint32]*pipeline.State{},
 	}
 }
 
@@ -74,8 +83,20 @@ func (h *Harness) sw(id uint32) (*eval.SwitchState, *pipeline.State) {
 	if _, ok := h.evalSw[id]; !ok {
 		h.evalSw[id] = eval.NewSwitchState(id)
 		h.pipeSw[id] = h.rt.Prog.NewState()
+		h.pipeSwRef[id] = h.rt.Prog.NewState()
 	}
 	return h.evalSw[id], h.pipeSw[id]
+}
+
+// insert mirrors a table install into both pipeline backends' states.
+func (h *Harness) insert(id uint32, name string, e pipeline.Entry) {
+	h.tb.Helper()
+	if err := h.pipeSw[id].Tables[name].Insert(e); err != nil {
+		h.tb.Fatalf("install %s: %v", name, err)
+	}
+	if err := h.pipeSwRef[id].Tables[name].Insert(e); err != nil {
+		h.tb.Fatalf("install %s (ref): %v", name, err)
+	}
 }
 
 // valueFor builds an eval value of the declared scalar type.
@@ -100,10 +121,10 @@ func keyValues(keyType ast.Type, vals []uint64) eval.Value {
 	return valueFor(keyType, vals[0])
 }
 
-// InstallDict installs key->val into dict `name` on switch id, on both
+// InstallDict installs key->val into dict `name` on switch id, on all
 // backends.
 func (h *Harness) InstallDict(id uint32, name string, key []uint64, val uint64) {
-	es, ps := h.sw(id)
+	es, _ := h.sw(id)
 	d := h.info.Decls[name]
 	dt := d.Type.(ast.DictType)
 
@@ -122,28 +143,24 @@ func (h *Harness) InstallDict(id uint32, name string, key []uint64, val uint64) 
 	if bt, ok := dt.Val.(ast.BitType); ok {
 		w = bt.Width
 	}
-	if err := ps.Tables[name].Insert(pipeline.Entry{Keys: keys, Action: []pipeline.Value{pipeline.B(w, val)}}); err != nil {
-		h.tb.Fatalf("install %s: %v", name, err)
-	}
+	h.insert(id, name, pipeline.Entry{Keys: keys, Action: []pipeline.Value{pipeline.B(w, val)}})
 }
 
-// InstallScalar sets scalar control `name` on switch id on both backends.
+// InstallScalar sets scalar control `name` on switch id on all backends.
 func (h *Harness) InstallScalar(id uint32, name string, val uint64) {
-	es, ps := h.sw(id)
+	es, _ := h.sw(id)
 	d := h.info.Decls[name]
 	es.Controls[name] = eval.NewControlScalar(valueFor(d.Type, val))
 	w := 1
 	if bt, ok := d.Type.(ast.BitType); ok {
 		w = bt.Width
 	}
-	if err := ps.Tables[name].Insert(pipeline.Entry{Action: []pipeline.Value{pipeline.B(w, val)}}); err != nil {
-		h.tb.Fatalf("install %s: %v", name, err)
-	}
+	h.insert(id, name, pipeline.Entry{Action: []pipeline.Value{pipeline.B(w, val)}})
 }
 
 // InstallSet adds a member to control set `name` on switch id.
 func (h *Harness) InstallSet(id uint32, name string, key ...uint64) {
-	es, ps := h.sw(id)
+	es, _ := h.sw(id)
 	d := h.info.Decls[name]
 	st := d.Type.(ast.SetType)
 
@@ -158,9 +175,7 @@ func (h *Harness) InstallSet(id uint32, name string, key ...uint64) {
 	for i, k := range key {
 		keys[i] = pipeline.ExactKey(k)
 	}
-	if err := ps.Tables[name].Insert(pipeline.Entry{Keys: keys}); err != nil {
-		h.tb.Fatalf("install %s: %v", name, err)
-	}
+	h.insert(id, name, pipeline.Entry{Keys: keys})
 }
 
 // HopSpec is one hop of a differential trace: the switch it crosses and
@@ -200,13 +215,17 @@ func flattenEvalArgs(args []eval.Value) []uint64 {
 	return out
 }
 
-// RunBoth executes the trace on both backends and compares verdicts and
-// report payloads; it returns (rejected, reports).
+// RunBoth executes the trace on every backend — the eval interpreter,
+// the map-based pipeline, and the linked pipeline — and compares
+// verdicts and report payloads across all three, plus byte-exact final
+// telemetry blobs between the two pipeline executors; it returns
+// (rejected, reports).
 func (h *Harness) RunBoth(trace []HopSpec) (bool, [][]uint64) {
 	h.tb.Helper()
 
 	evalHops := make([]eval.Hop, len(trace))
 	pipeEnvs := make([]compiler.HopEnv, len(trace))
+	refEnvs := make([]compiler.HopEnv, len(trace))
 	for i, hs := range trace {
 		es, ps := h.sw(hs.SW)
 		pktLen := hs.PktLen
@@ -226,6 +245,7 @@ func (h *Harness) RunBoth(trace []HopSpec) (bool, [][]uint64) {
 		}
 		evalHops[i] = eval.Hop{Switch: es, Headers: headers, PacketLen: pktLen}
 		pipeEnvs[i] = compiler.HopEnv{State: ps, SwitchID: hs.SW, Headers: pipeHeaders, PacketLen: pktLen}
+		refEnvs[i] = compiler.HopEnv{State: h.pipeSwRef[hs.SW], SwitchID: hs.SW, Headers: pipeHeaders, PacketLen: pktLen}
 	}
 
 	want, err := h.m.RunTrace(evalHops)
@@ -234,9 +254,37 @@ func (h *Harness) RunBoth(trace []HopSpec) (bool, [][]uint64) {
 	}
 	got, err := h.rt.RunTrace(pipeEnvs)
 	if err != nil {
-		h.tb.Fatalf("pipeline: %v", err)
+		h.tb.Fatalf("linked pipeline: %v", err)
+	}
+	ref, err := h.rtRef.RunTrace(refEnvs)
+	if err != nil {
+		h.tb.Fatalf("map pipeline: %v", err)
 	}
 
+	// Linked vs map-based pipeline: bit-identical, including the wire
+	// blob that left the last hop.
+	if got.Reject != ref.Reject {
+		h.tb.Fatalf("verdict mismatch: linked reject=%v, map-based reject=%v", got.Reject, ref.Reject)
+	}
+	if !bytes.Equal(got.FinalBlob, ref.FinalBlob) {
+		h.tb.Fatalf("final blob mismatch:\n linked    %x\n map-based %x", got.FinalBlob, ref.FinalBlob)
+	}
+	if len(got.Reports) != len(ref.Reports) {
+		h.tb.Fatalf("report count mismatch: linked %d, map-based %d", len(got.Reports), len(ref.Reports))
+	}
+	for i := range got.Reports {
+		ga, ra := got.Reports[i].Args, ref.Reports[i].Args
+		if len(ga) != len(ra) {
+			h.tb.Fatalf("report %d arity mismatch: linked %v, map-based %v", i, ga, ra)
+		}
+		for j := range ga {
+			if ga[j] != ra[j] {
+				h.tb.Fatalf("report %d arg %d: linked %v, map-based %v", i, j, ga[j], ra[j])
+			}
+		}
+	}
+
+	// Pipeline vs the reference interpreter.
 	if got.Reject != (want.Verdict == eval.VerdictReject) {
 		h.tb.Fatalf("verdict mismatch: pipeline reject=%v, interpreter %s", got.Reject, want.Verdict)
 	}

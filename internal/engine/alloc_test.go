@@ -1,0 +1,40 @@
+package engine_test
+
+import (
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/experiments"
+)
+
+// TestPacketAllocs is the engine's hot-path allocation budget: after
+// warm-up (pools filled, per-switch states created, telemetry buffers
+// grown, TCAM caches populated), checking one benign campus packet —
+// all 12 corpus checkers across every hop of its path — must cost at
+// most 2 heap allocations.
+func TestPacketAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector instrumentation allocates; budget is meaningless under -race")
+	}
+	chks, err := experiments.CorpusCheckers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := engine.NewSequential(engine.Config{Checkers: chks})
+	pkts, pairs := experiments.CampusEnginePackets(512, 5)
+	if err := experiments.ConfigureReplayEngine(seq.Install, pairs); err != nil {
+		t.Fatal(err)
+	}
+	for i := range pkts {
+		seq.Process(pkts[i])
+	}
+
+	i := 0
+	n := testing.AllocsPerRun(400, func() {
+		seq.Process(pkts[i%len(pkts)])
+		i++
+	})
+	if n > 2 {
+		t.Errorf("steady-state packet check: %.2f allocs/packet, budget 2", n)
+	}
+}

@@ -280,54 +280,102 @@ func (e *Engine) Reports() []Report {
 // ---------------------------------------------------------------------------
 // Shard worker
 
-// Header-binding paths the engine sets per hop / per packet.
+// Header-binding paths the engine can provide, indexed by the hdr*
+// constants below. Per-checker bind plans map these dense indices to
+// HopEnv.SlotHeaders positions once at construction, so the per-packet
+// path writes a fixed value array — no map, no string hashing.
 const (
-	refInPort    = "standard_metadata.ingress_port"
-	refEgPort    = "standard_metadata.egress_port"
-	refSkipFwd   = "fabric_metadata.skip_forwarding"
-	refIPv4Valid = "hdr.ipv4.$valid$"
-	refIPv4Src   = "hdr.ipv4.src_addr"
-	refIPv4Dst   = "hdr.ipv4.dst_addr"
-	refIPv4Proto = "hdr.ipv4.protocol"
-	refTCPValid  = "hdr.tcp.$valid$"
-	refTCPSport  = "hdr.tcp.sport"
-	refTCPDport  = "hdr.tcp.dport"
-	refUDPValid  = "hdr.udp.$valid$"
-	refUDPSport  = "hdr.udp.sport"
-	refUDPDport  = "hdr.udp.dport"
+	hdrInPort = iota // per-hop
+	hdrEgPort        // per-hop
+	hdrSkipFwd
+	hdrIPv4Valid
+	hdrIPv4Src
+	hdrIPv4Dst
+	hdrIPv4Proto
+	hdrTCPValid
+	hdrTCPSport
+	hdrTCPDport
+	hdrUDPValid
+	hdrUDPSport
+	hdrUDPDport
 	// Headers a 5-tuple trace record can never carry, bound invalid to
 	// match netsim.BindPacketHeaders for a plain (untunneled, unrouted)
 	// packet.
-	refInnerIPv4Valid = "hdr.inner_ipv4.$valid$"
-	refInnerTCPValid  = "hdr.inner_tcp.$valid$"
-	refInnerUDPValid  = "hdr.inner_udp.$valid$"
-	refSrcRoute0Valid = "hdr.srcRoutes[0].$valid$"
+	hdrInnerIPv4Valid
+	hdrInnerTCPValid
+	hdrInnerUDPValid
+	hdrSrcRoute0Valid
+
+	numStdHdrs
 )
 
+var stdHdrPaths = [numStdHdrs]string{
+	hdrInPort:         "standard_metadata.ingress_port",
+	hdrEgPort:         "standard_metadata.egress_port",
+	hdrSkipFwd:        "fabric_metadata.skip_forwarding",
+	hdrIPv4Valid:      "hdr.ipv4.$valid$",
+	hdrIPv4Src:        "hdr.ipv4.src_addr",
+	hdrIPv4Dst:        "hdr.ipv4.dst_addr",
+	hdrIPv4Proto:      "hdr.ipv4.protocol",
+	hdrTCPValid:       "hdr.tcp.$valid$",
+	hdrTCPSport:       "hdr.tcp.sport",
+	hdrTCPDport:       "hdr.tcp.dport",
+	hdrUDPValid:       "hdr.udp.$valid$",
+	hdrUDPSport:       "hdr.udp.sport",
+	hdrUDPDport:       "hdr.udp.dport",
+	hdrInnerIPv4Valid: "hdr.inner_ipv4.$valid$",
+	hdrInnerTCPValid:  "hdr.inner_tcp.$valid$",
+	hdrInnerUDPValid:  "hdr.inner_udp.$valid$",
+	hdrSrcRoute0Valid: "hdr.srcRoutes[0].$valid$",
+}
+
+// bindPair routes one engine-provided header value (hvals[src]) to one
+// checker's SlotHeaders[dst].
+type bindPair struct{ src, dst int }
+
 type shard struct {
-	id         int
-	cfg        *Config
-	in         chan []Packet
-	states     []map[uint32]*pipeline.State
-	headers    map[string]pipeline.Value
-	blobs      [][]byte
-	counts     Counts
-	perChecker []CheckerCounts
-	reports    []Report
+	id     int
+	cfg    *Config
+	in     chan []Packet
+	states []map[uint32]*pipeline.State
+	// hvals holds this packet/hop's engine-provided header values;
+	// binds[i] scatters them into slotHeaders[i], which is laid out per
+	// Checkers[i].RT.Bindings(). Binding paths the engine cannot supply
+	// stay zero-width (absent), like a missing map key before.
+	hvals       [numStdHdrs]pipeline.Value
+	binds       [][]bindPair
+	slotHeaders [][]pipeline.Value
+	blobs       [][]byte
+	counts      Counts
+	perChecker  []CheckerCounts
+	reports     []Report
 }
 
 func newShard(id int, cfg *Config) *shard {
 	s := &shard{
-		id:         id,
-		cfg:        cfg,
-		in:         make(chan []Packet, cfg.QueueDepth),
-		states:     make([]map[uint32]*pipeline.State, len(cfg.Checkers)),
-		headers:    make(map[string]pipeline.Value, 16),
-		blobs:      make([][]byte, len(cfg.Checkers)),
-		perChecker: make([]CheckerCounts, len(cfg.Checkers)),
+		id:          id,
+		cfg:         cfg,
+		in:          make(chan []Packet, cfg.QueueDepth),
+		states:      make([]map[uint32]*pipeline.State, len(cfg.Checkers)),
+		binds:       make([][]bindPair, len(cfg.Checkers)),
+		slotHeaders: make([][]pipeline.Value, len(cfg.Checkers)),
+		blobs:       make([][]byte, len(cfg.Checkers)),
+		perChecker:  make([]CheckerCounts, len(cfg.Checkers)),
 	}
 	for i := range s.states {
 		s.states[i] = map[uint32]*pipeline.State{}
+	}
+	for i, c := range cfg.Checkers {
+		bindings := c.RT.Bindings()
+		s.slotHeaders[i] = make([]pipeline.Value, len(bindings))
+		for dst, path := range bindings {
+			for src, p := range stdHdrPaths {
+				if p == path {
+					s.binds[i] = append(s.binds[i], bindPair{src: src, dst: dst})
+					break
+				}
+			}
+		}
 	}
 	return s
 }
@@ -355,33 +403,32 @@ func (s *shard) run(pool *sync.Pool) {
 // bindBase sets the packet-constant header bindings (the subset of
 // netsim.BindPacketHeaders derivable from a 5-tuple trace record).
 func (s *shard) bindBase(p *Packet) {
-	h := s.headers
+	h := &s.hvals
 	isIPv4 := p.Key != (dataplane.FlowKey{})
-	h[refIPv4Valid] = pipeline.BoolV(isIPv4)
-	h[refIPv4Src] = pipeline.B(32, uint64(p.Key.Src))
-	h[refIPv4Dst] = pipeline.B(32, uint64(p.Key.Dst))
-	h[refIPv4Proto] = pipeline.B(8, uint64(p.Key.Proto))
+	h[hdrIPv4Valid] = pipeline.BoolV(isIPv4)
+	h[hdrIPv4Src] = pipeline.B(32, uint64(p.Key.Src))
+	h[hdrIPv4Dst] = pipeline.B(32, uint64(p.Key.Dst))
+	h[hdrIPv4Proto] = pipeline.B(8, uint64(p.Key.Proto))
 	isTCP := p.Key.Proto == dataplane.ProtoTCP
 	isUDP := p.Key.Proto == dataplane.ProtoUDP
-	h[refTCPValid] = pipeline.BoolV(isTCP)
-	h[refUDPValid] = pipeline.BoolV(isUDP)
-	var sport, dport pipeline.Value
-	sport, dport = pipeline.B(16, uint64(p.Key.Sport)), pipeline.B(16, uint64(p.Key.Dport))
+	h[hdrTCPValid] = pipeline.BoolV(isTCP)
+	h[hdrUDPValid] = pipeline.BoolV(isUDP)
+	sport, dport := pipeline.B(16, uint64(p.Key.Sport)), pipeline.B(16, uint64(p.Key.Dport))
 	if isTCP {
-		h[refTCPSport], h[refTCPDport] = sport, dport
+		h[hdrTCPSport], h[hdrTCPDport] = sport, dport
 	} else {
-		h[refTCPSport], h[refTCPDport] = pipeline.B(16, 0), pipeline.B(16, 0)
+		h[hdrTCPSport], h[hdrTCPDport] = pipeline.B(16, 0), pipeline.B(16, 0)
 	}
 	if isUDP {
-		h[refUDPSport], h[refUDPDport] = sport, dport
+		h[hdrUDPSport], h[hdrUDPDport] = sport, dport
 	} else {
-		h[refUDPSport], h[refUDPDport] = pipeline.B(16, 0), pipeline.B(16, 0)
+		h[hdrUDPSport], h[hdrUDPDport] = pipeline.B(16, 0), pipeline.B(16, 0)
 	}
-	h[refSkipFwd] = pipeline.BoolV(false)
-	h[refInnerIPv4Valid] = pipeline.BoolV(false)
-	h[refInnerTCPValid] = pipeline.BoolV(false)
-	h[refInnerUDPValid] = pipeline.BoolV(false)
-	h[refSrcRoute0Valid] = pipeline.BoolV(false)
+	h[hdrSkipFwd] = pipeline.BoolV(false)
+	h[hdrInnerIPv4Valid] = pipeline.BoolV(false)
+	h[hdrInnerTCPValid] = pipeline.BoolV(false)
+	h[hdrInnerUDPValid] = pipeline.BoolV(false)
+	h[hdrSrcRoute0Valid] = pipeline.BoolV(false)
 }
 
 // process runs every checker over the packet's path, hop-major like the
@@ -391,22 +438,29 @@ func (s *shard) process(p *Packet) {
 	s.counts.Packets++
 	s.bindBase(p)
 	for i := range s.blobs {
-		s.blobs[i] = nil
+		// Truncate, keeping capacity: the first hop decodes an empty
+		// blob, and ReuseBlob re-encodes into the same storage.
+		s.blobs[i] = s.blobs[i][:0]
 	}
 	reject := false
 	var nReports int32
 	for h := range p.Hops {
 		hop := &p.Hops[h]
 		first, last := h == 0, h == len(p.Hops)-1
-		s.headers[refInPort] = pipeline.B(8, uint64(hop.InPort))
-		s.headers[refEgPort] = pipeline.B(8, uint64(hop.OutPort))
+		s.hvals[hdrInPort] = pipeline.B(8, uint64(hop.InPort))
+		s.hvals[hdrEgPort] = pipeline.B(8, uint64(hop.OutPort))
 		for i := range s.cfg.Checkers {
 			c := &s.cfg.Checkers[i]
+			sh := s.slotHeaders[i]
+			for _, bp := range s.binds[i] {
+				sh[bp.dst] = s.hvals[bp.src]
+			}
 			env := compiler.HopEnv{
-				State:     s.state(i, hop.SwitchID),
-				SwitchID:  hop.SwitchID,
-				Headers:   s.headers,
-				PacketLen: p.Len,
+				State:       s.state(i, hop.SwitchID),
+				SwitchID:    hop.SwitchID,
+				SlotHeaders: sh,
+				PacketLen:   p.Len,
+				ReuseBlob:   true,
 			}
 			hr, err := c.RT.RunHop(s.blobs[i], env, first, last)
 			if err != nil {

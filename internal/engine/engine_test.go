@@ -58,6 +58,57 @@ func TestEngineMatchesSequential(t *testing.T) {
 	}
 }
 
+// TestLinkedMatchesNoLink pins the map-based interpreter as ground
+// truth (NoLink) and checks the linked executor — the default for both
+// the sequential reference and the sharded engine — against it on the
+// campus replay: identical merged counts and per-packet verdicts at
+// shard counts 1, 4 and 8.
+func TestLinkedMatchesNoLink(t *testing.T) {
+	const packets, seed = 4000, 9
+	want, err := experiments.RunSequentialReplay(experiments.EngineReplayConfig{
+		Packets: packets, Seed: seed, KeepVerdicts: true, NoLink: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Counts.Errors != 0 {
+		t.Fatalf("map-based replay had %d checker errors", want.Counts.Errors)
+	}
+
+	linkedSeq, err := experiments.RunSequentialReplay(experiments.EngineReplayConfig{
+		Packets: packets, Seed: seed, KeepVerdicts: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(linkedSeq.Counts, want.Counts) {
+		t.Errorf("sequential linked counts diverge from map-based\n got %+v\nwant %+v", linkedSeq.Counts, want.Counts)
+	}
+	if !reflect.DeepEqual(linkedSeq.Verdicts, want.Verdicts) {
+		t.Errorf("sequential linked per-packet verdicts diverge from map-based")
+	}
+
+	for _, shards := range []int{1, 4, 8} {
+		got, err := experiments.RunEngineReplay(experiments.EngineReplayConfig{
+			Packets: packets, Seed: seed, Shards: shards, KeepVerdicts: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got.Counts, want.Counts) {
+			t.Errorf("shards=%d: linked counts diverge from map-based\n got %+v\nwant %+v", shards, got.Counts, want.Counts)
+		}
+		if !reflect.DeepEqual(got.Verdicts, want.Verdicts) {
+			for i := range got.Verdicts {
+				if got.Verdicts[i] != want.Verdicts[i] {
+					t.Errorf("shards=%d: packet %d linked verdict %+v, map-based %+v", shards, i, got.Verdicts[i], want.Verdicts[i])
+					break
+				}
+			}
+		}
+	}
+}
+
 // violationWorkload builds packets over a few flows whose paths violate
 // checkers: egress through non-allow-listed port 13 (egress-validity
 // reject + report, multi-tenancy reject) and a leaf-only path that
@@ -125,8 +176,8 @@ func TestEngineViolations(t *testing.T) {
 	const n = 600
 	pkts := violationWorkload(n)
 
-	run := func(shards int) (engine.Counts, []engine.Verdict, []engine.Report) {
-		chks, err := experiments.CorpusCheckers()
+	run := func(shards int, noLink bool) (engine.Counts, []engine.Verdict, []engine.Report) {
+		chks, err := experiments.CorpusCheckersOpt(noLink)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -152,7 +203,7 @@ func TestEngineViolations(t *testing.T) {
 		return counts, verdicts, eng.Reports()
 	}
 
-	wantCounts, wantVerdicts, wantReports := run(0)
+	wantCounts, wantVerdicts, wantReports := run(0, false)
 	if wantCounts.Rejected != n {
 		t.Fatalf("violation workload rejected %d of %d packets: %+v", wantCounts.Rejected, n, wantCounts.PerChecker)
 	}
@@ -160,8 +211,21 @@ func TestEngineViolations(t *testing.T) {
 		t.Fatalf("report count %d inconsistent with %d kept digests", wantCounts.Reports, len(wantReports))
 	}
 
+	// The map-based interpreter must agree with the linked executor on
+	// rejecting traffic too, including the full report stream.
+	refCounts, refVerdicts, refReports := run(0, true)
+	if !reflect.DeepEqual(refCounts, wantCounts) {
+		t.Errorf("map-based counts diverge from linked\n got %+v\nwant %+v", refCounts, wantCounts)
+	}
+	if !reflect.DeepEqual(refVerdicts, wantVerdicts) {
+		t.Errorf("map-based per-packet verdicts diverge from linked")
+	}
+	if !reflect.DeepEqual(sortedReports(refReports), sortedReports(wantReports)) {
+		t.Errorf("map-based report multiset diverges from linked")
+	}
+
 	for _, shards := range []int{1, 4} {
-		gotCounts, gotVerdicts, gotReports := run(shards)
+		gotCounts, gotVerdicts, gotReports := run(shards, false)
 		if !reflect.DeepEqual(gotCounts, wantCounts) {
 			t.Errorf("shards=%d: counts diverge\n got %+v\nwant %+v", shards, gotCounts, wantCounts)
 		}

@@ -27,6 +27,10 @@ type EngineReplayConfig struct {
 	// KeepVerdicts records every packet's individual verdict (used by
 	// the differential tests; costs one slice slot per packet).
 	KeepVerdicts bool
+	// NoLink pins every checker runtime to the map-based reference
+	// interpreter instead of the linked executor (used by the linked
+	// conformance tests as the ground truth).
+	NoLink bool
 }
 
 // EngineReplayResult is the outcome of one engine replay.
@@ -44,6 +48,12 @@ type EngineReplayResult struct {
 // CorpusCheckers compiles every corpus checker into an engine checker
 // list (the §6.2 "All Checkers" configuration).
 func CorpusCheckers() ([]engine.Checker, error) {
+	return CorpusCheckersOpt(false)
+}
+
+// CorpusCheckersOpt is CorpusCheckers with an executor choice: noLink
+// pins the runtimes to the map-based reference interpreter.
+func CorpusCheckersOpt(noLink bool) ([]engine.Checker, error) {
 	var out []engine.Checker
 	for _, p := range checkers.All {
 		info, err := p.Parse()
@@ -54,7 +64,7 @@ func CorpusCheckers() ([]engine.Checker, error) {
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, engine.Checker{Name: p.Key, RT: &compiler.Runtime{Prog: prog}})
+		out = append(out, engine.Checker{Name: p.Key, RT: &compiler.Runtime{Prog: prog, NoLink: noLink}})
 	}
 	return out, nil
 }
@@ -131,7 +141,7 @@ func RunEngineReplay(cfg EngineReplayConfig) (EngineReplayResult, error) {
 	if cfg.Packets == 0 {
 		cfg.Packets = 50_000
 	}
-	chks, err := CorpusCheckers()
+	chks, err := CorpusCheckersOpt(cfg.NoLink)
 	if err != nil {
 		return EngineReplayResult{}, err
 	}
@@ -173,7 +183,7 @@ func RunSequentialReplay(cfg EngineReplayConfig) (EngineReplayResult, error) {
 	if cfg.Packets == 0 {
 		cfg.Packets = 50_000
 	}
-	chks, err := CorpusCheckers()
+	chks, err := CorpusCheckersOpt(cfg.NoLink)
 	if err != nil {
 		return EngineReplayResult{}, err
 	}

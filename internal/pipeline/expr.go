@@ -33,9 +33,16 @@ const (
 	OpAbs  // |x| under two's complement (unary)
 	OpMax
 	OpMin
+
+	// opCodeCount must stay last: it ties the opNames table to the
+	// opcode list at compile time.
+	opCodeCount
 )
 
-var opNames = map[OpCode]string{
+// opNames is indexed by OpCode — an array lookup, not a map hash, since
+// OpCode.String sits on interpreter error paths and debug output. The
+// sparse-literal form keeps each name next to its opcode.
+var opNames = [...]string{
 	OpAdd: "+", OpSub: "-", OpMul: "*", OpDiv: "/", OpMod: "%",
 	OpBAnd: "&", OpBOr: "|", OpBXor: "^", OpShl: "<<", OpShr: ">>",
 	OpEq: "==", OpNe: "!=", OpLt: "<", OpLe: "<=", OpGt: ">", OpGe: ">=",
@@ -43,9 +50,16 @@ var opNames = map[OpCode]string{
 	OpAbs: "abs", OpMax: "max", OpMin: "min",
 }
 
+// Compile-time exhaustiveness check: adding an opcode without naming it
+// (or naming one past the end) changes len(opNames) away from
+// opCodeCount and this assignment stops compiling. A unit test covers
+// the remaining gap (a new opcode indexed below an existing one, which
+// would leave an empty string in the middle).
+var _ [opCodeCount]string = opNames
+
 func (o OpCode) String() string {
-	if s, ok := opNames[o]; ok {
-		return s
+	if o >= 0 && int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
 	}
 	return fmt.Sprintf("OpCode(%d)", int(o))
 }

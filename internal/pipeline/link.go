@@ -1,0 +1,869 @@
+package pipeline
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// This file implements the install-time linking pass: Link resolves
+// every FieldRef a program can touch into a dense slot index, so the
+// per-packet PHV becomes a flat []Value instead of a map, and compiles
+// the structured Op/Expr trees into slot-indexed closures with no
+// string hashing, no interface dispatch, and no allocation on the
+// per-packet path. Execution contexts (PHV vector, TCAM lookup caches,
+// report buffers) are pooled and reused across packets.
+//
+// Linking is purely a representation change: a linked program is
+// bit-identical to the ExecContext map interpreter on every input (the
+// difftest conformance suite enforces this across the corpus and
+// randomized programs). Control-plane table updates need no re-link —
+// ops resolve *Table/*Register out of the per-switch State by index at
+// execution time, and the per-context TCAM caches are invalidated
+// through Table.Version.
+
+// linkedExpr computes an expression over the slot PHV.
+type linkedExpr func(phv []Value) Value
+
+// linkedOp executes one op against the linked context. Linked ops are
+// infallible: every failure mode of the map interpreter (undeclared
+// tables, unknown ops) is rejected at link time instead.
+type linkedOp func(c *LCtx)
+
+// LCtx is the pooled per-execution state of a linked program: the flat
+// PHV, the switch state, and the per-context TCAM lookup caches.
+type LCtx struct {
+	PHV     []Value
+	State   *State
+	Reports []Report
+	// TableApplies and OpsExecuted mirror ExecContext's counters.
+	TableApplies int
+	OpsExecuted  int
+
+	caches []applyCache
+	// wide is the reusable key buffer for applies of tables with more
+	// than MaxPackedKeys columns.
+	wide []uint64
+}
+
+// applyCache memoizes TCAM lookups for one ApplyOp site, keyed by the
+// packed lookup key and invalidated whenever the table pointer or its
+// version changes. Exact tables never use it (their map lookup is
+// already O(1)).
+type applyCache struct {
+	table   *Table
+	version uint64
+	m       map[PackedKey]cacheEnt
+}
+
+type cacheEnt struct {
+	action []Value
+	hit    bool
+}
+
+// maxCacheEntries bounds each per-site TCAM cache; beyond it, lookups
+// fall through uncached rather than growing the map unboundedly.
+const maxCacheEntries = 1024
+
+// teleStep is one field of the precomputed telemetry wire layout: the
+// slot it maps to and its static bit offset in the blob.
+type teleStep struct {
+	slot  int
+	width int
+	off   int
+}
+
+// Linked is the slot-resolved, closure-compiled form of a Program. One
+// Linked is built per program (Link is install-time, not per-packet)
+// and is safe for concurrent use from any number of shards.
+type Linked struct {
+	Prog *Program
+
+	slots  map[FieldRef]int
+	nSlots int
+
+	init, tele, check []linkedOp
+
+	teleSteps []teleStep
+	teleBits  int
+
+	bindings  []string
+	bindSlots []int
+
+	// Well-known slots, resolved once.
+	SlotReject, SlotHops, SlotSwitch, SlotPktLen, SlotLast, SlotFirst int
+
+	nCaches int
+	ctxPool sync.Pool
+}
+
+// Link builds the slot-resolved executable form of prog. It fails only
+// on programs the map interpreter would also reject at execution time
+// (ops referencing undeclared tables or registers).
+func Link(prog *Program) (*Linked, error) {
+	lk := &Linked{Prog: prog, slots: make(map[FieldRef]int, 64)}
+
+	lk.SlotReject = lk.intern(FieldReject)
+	lk.SlotHops = lk.intern(FieldHops)
+	lk.SlotSwitch = lk.intern(FieldSwitch)
+	lk.SlotPktLen = lk.intern(FieldPktLen)
+	lk.SlotLast = lk.intern(FieldLastHop)
+	lk.SlotFirst = lk.intern(FieldFirst)
+
+	// Array bases get contiguous slot blocks so runtime-indexed slot
+	// access is base+i. Collect every base with its largest capacity
+	// before assigning any other slots.
+	caps := map[string]int{}
+	note := func(base string, c int) {
+		if c > caps[base] {
+			caps[base] = c
+		}
+	}
+	for _, f := range prog.Tele {
+		if f.IsArray {
+			note(f.Name, f.Cap)
+		}
+	}
+	for _, blk := range [][]Op{prog.Init, prog.Telemetry, prog.Checker} {
+		WalkOps(blk, func(op Op) {
+			switch op := op.(type) {
+			case PushOp:
+				note(op.Base, op.Cap)
+			case SetSlotOp:
+				note(op.Base, op.Cap)
+			}
+		})
+	}
+	bases := make([]string, 0, len(caps))
+	for b := range caps {
+		bases = append(bases, b)
+	}
+	sort.Strings(bases)
+	arrays := make(map[string]int, len(bases))
+	for _, b := range bases {
+		lk.intern(ArrayCount(b))
+		start := lk.nSlots
+		for i := 0; i < caps[b]; i++ {
+			if s := lk.intern(ArraySlot(b, i)); s != start+i {
+				return nil, fmt.Errorf("pipeline: link: array %s slots not contiguous", b)
+			}
+		}
+		arrays[b] = start
+	}
+
+	lk.layoutTele(arrays)
+
+	// Header bindings, in sorted path order — the contract for
+	// HopEnv.SlotHeaders (compiler.Runtime.Bindings exposes the same
+	// order).
+	seen := map[string]bool{}
+	for _, path := range prog.HeaderBindings {
+		if !seen[path] {
+			seen[path] = true
+			lk.bindings = append(lk.bindings, path)
+		}
+	}
+	sort.Strings(lk.bindings)
+	lk.bindSlots = make([]int, len(lk.bindings))
+	for i, p := range lk.bindings {
+		lk.bindSlots[i] = lk.intern(FieldRef(p))
+	}
+
+	var err error
+	if lk.init, err = lk.compileOps(prog.Init, arrays); err != nil {
+		return nil, err
+	}
+	if lk.tele, err = lk.compileOps(prog.Telemetry, arrays); err != nil {
+		return nil, err
+	}
+	if lk.check, err = lk.compileOps(prog.Checker, arrays); err != nil {
+		return nil, err
+	}
+
+	lk.ctxPool.New = func() any {
+		return &LCtx{
+			PHV:    make([]Value, lk.nSlots),
+			caches: make([]applyCache, lk.nCaches),
+		}
+	}
+	return lk, nil
+}
+
+// MustLink links prog, panicking on error; for programs already
+// validated by the compiler.
+func MustLink(prog *Program) *Linked {
+	lk, err := Link(prog)
+	if err != nil {
+		panic(err)
+	}
+	return lk
+}
+
+func (lk *Linked) intern(f FieldRef) int {
+	if s, ok := lk.slots[f]; ok {
+		return s
+	}
+	s := lk.nSlots
+	lk.slots[f] = s
+	lk.nSlots++
+	return s
+}
+
+// NumSlots returns the PHV vector length.
+func (lk *Linked) NumSlots() int { return lk.nSlots }
+
+// SlotOf resolves a field to its slot index, if the program references
+// it anywhere.
+func (lk *Linked) SlotOf(f FieldRef) (int, bool) {
+	s, ok := lk.slots[f]
+	return s, ok
+}
+
+// Bindings returns the header-binding paths the program reads, in the
+// order HopEnv.SlotHeaders must be laid out (sorted, deduplicated).
+func (lk *Linked) Bindings() []string { return lk.bindings }
+
+// BindHeaderSlots copies bound header values into the PHV: vals[i]
+// corresponds to Bindings()[i], and a zero-width Value marks an absent
+// binding (matching a missing key in the map-based Headers env).
+func (lk *Linked) BindHeaderSlots(phv []Value, vals []Value) {
+	for i, s := range lk.bindSlots {
+		if i >= len(vals) {
+			return
+		}
+		if v := vals[i]; v.W != 0 {
+			phv[s] = v
+		}
+	}
+}
+
+// BindHeaderMap copies bound header values from a path-keyed map.
+func (lk *Linked) BindHeaderMap(phv []Value, headers map[string]Value) {
+	for i, p := range lk.bindings {
+		if v, ok := headers[p]; ok {
+			phv[lk.bindSlots[i]] = v
+		}
+	}
+}
+
+// AcquireCtx returns a cleared execution context from the pool.
+func (lk *Linked) AcquireCtx() *LCtx {
+	c := lk.ctxPool.Get().(*LCtx)
+	if c.OpsExecuted != 0 || c.TableApplies != 0 || len(c.Reports) != 0 {
+		c.OpsExecuted, c.TableApplies = 0, 0
+		c.Reports = c.Reports[:0]
+	}
+	clear(c.PHV)
+	return c
+}
+
+// ReleaseCtx returns a context to the pool. If the context's reports
+// escaped into a HopResult, the slice is dropped so the next user
+// cannot clobber them.
+func (lk *Linked) ReleaseCtx(c *LCtx) {
+	c.State = nil
+	if len(c.Reports) > 0 {
+		c.Reports = nil
+	}
+	lk.ctxPool.Put(c)
+}
+
+// ExecInit runs the linked init block.
+func (lk *Linked) ExecInit(c *LCtx) { runOps(c, lk.init) }
+
+// ExecTelemetry runs the linked telemetry block.
+func (lk *Linked) ExecTelemetry(c *LCtx) { runOps(c, lk.tele) }
+
+// ExecChecker runs the linked checker block.
+func (lk *Linked) ExecChecker(c *LCtx) { runOps(c, lk.check) }
+
+func runOps(c *LCtx, ops []linkedOp) {
+	for _, op := range ops {
+		op(c)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry wire codec over slots
+
+// layoutTele precomputes the static bit offset of every telemetry field
+// (including array valid counts and the leading hop counter), mirroring
+// the sequential BitWriter/BitReader layout of Program.EncodeTele.
+func (lk *Linked) layoutTele(arrays map[string]int) {
+	p := lk.Prog
+	off := 0
+	add := func(slot, width int) {
+		lk.teleSteps = append(lk.teleSteps, teleStep{slot: slot, width: width, off: off})
+		off += width
+	}
+	align := func() {
+		if p.AlignedTele {
+			off = (off + 7) &^ 7
+		}
+	}
+	add(lk.SlotHops, 8)
+	for _, f := range p.Tele {
+		if f.IsArray {
+			add(lk.intern(ArrayCount(f.Name)), 8)
+			base := arrays[f.Name]
+			for i := 0; i < f.Cap; i++ {
+				add(base+i, f.Width)
+				align()
+			}
+			continue
+		}
+		add(lk.intern(FieldRef(f.Name)), f.Width)
+		align()
+	}
+	lk.teleBits = off
+}
+
+// TeleWireBytes is the serialized telemetry blob size.
+func (lk *Linked) TeleWireBytes() int { return (lk.teleBits + 7) / 8 }
+
+// DecodeTele unpacks a telemetry blob into the slot PHV. An empty blob
+// (first hop) zero-fills the telemetry slots at their declared widths.
+func (lk *Linked) DecodeTele(blob []byte, phv []Value) error {
+	if len(blob) == 0 {
+		for _, st := range lk.teleSteps {
+			phv[st.slot] = Value{W: st.width}
+		}
+		return nil
+	}
+	if len(blob)*8 < lk.teleBits {
+		return fmt.Errorf("pipeline: telemetry blob: bit read past end: need %d bits, have %d", lk.teleBits, len(blob)*8)
+	}
+	for _, st := range lk.teleSteps {
+		phv[st.slot] = Value{W: st.width, V: getBits(blob, st.off, st.width)}
+	}
+	return nil
+}
+
+// EncodeTele packs the slot PHV's telemetry fields into dst's storage
+// (grown only if too small) and returns the blob. Callers that own dst
+// get an allocation-free encode; pass nil for a fresh blob.
+func (lk *Linked) EncodeTele(dst []byte, phv []Value) []byte {
+	n := lk.TeleWireBytes()
+	if cap(dst) >= n {
+		dst = dst[:n]
+		clear(dst)
+	} else {
+		dst = make([]byte, n)
+	}
+	for _, st := range lk.teleSteps {
+		putBits(dst, st.off, st.width, phv[st.slot].V)
+	}
+	return dst
+}
+
+// putBits writes the low `width` bits of v MSB-first at static bit
+// offset off. The buffer must be pre-zeroed; byte-aligned whole-byte
+// writes take a store-only fast path.
+func putBits(buf []byte, off, width int, v uint64) {
+	if width <= 0 {
+		return
+	}
+	v = Mask(width, v)
+	if off%8 == 0 && width%8 == 0 {
+		for i := width - 8; i >= 0; i -= 8 {
+			buf[off>>3] = byte(v >> uint(i))
+			off += 8
+		}
+		return
+	}
+	for i := width - 1; i >= 0; i-- {
+		buf[off>>3] |= byte(v>>uint(i)&1) << uint(7-off%8)
+		off++
+	}
+}
+
+// getBits reads `width` bits MSB-first from static bit offset off.
+func getBits(buf []byte, off, width int) uint64 {
+	var v uint64
+	if off%8 == 0 && width%8 == 0 {
+		for i := 0; i < width; i += 8 {
+			v = v<<8 | uint64(buf[off>>3])
+			off += 8
+		}
+		return v
+	}
+	for i := 0; i < width; i++ {
+		v = v<<1 | uint64(buf[off>>3]>>uint(7-off%8)&1)
+		off++
+	}
+	return v
+}
+
+// ---------------------------------------------------------------------------
+// Op compilation
+
+func (lk *Linked) compileOps(ops []Op, arrays map[string]int) ([]linkedOp, error) {
+	out := make([]linkedOp, 0, len(ops))
+	for _, op := range ops {
+		switch op := op.(type) {
+		case AssignOp:
+			src, err := lk.compileExpr(op.Src)
+			if err != nil {
+				return nil, err
+			}
+			dst, w := lk.intern(op.Dst), op.DstWidth
+			out = append(out, func(c *LCtx) {
+				c.OpsExecuted++
+				v := src(c.PHV)
+				c.PHV[dst] = B(w, v.V)
+			})
+
+		case ApplyOp:
+			lop, err := lk.compileApply(op)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, lop)
+
+		case RegReadOp:
+			ri, err := lk.regIndex(op.Reg)
+			if err != nil {
+				return nil, err
+			}
+			idx, err := lk.compileExpr(op.Index)
+			if err != nil {
+				return nil, err
+			}
+			dst, w, name := lk.intern(op.Dst), op.Width, op.Reg
+			out = append(out, func(c *LCtx) {
+				c.OpsExecuted++
+				r := c.State.regAt(ri, name)
+				c.PHV[dst] = B(w, r.Read(int(idx(c.PHV).V)))
+			})
+
+		case RegWriteOp:
+			ri, err := lk.regIndex(op.Reg)
+			if err != nil {
+				return nil, err
+			}
+			idx, err := lk.compileExpr(op.Index)
+			if err != nil {
+				return nil, err
+			}
+			src, err := lk.compileExpr(op.Src)
+			if err != nil {
+				return nil, err
+			}
+			name := op.Reg
+			out = append(out, func(c *LCtx) {
+				c.OpsExecuted++
+				r := c.State.regAt(ri, name)
+				r.Write(int(idx(c.PHV).V), src(c.PHV).V)
+			})
+
+		case IfOp:
+			cond, err := lk.compileExpr(op.Cond)
+			if err != nil {
+				return nil, err
+			}
+			thenOps, err := lk.compileOps(op.Then, arrays)
+			if err != nil {
+				return nil, err
+			}
+			elseOps, err := lk.compileOps(op.Else, arrays)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, func(c *LCtx) {
+				c.OpsExecuted++
+				if cond(c.PHV).Bool() {
+					runOps(c, thenOps)
+				} else {
+					runOps(c, elseOps)
+				}
+			})
+
+		case PushOp:
+			src, err := lk.compileExpr(op.Src)
+			if err != nil {
+				return nil, err
+			}
+			start := arrays[op.Base]
+			cnt := lk.intern(ArrayCount(op.Base))
+			capN, ew := op.Cap, op.ElemWidth
+			out = append(out, func(c *LCtx) {
+				c.OpsExecuted++
+				n := int(c.PHV[cnt].V)
+				v := src(c.PHV)
+				if n < capN {
+					c.PHV[start+n] = B(ew, v.V)
+					c.PHV[cnt] = B(8, uint64(n+1))
+					return
+				}
+				// Full: shift out the oldest element.
+				for i := 0; i+1 < capN; i++ {
+					c.PHV[start+i] = c.PHV[start+i+1]
+				}
+				c.PHV[start+capN-1] = B(ew, v.V)
+			})
+
+		case SetSlotOp:
+			idx, err := lk.compileExpr(op.Index)
+			if err != nil {
+				return nil, err
+			}
+			src, err := lk.compileExpr(op.Src)
+			if err != nil {
+				return nil, err
+			}
+			start := arrays[op.Base]
+			cnt := lk.intern(ArrayCount(op.Base))
+			capN, ew := op.Cap, op.ElemWidth
+			out = append(out, func(c *LCtx) {
+				c.OpsExecuted++
+				i := int(idx(c.PHV).V)
+				if i < 0 || i >= capN {
+					return // out-of-range writes are dropped, as on hardware
+				}
+				v := src(c.PHV)
+				c.PHV[start+i] = B(ew, v.V)
+				if n := int(c.PHV[cnt].V); i >= n {
+					c.PHV[cnt] = B(8, uint64(i+1))
+				}
+			})
+
+		case ReportOp:
+			args := make([]linkedExpr, len(op.Args))
+			for i, a := range op.Args {
+				f, err := lk.compileExpr(a)
+				if err != nil {
+					return nil, err
+				}
+				args[i] = f
+			}
+			out = append(out, func(c *LCtx) {
+				c.OpsExecuted++
+				vals := make([]Value, len(args))
+				for i, a := range args {
+					vals[i] = a(c.PHV)
+				}
+				c.Reports = append(c.Reports, Report{Args: vals})
+			})
+
+		default:
+			return nil, fmt.Errorf("pipeline: link: unknown op %T", op)
+		}
+	}
+	return out, nil
+}
+
+func (lk *Linked) tableIndex(name string) (int, *TableSpec, error) {
+	for i := range lk.Prog.Tables {
+		if lk.Prog.Tables[i].Name == name {
+			return i, &lk.Prog.Tables[i], nil
+		}
+	}
+	return 0, nil, fmt.Errorf("pipeline: apply of undeclared table %q", name)
+}
+
+func (lk *Linked) regIndex(name string) (int, error) {
+	for i := range lk.Prog.Registers {
+		if lk.Prog.Registers[i].Name == name {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("pipeline: access to undeclared register %q", name)
+}
+
+func (lk *Linked) compileApply(op ApplyOp) (linkedOp, error) {
+	ti, spec, err := lk.tableIndex(op.Table)
+	if err != nil {
+		return nil, err
+	}
+	keys := make([]linkedExpr, len(op.Keys))
+	for i, k := range op.Keys {
+		f, err := lk.compileExpr(k)
+		if err != nil {
+			return nil, err
+		}
+		keys[i] = f
+	}
+	outSlots := make([]int, len(spec.Outputs))
+	for i, o := range spec.Outputs {
+		outSlots[i] = lk.intern(o)
+	}
+	hit := lk.intern(FieldRef(spec.Name + ".$hit"))
+	name := op.Table
+
+	allExact := true
+	for _, k := range spec.Keys {
+		if k.Kind != MatchExact {
+			allExact = false
+		}
+	}
+	packable := len(op.Keys) <= MaxPackedKeys && len(spec.Keys) <= MaxPackedKeys
+
+	writeOut := func(c *LCtx, action []Value, hitV bool) {
+		for i, s := range outSlots {
+			c.PHV[s] = action[i]
+		}
+		c.PHV[hit] = BoolV(hitV)
+		c.TableApplies++
+	}
+
+	switch {
+	case packable && allExact:
+		// Exact fast path: packed stack key, O(1) map hit, no locks
+		// beyond the table's RWMutex, no allocation.
+		return func(c *LCtx) {
+			c.OpsExecuted++
+			t := c.State.tableAt(ti, name)
+			var k PackedKey
+			for i, f := range keys {
+				k[i] = f(c.PHV).V
+			}
+			action, hitV := t.LookupPacked(k)
+			writeOut(c, action, hitV)
+		}, nil
+
+	case packable:
+		// TCAM path with a per-context cache, invalidated by table
+		// identity + version.
+		cacheIdx := lk.nCaches
+		lk.nCaches++
+		return func(c *LCtx) {
+			c.OpsExecuted++
+			t := c.State.tableAt(ti, name)
+			var k PackedKey
+			for i, f := range keys {
+				k[i] = f(c.PHV).V
+			}
+			cache := &c.caches[cacheIdx]
+			if ver := t.Version(); cache.table != t || cache.version != ver {
+				cache.table, cache.version = t, ver
+				if cache.m == nil {
+					cache.m = make(map[PackedKey]cacheEnt, 16)
+				} else {
+					clear(cache.m)
+				}
+			}
+			ce, ok := cache.m[k]
+			if !ok {
+				ce.action, ce.hit = t.LookupPacked(k)
+				if len(cache.m) < maxCacheEntries {
+					cache.m[k] = ce
+				}
+			}
+			writeOut(c, ce.action, ce.hit)
+		}, nil
+
+	default:
+		// Wide keys (> MaxPackedKeys columns): generic slice path,
+		// through the context's reusable key buffer.
+		nk := len(keys)
+		return func(c *LCtx) {
+			c.OpsExecuted++
+			t := c.State.tableAt(ti, name)
+			if cap(c.wide) < nk {
+				c.wide = make([]uint64, nk)
+			}
+			kv := c.wide[:nk]
+			for i, f := range keys {
+				kv[i] = f(c.PHV).V
+			}
+			action, hitV := t.Lookup(kv)
+			writeOut(c, action, hitV)
+		}, nil
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Expr compilation
+
+func (lk *Linked) compileExpr(e Expr) (linkedExpr, error) {
+	switch e := e.(type) {
+	case Field:
+		slot, w := lk.intern(e.Ref), e.Width
+		return func(phv []Value) Value {
+			v := phv[slot]
+			if v.W == 0 {
+				return Value{W: w}
+			}
+			return v
+		}, nil
+
+	case Const:
+		v := e.Val
+		return func([]Value) Value { return v }, nil
+
+	case Unary:
+		x, err := lk.compileExpr(e.X)
+		if err != nil {
+			return nil, err
+		}
+		switch e.Op {
+		case OpNot:
+			return func(phv []Value) Value { return BoolV(!x(phv).Bool()) }, nil
+		case OpBNot:
+			return func(phv []Value) Value { v := x(phv); return B(v.W, ^v.V) }, nil
+		case OpNeg:
+			return func(phv []Value) Value { v := x(phv); return B(v.W, -v.V) }, nil
+		case OpAbs:
+			return func(phv []Value) Value {
+				v := x(phv)
+				s := v.Signed()
+				if s < 0 {
+					s = -s
+				}
+				return B(v.W, uint64(s))
+			}, nil
+		}
+		return nil, fmt.Errorf("pipeline: link: bad unary opcode %s", e.Op)
+
+	case Bin:
+		x, err := lk.compileExpr(e.X)
+		if err != nil {
+			return nil, err
+		}
+		y, err := lk.compileExpr(e.Y)
+		if err != nil {
+			return nil, err
+		}
+		return compileBin(e.Op, x, y)
+
+	case Mux:
+		cond, err := lk.compileExpr(e.Cond)
+		if err != nil {
+			return nil, err
+		}
+		x, err := lk.compileExpr(e.X)
+		if err != nil {
+			return nil, err
+		}
+		y, err := lk.compileExpr(e.Y)
+		if err != nil {
+			return nil, err
+		}
+		return func(phv []Value) Value {
+			if cond(phv).Bool() {
+				return x(phv)
+			}
+			return y(phv)
+		}, nil
+	}
+	return nil, fmt.Errorf("pipeline: link: unknown expr %T", e)
+}
+
+// binWidth reconciles operand widths the way Bin.Eval does: a width-0
+// (unset/weak) side adopts the other side's width.
+func binWidth(x, y Value) int {
+	if x.W != 0 {
+		return x.W
+	}
+	return y.W
+}
+
+func compileBin(op OpCode, x, y linkedExpr) (linkedExpr, error) {
+	switch op {
+	case OpLAnd:
+		return func(phv []Value) Value {
+			if !x(phv).Bool() {
+				return BoolV(false)
+			}
+			return BoolV(y(phv).Bool())
+		}, nil
+	case OpLOr:
+		return func(phv []Value) Value {
+			if x(phv).Bool() {
+				return BoolV(true)
+			}
+			return BoolV(y(phv).Bool())
+		}, nil
+	case OpAdd:
+		return func(phv []Value) Value {
+			xv, yv := x(phv), y(phv)
+			return B(binWidth(xv, yv), xv.V+yv.V)
+		}, nil
+	case OpSub:
+		return func(phv []Value) Value {
+			xv, yv := x(phv), y(phv)
+			return B(binWidth(xv, yv), xv.V-yv.V)
+		}, nil
+	case OpMul:
+		return func(phv []Value) Value {
+			xv, yv := x(phv), y(phv)
+			return B(binWidth(xv, yv), xv.V*yv.V)
+		}, nil
+	case OpDiv:
+		return func(phv []Value) Value {
+			xv, yv := x(phv), y(phv)
+			if yv.V == 0 {
+				return B(binWidth(xv, yv), 0)
+			}
+			return B(binWidth(xv, yv), xv.V/yv.V)
+		}, nil
+	case OpMod:
+		return func(phv []Value) Value {
+			xv, yv := x(phv), y(phv)
+			if yv.V == 0 {
+				return B(binWidth(xv, yv), 0)
+			}
+			return B(binWidth(xv, yv), xv.V%yv.V)
+		}, nil
+	case OpBAnd:
+		return func(phv []Value) Value {
+			xv, yv := x(phv), y(phv)
+			return B(binWidth(xv, yv), xv.V&yv.V)
+		}, nil
+	case OpBOr:
+		return func(phv []Value) Value {
+			xv, yv := x(phv), y(phv)
+			return B(binWidth(xv, yv), xv.V|yv.V)
+		}, nil
+	case OpBXor:
+		return func(phv []Value) Value {
+			xv, yv := x(phv), y(phv)
+			return B(binWidth(xv, yv), xv.V^yv.V)
+		}, nil
+	case OpShl:
+		return func(phv []Value) Value {
+			xv, yv := x(phv), y(phv)
+			if yv.V >= 64 {
+				return B(binWidth(xv, yv), 0)
+			}
+			return B(binWidth(xv, yv), xv.V<<yv.V)
+		}, nil
+	case OpShr:
+		return func(phv []Value) Value {
+			xv, yv := x(phv), y(phv)
+			if yv.V >= 64 {
+				return B(binWidth(xv, yv), 0)
+			}
+			return B(binWidth(xv, yv), xv.V>>yv.V)
+		}, nil
+	case OpEq:
+		return func(phv []Value) Value { return BoolV(x(phv).V == y(phv).V) }, nil
+	case OpNe:
+		return func(phv []Value) Value { return BoolV(x(phv).V != y(phv).V) }, nil
+	case OpLt:
+		return func(phv []Value) Value { return BoolV(x(phv).V < y(phv).V) }, nil
+	case OpLe:
+		return func(phv []Value) Value { return BoolV(x(phv).V <= y(phv).V) }, nil
+	case OpGt:
+		return func(phv []Value) Value { return BoolV(x(phv).V > y(phv).V) }, nil
+	case OpGe:
+		return func(phv []Value) Value { return BoolV(x(phv).V >= y(phv).V) }, nil
+	case OpMax:
+		return func(phv []Value) Value {
+			xv, yv := x(phv), y(phv)
+			if xv.V >= yv.V {
+				return B(binWidth(xv, yv), xv.V)
+			}
+			return B(binWidth(xv, yv), yv.V)
+		}, nil
+	case OpMin:
+		return func(phv []Value) Value {
+			xv, yv := x(phv), y(phv)
+			if xv.V <= yv.V {
+				return B(binWidth(xv, yv), xv.V)
+			}
+			return B(binWidth(xv, yv), yv.V)
+		}, nil
+	}
+	return nil, fmt.Errorf("pipeline: link: bad binary opcode %s", op)
+}

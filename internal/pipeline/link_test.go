@@ -1,0 +1,453 @@
+package pipeline
+
+import (
+	"bytes"
+	"testing"
+)
+
+// linkTestProg builds a hand-written IR program that exercises every op
+// and expression form the linker compiles: exact tables (packed-key
+// path), ternary/range tables (cached TCAM path), a >MaxPackedKeys
+// exact table (generic fallback), registers, header-stack push and
+// indexed writes, static array-slot references (in range and beyond
+// capacity), unset-field width semantics, mux, unaries, and reports.
+func linkTestProg() *Program {
+	fx := Field{Ref: "hdr.x", Width: 32}
+	fy := Field{Ref: "hdr.y", Width: 16}
+	acc := Field{Ref: "hydra_header.acc", Width: 12}
+	return &Program{
+		Name: "link-test",
+		Tables: []TableSpec{
+			{
+				Name: "t_exact",
+				Keys: []KeySpec{{Name: "x", Width: 32}, {Name: "y", Width: 16}},
+				Outputs: []FieldRef{"ctrl.ex_out"}, OutputWidths: []int{16},
+				Default: []Value{B(16, 0x0BEE)},
+			},
+			{
+				Name: "t_acl",
+				Keys: []KeySpec{
+					{Name: "x", Width: 32, Kind: MatchTernary},
+					{Name: "y", Width: 16, Kind: MatchRange},
+				},
+				Outputs: []FieldRef{"ctrl.acl"}, OutputWidths: []int{8},
+				Default: []Value{B(8, 0)},
+			},
+			{
+				Name: "t_wide",
+				Keys: []KeySpec{
+					{Width: 8}, {Width: 8}, {Width: 8}, {Width: 8}, {Width: 8},
+				},
+				Outputs: []FieldRef{"ctrl.wide"}, OutputWidths: []int{8},
+				Default: []Value{B(8, 1)},
+			},
+		},
+		Registers: []RegisterSpec{{Name: "r", Width: 32, Size: 4}},
+		Tele: []TeleField{
+			{Name: "hydra_header.acc", Width: 12},
+			{Name: "hydra_header.path", Width: 9, IsArray: true, Cap: 3},
+		},
+		HeaderBindings: map[string]string{"x": "hdr.x", "y": "hdr.y"},
+		Init: []Op{
+			AssignOp{Dst: "hydra_header.acc", DstWidth: 12, Src: C(12, 5)},
+		},
+		Telemetry: []Op{
+			ApplyOp{Table: "t_exact", Keys: []Expr{fx, fy}},
+			AssignOp{Dst: "hydra_header.acc", DstWidth: 12,
+				Src: Bin{Op: OpAdd, X: acc, Y: Field{Ref: "ctrl.ex_out", Width: 16}}},
+			PushOp{Base: "hydra_header.path", ElemWidth: 9, Cap: 3, Src: Field{Ref: FieldSwitch, Width: 32}},
+			IfOp{
+				Cond: Bin{Op: OpGt, X: acc, Y: C(12, 100)},
+				Then: []Op{SetSlotOp{Base: "hydra_header.path", ElemWidth: 9, Cap: 3, Index: C(2, 0), Src: acc}},
+				Else: []Op{RegWriteOp{Reg: "r", Index: Bin{Op: OpMod, X: Field{Ref: FieldHops, Width: 8}, Y: C(8, 4)}, Src: acc}},
+			},
+			RegReadOp{Reg: "r", Index: C(2, 1), Dst: "local.rv", Width: 32},
+			// Unset fields adopt their declared width: local.never is
+			// never written, so 0-1 must wrap at 16 bits, and the
+			// division below sees a zero divisor (-> 0, no trap).
+			AssignOp{Dst: "local.unset_use", DstWidth: 16,
+				Src: Bin{Op: OpSub, X: Field{Ref: "local.never", Width: 16}, Y: C(16, 1)}},
+			AssignOp{Dst: "local.div0", DstWidth: 12,
+				Src: Bin{Op: OpDiv, X: acc, Y: Field{Ref: "local.never2", Width: 4}}},
+			AssignOp{Dst: "local.shift", DstWidth: 16,
+				Src: Bin{Op: OpShl, X: Field{Ref: "local.unset_use", Width: 16}, Y: C(8, 70)}},
+			// Static array-slot references: path.1 is inside the stack,
+			// path.7 is beyond its capacity (a distinct, never-set field).
+			AssignOp{Dst: "local.mux", DstWidth: 9,
+				Src: Mux{Cond: fx, X: Field{Ref: "hydra_header.path.1", Width: 9}, Y: C(9, 3)}},
+			AssignOp{Dst: "local.oob", DstWidth: 9, Src: Field{Ref: "hydra_header.path.7", Width: 9}},
+			AssignOp{Dst: "local.u", DstWidth: 12,
+				Src: Bin{Op: OpAdd,
+					X: Unary{Op: OpBNot, X: acc},
+					Y: Unary{Op: OpAbs, X: Unary{Op: OpNeg, X: C(12, 5)}}}},
+		},
+		Checker: []Op{
+			ApplyOp{Table: "t_acl", Keys: []Expr{fx, fy}},
+			ApplyOp{Table: "t_wide", Keys: []Expr{C(8, 1), C(8, 2), C(8, 3), fy, C(8, 5)}},
+			IfOp{
+				Cond: Bin{Op: OpLAnd,
+					X: Bin{Op: OpEq, X: Field{Ref: "ctrl.acl", Width: 8}, Y: C(8, 2)},
+					Y: Field{Ref: "t_acl.$hit", Width: 1}},
+				Then: []Op{
+					AssignOp{Dst: FieldReject, DstWidth: 1, Src: C(1, 1)},
+					ReportOp{Args: []Expr{Field{Ref: FieldSwitch, Width: 32}, acc, Field{Ref: "hydra_header.path.0", Width: 9}}},
+				},
+			},
+		},
+	}
+}
+
+func installLinkTestState(t *testing.T, st *State) {
+	t.Helper()
+	inserts := []struct {
+		table string
+		e     Entry
+	}{
+		{"t_exact", Entry{Keys: []KeyMatch{ExactKey(10), ExactKey(20)}, Action: []Value{B(16, 200)}}},
+		{"t_exact", Entry{Keys: []KeyMatch{ExactKey(11), ExactKey(21)}, Action: []Value{B(16, 300)}}},
+		{"t_acl", Entry{Keys: []KeyMatch{TernaryKey(8, 0xC), RangeKey(15, 30)}, Priority: 10, Action: []Value{B(8, 2)}}},
+		{"t_acl", Entry{Keys: []KeyMatch{AnyKey(), RangeKey(0, 1000)}, Priority: 1, Action: []Value{B(8, 7)}}},
+		{"t_wide", Entry{Keys: []KeyMatch{ExactKey(1), ExactKey(2), ExactKey(3), ExactKey(21), ExactKey(5)}, Action: []Value{B(8, 9)}}},
+	}
+	for _, ins := range inserts {
+		if err := st.Tables[ins.table].Insert(ins.e); err != nil {
+			t.Fatalf("insert into %s: %v", ins.table, err)
+		}
+	}
+}
+
+type parityHop struct {
+	switchID uint64
+	headers  map[FieldRef]Value
+}
+
+// runParity drives the same hop sequence through the map interpreter
+// and the linked executor (each on its own State) and fails on any
+// divergence: per-hop wire blob, reject flag, report payloads, or the
+// op/apply counters.
+func runParity(t *testing.T, prog *Program, mapSt, lnSt *State, hops []parityHop) {
+	t.Helper()
+	lk, err := Link(prog)
+	if err != nil {
+		t.Fatalf("link: %v", err)
+	}
+
+	var mapBlob, lnBlob []byte
+	for hi, hop := range hops {
+		first, last := hi == 0, hi == len(hops)-1
+
+		// Map path.
+		phv := make(PHV, 32)
+		if err := prog.DecodeTele(mapBlob, phv); err != nil {
+			t.Fatalf("hop %d: map decode: %v", hi, err)
+		}
+		phv.Set(FieldSwitch, B(32, hop.switchID))
+		phv.Set(FieldPktLen, B(32, 100))
+		phv.Set(FieldLastHop, BoolV(last))
+		phv.Set(FieldFirst, BoolV(first))
+		for ref, v := range hop.headers {
+			phv.Set(ref, v)
+		}
+		ctx := &ExecContext{PHV: phv, State: mapSt}
+		blocks := [][]Op{prog.Telemetry, prog.Checker}
+		if first {
+			blocks = append([][]Op{prog.Init}, blocks...)
+		}
+		for _, b := range blocks {
+			if err := ctx.Exec(b); err != nil {
+				t.Fatalf("hop %d: map exec: %v", hi, err)
+			}
+		}
+		mapBlob = prog.EncodeTele(phv)
+
+		// Linked path.
+		c := lk.AcquireCtx()
+		c.State = lnSt
+		if err := lk.DecodeTele(lnBlob, c.PHV); err != nil {
+			t.Fatalf("hop %d: linked decode: %v", hi, err)
+		}
+		c.PHV[lk.SlotSwitch] = B(32, hop.switchID)
+		c.PHV[lk.SlotPktLen] = B(32, 100)
+		c.PHV[lk.SlotLast] = BoolV(last)
+		c.PHV[lk.SlotFirst] = BoolV(first)
+		for ref, v := range hop.headers {
+			slot, ok := lk.SlotOf(ref)
+			if !ok {
+				t.Fatalf("hop %d: header %s has no slot", hi, ref)
+			}
+			c.PHV[slot] = v
+		}
+		if first {
+			lk.ExecInit(c)
+		}
+		lk.ExecTelemetry(c)
+		lk.ExecChecker(c)
+		lnBlob = lk.EncodeTele(nil, c.PHV)
+
+		if !bytes.Equal(mapBlob, lnBlob) {
+			t.Fatalf("hop %d: blob mismatch\n map    %x\n linked %x", hi, mapBlob, lnBlob)
+		}
+		if mr, lr := phv.Get(FieldReject).Bool(), c.PHV[lk.SlotReject].Bool(); mr != lr {
+			t.Fatalf("hop %d: reject mismatch: map %v, linked %v", hi, mr, lr)
+		}
+		if ctx.OpsExecuted != c.OpsExecuted || ctx.TableApplies != c.TableApplies {
+			t.Fatalf("hop %d: counters mismatch: map ops=%d applies=%d, linked ops=%d applies=%d",
+				hi, ctx.OpsExecuted, ctx.TableApplies, c.OpsExecuted, c.TableApplies)
+		}
+		if len(ctx.Reports) != len(c.Reports) {
+			t.Fatalf("hop %d: report count: map %d, linked %d", hi, len(ctx.Reports), len(c.Reports))
+		}
+		for i := range ctx.Reports {
+			ma, la := ctx.Reports[i].Args, c.Reports[i].Args
+			if len(ma) != len(la) {
+				t.Fatalf("hop %d report %d: arity %d vs %d", hi, i, len(ma), len(la))
+			}
+			for j := range ma {
+				if ma[j] != la[j] {
+					t.Fatalf("hop %d report %d arg %d: map %+v, linked %+v", hi, i, j, ma[j], la[j])
+				}
+			}
+		}
+		lk.ReleaseCtx(c)
+	}
+}
+
+func linkTestHops() []parityHop {
+	return []parityHop{
+		{switchID: 1, headers: map[FieldRef]Value{"hdr.x": B(32, 10), "hdr.y": B(16, 20)}},
+		{switchID: 3, headers: map[FieldRef]Value{"hdr.x": B(32, 11), "hdr.y": B(16, 21)}},
+		{switchID: 7, headers: map[FieldRef]Value{"hdr.x": B(32, 12), "hdr.y": B(16, 22)}},
+		// Matches the t_acl ternary entry (8&0xC, 15<=y<=30) -> reject.
+		{switchID: 2, headers: map[FieldRef]Value{"hdr.x": B(32, 0xFB), "hdr.y": B(16, 25)}},
+	}
+}
+
+// TestLinkedParity runs the kitchen-sink program hop by hop on both
+// executors and requires bit-identical results, in both telemetry
+// encodings.
+func TestLinkedParity(t *testing.T) {
+	for _, aligned := range []bool{false, true} {
+		prog := linkTestProg()
+		prog.AlignedTele = aligned
+		mapSt, lnSt := prog.NewState(), prog.NewState()
+		installLinkTestState(t, mapSt)
+		installLinkTestState(t, lnSt)
+		runParity(t, prog, mapSt, lnSt, linkTestHops())
+	}
+}
+
+// TestLinkedSlotLayout checks the slot invariants the compiled closures
+// rely on: array elements are contiguous from their base, and distinct
+// fields get distinct slots.
+func TestLinkedSlotLayout(t *testing.T) {
+	lk, err := Link(linkTestProg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, ok := lk.SlotOf(ArraySlot("hydra_header.path", 0))
+	if !ok {
+		t.Fatal("path.0 has no slot")
+	}
+	for i := 1; i < 3; i++ {
+		s, ok := lk.SlotOf(ArraySlot("hydra_header.path", i))
+		if !ok || s != base+i {
+			t.Fatalf("path.%d slot = %d (ok=%v), want %d", i, s, ok, base+i)
+		}
+	}
+	// The beyond-capacity static reference is its own field, not part
+	// of the contiguous block.
+	oob, ok := lk.SlotOf("hydra_header.path.7")
+	if !ok {
+		t.Fatal("path.7 (beyond cap) has no slot")
+	}
+	if oob >= base && oob < base+3 {
+		t.Fatalf("path.7 slot %d aliases the array block [%d,%d)", oob, base, base+3)
+	}
+	seen := map[int]bool{}
+	for _, ref := range []FieldRef{FieldReject, FieldHops, FieldSwitch, FieldPktLen, FieldLastHop, FieldFirst} {
+		s, ok := lk.SlotOf(ref)
+		if !ok {
+			t.Fatalf("builtin %s has no slot", ref)
+		}
+		if seen[s] {
+			t.Fatalf("builtin %s shares slot %d", ref, s)
+		}
+		seen[s] = true
+	}
+}
+
+// TestLinkedLiveInstall proves control-plane installs into a live State
+// are visible through the linked executor without re-linking, across
+// both table flavors: the exact path reads the shared table directly,
+// and the cached TCAM path must invalidate via Table.Version on insert
+// and delete.
+func TestLinkedLiveInstall(t *testing.T) {
+	prog := linkTestProg()
+	lk, err := Link(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := prog.NewState()
+	installLinkTestState(t, st)
+
+	c := lk.AcquireCtx()
+	defer lk.ReleaseCtx(c)
+	c.State = st
+	aclSlot, _ := lk.SlotOf("ctrl.acl")
+	exSlot, _ := lk.SlotOf("ctrl.ex_out")
+	xSlot, _ := lk.SlotOf("hdr.x")
+	ySlot, _ := lk.SlotOf("hdr.y")
+
+	run := func() (acl, ex uint64) {
+		clear(c.PHV)
+		c.PHV[xSlot] = B(32, 100)
+		c.PHV[ySlot] = B(16, 500)
+		lk.ExecTelemetry(c)
+		lk.ExecChecker(c)
+		return c.PHV[aclSlot].V, c.PHV[exSlot].V
+	}
+
+	if acl, ex := run(); acl != 7 || ex != 0x0BEE {
+		t.Fatalf("pre-install: acl=%d ex=%#x, want 7 and 0xbee", acl, ex)
+	}
+	// Run twice so the TCAM cache is warm before the table changes.
+	run()
+
+	aclTbl := st.Tables["t_acl"]
+	v0 := aclTbl.Version()
+	if err := aclTbl.Insert(Entry{
+		Keys:     []KeyMatch{TernaryKey(100, 0xFFFF), RangeKey(400, 600)},
+		Priority: 50, Action: []Value{B(8, 42)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if aclTbl.Version() == v0 {
+		t.Fatal("Insert did not bump the table version")
+	}
+	if err := st.Tables["t_exact"].Insert(Entry{
+		Keys: []KeyMatch{ExactKey(100), ExactKey(500)}, Action: []Value{B(16, 777)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	if acl, ex := run(); acl != 42 || ex != 777 {
+		t.Fatalf("post-install: acl=%d ex=%d, want 42 and 777 (stale cache?)", acl, ex)
+	}
+
+	if n := aclTbl.Delete([]KeyMatch{TernaryKey(100, 0xFFFF), RangeKey(400, 600)}); n != 1 {
+		t.Fatalf("Delete removed %d entries, want 1", n)
+	}
+	if acl, _ := run(); acl != 7 {
+		t.Fatalf("post-delete: acl=%d, want 7 (stale cache after delete?)", acl)
+	}
+}
+
+// TestLinkedTeleCodecRoundTrip cross-checks the static-offset codec
+// against the sequential BitWriter/BitReader codec in both directions
+// and both encodings.
+func TestLinkedTeleCodecRoundTrip(t *testing.T) {
+	for _, aligned := range []bool{false, true} {
+		prog := linkTestProg()
+		prog.AlignedTele = aligned
+		lk, err := Link(prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Populate the telemetry fields through the map PHV, encode with
+		// the reference codec, and require the linked decode + encode to
+		// reproduce the bytes exactly.
+		phv := PHV{}
+		phv.Set(FieldHops, B(8, 3))
+		phv.Set("hydra_header.acc", B(12, 0xABC))
+		phv.Set(ArrayCount("hydra_header.path"), B(8, 2))
+		phv.Set(ArraySlot("hydra_header.path", 0), B(9, 0x155))
+		phv.Set(ArraySlot("hydra_header.path", 1), B(9, 0x0AA))
+		phv.Set(ArraySlot("hydra_header.path", 2), B(9, 0))
+		blob := prog.EncodeTele(phv)
+
+		vec := make([]Value, lk.NumSlots())
+		if err := lk.DecodeTele(blob, vec); err != nil {
+			t.Fatalf("aligned=%v: linked decode: %v", aligned, err)
+		}
+		for _, ref := range []FieldRef{FieldHops, "hydra_header.acc", ArrayCount("hydra_header.path"),
+			ArraySlot("hydra_header.path", 0), ArraySlot("hydra_header.path", 1)} {
+			slot, ok := lk.SlotOf(ref)
+			if !ok {
+				t.Fatalf("no slot for %s", ref)
+			}
+			if vec[slot] != phv.Get(ref) {
+				t.Errorf("aligned=%v: %s decoded %+v, want %+v", aligned, ref, vec[slot], phv.Get(ref))
+			}
+		}
+		if got := lk.EncodeTele(nil, vec); !bytes.Equal(got, blob) {
+			t.Errorf("aligned=%v: re-encode mismatch\n got  %x\n want %x", aligned, got, blob)
+		}
+
+		// Truncated blobs must error on both codecs.
+		if err := lk.DecodeTele(blob[:1], vec); err == nil {
+			t.Errorf("aligned=%v: linked decode accepted a truncated blob", aligned)
+		}
+		if err := prog.DecodeTele(blob[:1], PHV{}); err == nil {
+			t.Errorf("aligned=%v: map decode accepted a truncated blob", aligned)
+		}
+	}
+}
+
+// TestLinkedAllocs is the hot-path allocation guard at the pipeline
+// layer: steady-state linked execution of the telemetry block — table
+// applies included — and the packed table lookup itself must not
+// allocate; the blob encode must not allocate when the caller reuses
+// its buffer.
+func TestLinkedAllocs(t *testing.T) {
+	prog := linkTestProg()
+	lk, err := Link(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := prog.NewState()
+	installLinkTestState(t, st)
+
+	c := lk.AcquireCtx()
+	defer lk.ReleaseCtx(c)
+	c.State = st
+	xSlot, _ := lk.SlotOf("hdr.x")
+	ySlot, _ := lk.SlotOf("hdr.y")
+	blob := make([]byte, 0, lk.TeleWireBytes())
+
+	exec := func() {
+		clear(c.PHV)
+		// x=1 stays clear of the t_acl ternary entry (1&0xC != 8), so no
+		// report fires and the run must be allocation-free.
+		c.PHV[xSlot] = B(32, 1)
+		c.PHV[ySlot] = B(16, 20)
+		lk.ExecTelemetry(c)
+		lk.ExecChecker(c)
+		blob = lk.EncodeTele(blob[:0], c.PHV)
+	}
+	exec() // warm the TCAM cache and blob buffer
+	// Covers the packed-exact, cached-TCAM and generic (>MaxPackedKeys,
+	// t_wide) apply paths; no report fires on these headers.
+	if n := testing.AllocsPerRun(200, exec); n > 0 {
+		t.Errorf("linked telemetry+checker blocks: %.1f allocs/run, want 0", n)
+	}
+
+	tbl := st.Tables["t_exact"]
+	k := PackedKey{10, 20}
+	if n := testing.AllocsPerRun(200, func() {
+		if _, hit := tbl.LookupPacked(k); !hit {
+			t.Fatal("packed lookup missed")
+		}
+	}); n > 0 {
+		t.Errorf("LookupPacked: %.1f allocs/run, want 0", n)
+	}
+
+	vals := []uint64{10, 20}
+	if n := testing.AllocsPerRun(200, func() {
+		if _, hit := tbl.Lookup(vals); !hit {
+			t.Fatal("exact lookup missed")
+		}
+	}); n > 0 {
+		t.Errorf("exact Lookup: %.1f allocs/run, want 0", n)
+	}
+}

@@ -103,18 +103,53 @@ func (f TeleField) WireBitsAligned() int {
 type State struct {
 	Tables    map[string]*Table
 	Registers map[string]*Register
+
+	// tableList and regList hold the same pointers in Program.Tables /
+	// Program.Registers declaration order, so the linked executor can
+	// resolve resources by index instead of hashing names per packet.
+	// Hand-built States (tests) may leave them nil; the linked ops fall
+	// back to the maps then.
+	tableList []*Table
+	regList   []*Register
 }
 
 // NewState instantiates the program's resources for one switch.
 func (p *Program) NewState() *State {
-	st := &State{Tables: map[string]*Table{}, Registers: map[string]*Register{}}
+	st := &State{
+		Tables:    make(map[string]*Table, len(p.Tables)),
+		Registers: make(map[string]*Register, len(p.Registers)),
+		tableList: make([]*Table, 0, len(p.Tables)),
+		regList:   make([]*Register, 0, len(p.Registers)),
+	}
 	for _, ts := range p.Tables {
-		st.Tables[ts.Name] = NewTable(ts.Name, ts.Keys, ts.Outputs, ts.Default)
+		t := NewTable(ts.Name, ts.Keys, ts.Outputs, ts.Default)
+		st.Tables[ts.Name] = t
+		st.tableList = append(st.tableList, t)
 	}
 	for _, rs := range p.Registers {
-		st.Registers[rs.Name] = NewRegister(rs.Name, rs.Width, rs.Size)
+		r := NewRegister(rs.Name, rs.Width, rs.Size)
+		st.Registers[rs.Name] = r
+		st.regList = append(st.regList, r)
 	}
 	return st
+}
+
+// tableAt resolves a table by declaration index, falling back to the
+// name map for hand-built States.
+func (s *State) tableAt(i int, name string) *Table {
+	if i < len(s.tableList) {
+		return s.tableList[i]
+	}
+	return s.Tables[name]
+}
+
+// regAt resolves a register by declaration index, falling back to the
+// name map for hand-built States.
+func (s *State) regAt(i int, name string) *Register {
+	if i < len(s.regList) {
+		return s.regList[i]
+	}
+	return s.Registers[name]
 }
 
 // ---------------------------------------------------------------------------

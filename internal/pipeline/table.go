@@ -4,8 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"strconv"
-
 	"sync"
+	"sync/atomic"
 )
 
 // MatchKind is how one key column of a table matches.
@@ -103,6 +103,16 @@ func (m KeyMatch) specificity(kind MatchKind) int {
 	return 1
 }
 
+// MaxPackedKeys is the widest key (in columns) the allocation-free
+// packed lookup path supports; tables with more exact columns fall back
+// to a string-keyed map.
+const MaxPackedKeys = 4
+
+// PackedKey is a table lookup key packed into a fixed array so the hot
+// path can build it on the stack and hash it without allocation.
+// Columns beyond the table's key count must be zero.
+type PackedKey [MaxPackedKeys]uint64
+
 // Entry is one table entry: matchers for each key column, a priority
 // (higher wins; TCAM-style tables only), and the action data written to
 // the table's output fields on a hit.
@@ -112,6 +122,10 @@ type Entry struct {
 	Action   []Value
 	// Name optionally labels the action for P4 output and debugging.
 	Name string
+
+	// match is the entry's compiled matcher, specialized per column
+	// kind at insert time (TCAM tables with <= MaxPackedKeys columns).
+	match func(PackedKey) bool
 }
 
 // Table is a match-action table. Outputs lists the PHV fields the action
@@ -124,11 +138,18 @@ type Table struct {
 	Outputs []FieldRef
 	Default []Value
 
-	mu      sync.RWMutex
-	exact   map[string]*Entry // fast path when all keys are exact
-	entries []*Entry          // TCAM path, kept sorted by priority desc
+	mu sync.RWMutex
+	// packed is the allocation-free fast path: all-exact tables with at
+	// most MaxPackedKeys columns.
+	packed map[PackedKey]*Entry
+	// exact is the fallback for exact tables with more columns than
+	// PackedKey holds (string-encoded keys).
+	exact   map[string]*Entry
+	entries []*Entry // TCAM path, kept sorted by priority desc
 	isExact bool
-	version uint64
+	// version increments on every mutation; read without the lock
+	// (atomically) so per-shard lookup caches can validate cheaply.
+	version atomic.Uint64
 }
 
 // NewTable creates an empty table. All-exact key columns select the
@@ -141,10 +162,17 @@ func NewTable(name string, keys []KeySpec, outputs []FieldRef, def []Value) *Tab
 		}
 	}
 	if t.isExact {
-		t.exact = make(map[string]*Entry)
+		if len(keys) <= MaxPackedKeys {
+			t.packed = make(map[PackedKey]*Entry)
+		} else {
+			t.exact = make(map[string]*Entry)
+		}
 	}
 	return t
 }
+
+// IsExact reports whether the table takes the exact-match fast path.
+func (t *Table) IsExact() bool { return t.isExact }
 
 // HitField is the PHV field recording whether the last apply hit.
 func (t *Table) HitField() FieldRef { return FieldRef(t.Name + ".$hit") }
@@ -160,18 +188,63 @@ func exactKeyString(keys []KeyMatch) string {
 	return string(buf)
 }
 
-// exactLookupKey encodes lookup values without an intermediate Builder;
-// the scratch buffer lets hot-path callers avoid a heap allocation for
-// short keys.
-func exactLookupKey(scratch []byte, vals []uint64) string {
-	buf := scratch[:0]
-	for i, v := range vals {
-		if i > 0 {
-			buf = append(buf, '|')
-		}
-		buf = strconv.AppendUint(buf, v, 10)
+func packEntryKeys(keys []KeyMatch) PackedKey {
+	var k PackedKey
+	for i, m := range keys {
+		k[i] = m.Value
 	}
-	return string(buf)
+	return k
+}
+
+// compileMatcher specializes an entry's per-column matchers by kind at
+// insert time, so TCAM lookups run one closure per entry instead of
+// re-dispatching on MatchKind for every column of every entry.
+func (t *Table) compileMatcher(keys []KeyMatch) func(PackedKey) bool {
+	if len(keys) > MaxPackedKeys {
+		return nil
+	}
+	cols := make([]func(uint64) bool, 0, len(keys))
+	idx := make([]int, 0, len(keys))
+	for i, m := range keys {
+		if m.Any {
+			continue // wildcard columns match everything: no test at all
+		}
+		m := m
+		var f func(uint64) bool
+		switch t.Keys[i].Kind {
+		case MatchExact:
+			f = func(v uint64) bool { return v == m.Value }
+		case MatchLPM:
+			plen := int(m.Aux)
+			switch {
+			case plen <= 0:
+				continue
+			case plen >= t.Keys[i].Width:
+				f = func(v uint64) bool { return v == m.Value }
+			default:
+				shift := uint(t.Keys[i].Width - plen)
+				want := m.Value >> shift
+				f = func(v uint64) bool { return v>>shift == want }
+			}
+		case MatchTernary:
+			want := m.Value & m.Aux
+			f = func(v uint64) bool { return v&m.Aux == want }
+		case MatchRange:
+			f = func(v uint64) bool { return m.Value <= v && v <= m.Aux }
+		default:
+			return nil
+		}
+		cols = append(cols, f)
+		idx = append(idx, i)
+	}
+	return func(k PackedKey) bool {
+		for j, f := range cols {
+			if !f(k[idx[j]]) {
+				return false
+			}
+		}
+		return true
+	}
 }
 
 // Insert adds or replaces an entry. For exact tables, replacement is by
@@ -185,16 +258,21 @@ func (t *Table) Insert(e Entry) error {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	t.version++
+	t.version.Add(1)
 	if t.isExact {
 		for i, k := range e.Keys {
 			if k.Any {
 				return fmt.Errorf("table %s: wildcard key in exact-match column %d", t.Name, i)
 			}
 		}
-		t.exact[exactKeyString(e.Keys)] = &e
+		if t.packed != nil {
+			t.packed[packEntryKeys(e.Keys)] = &e
+		} else {
+			t.exact[exactKeyString(e.Keys)] = &e
+		}
 		return nil
 	}
+	e.match = t.compileMatcher(e.Keys)
 	for i, old := range t.entries {
 		if old.Priority == e.Priority && sameKeys(old.Keys, e.Keys) {
 			t.entries[i] = &e
@@ -238,8 +316,16 @@ func sameKeys(a, b []KeyMatch) bool {
 func (t *Table) Delete(keys []KeyMatch) int {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	t.version++
+	t.version.Add(1)
 	if t.isExact {
+		if t.packed != nil {
+			k := packEntryKeys(keys)
+			if _, ok := t.packed[k]; ok {
+				delete(t.packed, k)
+				return 1
+			}
+			return 0
+		}
 		k := exactKeyString(keys)
 		if _, ok := t.exact[k]; ok {
 			delete(t.exact, k)
@@ -264,9 +350,13 @@ func (t *Table) Delete(keys []KeyMatch) int {
 func (t *Table) Clear() {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	t.version++
+	t.version.Add(1)
 	if t.isExact {
-		t.exact = make(map[string]*Entry)
+		if t.packed != nil {
+			t.packed = make(map[PackedKey]*Entry)
+		} else {
+			t.exact = make(map[string]*Entry)
+		}
 	}
 	t.entries = nil
 }
@@ -276,35 +366,61 @@ func (t *Table) Len() int {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	if t.isExact {
+		if t.packed != nil {
+			return len(t.packed)
+		}
 		return len(t.exact)
 	}
 	return len(t.entries)
 }
 
-// Version increments on every mutation; the control plane uses it to
-// detect races in tests.
-func (t *Table) Version() uint64 {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return t.version
-}
+// Version increments on every mutation. It is read without taking the
+// table lock, so per-shard lookup caches (and control-plane race
+// detection in tests) can poll it cheaply.
+func (t *Table) Version() uint64 { return t.version.Load() }
 
 // Lookup matches the key values and returns the action data and whether
 // the lookup hit; on a miss the default action data is returned.
 func (t *Table) Lookup(vals []uint64) ([]Value, bool) {
+	if t.isExact && t.packed != nil && len(vals) <= MaxPackedKeys {
+		var k PackedKey
+		copy(k[:], vals)
+		return t.LookupPacked(k)
+	}
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	if t.isExact {
+		// Fallback string path (> MaxPackedKeys exact columns). The key
+		// bytes are built in a stack buffer and converted only inside
+		// the map index expression, which the compiler optimizes to a
+		// no-copy lookup — no heap allocation either way.
 		var scratch [96]byte
-		if e, ok := t.exact[exactLookupKey(scratch[:], vals)]; ok {
+		buf := scratch[:0]
+		for i, v := range vals {
+			if i > 0 {
+				buf = append(buf, '|')
+			}
+			buf = strconv.AppendUint(buf, v, 10)
+		}
+		if e, ok := t.exact[string(buf)]; ok {
 			return e.Action, true
 		}
 		return t.Default, false
 	}
+	var k PackedKey
+	if len(vals) <= MaxPackedKeys {
+		copy(k[:], vals)
+	}
 	for _, e := range t.entries {
+		if e.match != nil {
+			if e.match(k) {
+				return e.Action, true
+			}
+			continue
+		}
 		hit := true
-		for i, k := range e.Keys {
-			if !k.matches(t.Keys[i].Kind, t.Keys[i].Width, vals[i]) {
+		for i, km := range e.Keys {
+			if !km.matches(t.Keys[i].Kind, t.Keys[i].Width, vals[i]) {
 				hit = false
 				break
 			}
@@ -316,18 +432,47 @@ func (t *Table) Lookup(vals []uint64) ([]Value, bool) {
 	return t.Default, false
 }
 
+// LookupPacked is the allocation-free lookup the linked executor uses:
+// the key is passed by value in a fixed array, so nothing escapes to
+// the heap. It supports tables with at most MaxPackedKeys columns
+// (unused columns zero); wider tables must go through Lookup.
+func (t *Table) LookupPacked(k PackedKey) ([]Value, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.packed != nil {
+		if e, ok := t.packed[k]; ok {
+			return e.Action, true
+		}
+		return t.Default, false
+	}
+	for _, e := range t.entries {
+		if e.match != nil && e.match(k) {
+			return e.Action, true
+		}
+	}
+	return t.Default, false
+}
+
 // Entries returns a snapshot of the installed entries (TCAM order for
 // TCAM tables; unspecified order for exact tables).
 func (t *Table) Entries() []Entry {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	var out []Entry
 	if t.isExact {
+		if t.packed != nil {
+			out := make([]Entry, 0, len(t.packed))
+			for _, e := range t.packed {
+				out = append(out, *e)
+			}
+			return out
+		}
+		out := make([]Entry, 0, len(t.exact))
 		for _, e := range t.exact {
 			out = append(out, *e)
 		}
 		return out
 	}
+	out := make([]Entry, 0, len(t.entries))
 	for _, e := range t.entries {
 		out = append(out, *e)
 	}
