@@ -6,6 +6,7 @@ import (
 	"os"
 	"testing"
 
+	"repro/internal/dataplane"
 	"repro/internal/experiments"
 )
 
@@ -17,11 +18,19 @@ import (
 // order-of-magnitude regressions (an accidental O(n²), a lock on the
 // per-packet path) without flaking on slower hardware.
 type benchBaseline struct {
-	Note         string             `json:"note"`
-	EnginePPS    float64            `json:"engine_pps"`
-	PPSMinFactor float64            `json:"pps_min_factor"`
-	PHVTolerance float64            `json:"phv_tolerance"`
-	PHVPct       map[string]float64 `json:"phv_pct"`
+	Note         string  `json:"note"`
+	EnginePPS    float64 `json:"engine_pps"`
+	PPSMinFactor float64 `json:"pps_min_factor"`
+	// WirePPS is the end-to-end wire-path replay rate (netsim fabric,
+	// all checkers), guarded by the same min factor as the engine rate.
+	WirePPS float64 `json:"wire_pps"`
+	// ParseIntoNs/AppendToNs are the codec hot-path costs; the guard
+	// fails when either slows down by more than CodecMaxFactor.
+	ParseIntoNs    float64            `json:"parse_into_ns"`
+	AppendToNs     float64            `json:"append_to_ns"`
+	CodecMaxFactor float64            `json:"codec_max_factor"`
+	PHVTolerance   float64            `json:"phv_tolerance"`
+	PHVPct         map[string]float64 `json:"phv_pct"`
 }
 
 const baselinePath = "BENCH_baseline.json"
@@ -39,6 +48,68 @@ func measureEnginePPS(t testing.TB) float64 {
 	return res.WallPktsPerSec
 }
 
+func measureWirePPS(t testing.TB) float64 {
+	res, err := experiments.RunWireReplay(experiments.WireReplayConfig{
+		Packets: 20_000, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DeliveredRatio != 1 || res.Rejected != 0 || res.ParseErrors != 0 {
+		t.Fatalf("benign wire replay must deliver everything: delivered=%.2f rejected=%d errors=%d",
+			res.DeliveredRatio, res.Rejected, res.ParseErrors)
+	}
+	return res.WallPktsPerSec
+}
+
+// codecBenchFrame mirrors the packet shape of the dataplane package's
+// BenchmarkParseInto/BenchmarkAppendTo: VLAN + 24-byte Hydra blob + UDP.
+func codecBenchFrame() []byte {
+	pkt := &dataplane.Decoded{
+		Eth: dataplane.Ethernet{
+			Dst: dataplane.MACFromUint64(2), Src: dataplane.MACFromUint64(1),
+			Type: dataplane.EtherTypeIPv4,
+		},
+		HasVLAN: true,
+		VLAN:    dataplane.VLAN{VID: 42},
+		HasIPv4: true,
+		IPv4: dataplane.IPv4{
+			TTL: 64, Protocol: dataplane.ProtoUDP,
+			Src: dataplane.MustIP4("10.0.0.1"), Dst: dataplane.MustIP4("10.0.0.2"),
+		},
+		HasUDP:  true,
+		UDP:     dataplane.UDP{SrcPort: 1234, DstPort: 80},
+		Payload: []byte("benchmark payload bytes"),
+	}
+	pkt.InsertHydra(make([]byte, 24))
+	return pkt.Serialize()
+}
+
+// measureCodecNs times the two codec hot paths with testing.Benchmark —
+// the same loops as the dataplane package's benchmarks, runnable from
+// the regression guard.
+func measureCodecNs(t testing.TB) (parseIntoNs, appendToNs float64) {
+	frame := codecBenchFrame()
+	var dec dataplane.Decoded
+	parse := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := dataplane.ParseInto(&dec, frame); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	if err := dataplane.ParseInto(&dec, frame); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 0, dec.WireLen())
+	app := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			buf = dec.AppendTo(buf[:0])
+		}
+	})
+	return float64(parse.NsPerOp()), float64(app.NsPerOp())
+}
+
 // TestBenchRegressionGuard compares the current build against the
 // committed baseline. Set BENCH_BASELINE_UPDATE=1 to remeasure and
 // rewrite BENCH_baseline.json instead (do this deliberately, with the
@@ -54,12 +125,17 @@ func TestBenchRegressionGuard(t *testing.T) {
 	}
 
 	if os.Getenv("BENCH_BASELINE_UPDATE") != "" {
+		parseNs, appendNs := measureCodecNs(t)
 		base := benchBaseline{
-			Note:         "regenerate with: BENCH_BASELINE_UPDATE=1 go test -run TestBenchRegressionGuard",
-			EnginePPS:    measureEnginePPS(t),
-			PPSMinFactor: 0.35,
-			PHVTolerance: 0.01,
-			PHVPct:       phv,
+			Note:           "regenerate with: BENCH_BASELINE_UPDATE=1 go test -run TestBenchRegressionGuard",
+			EnginePPS:      measureEnginePPS(t),
+			PPSMinFactor:   0.35,
+			WirePPS:        measureWirePPS(t),
+			ParseIntoNs:    parseNs,
+			AppendToNs:     appendNs,
+			CodecMaxFactor: 2.0,
+			PHVTolerance:   0.01,
+			PHVPct:         phv,
 		}
 		data, err := json.MarshalIndent(base, "", "  ")
 		if err != nil {
@@ -101,9 +177,53 @@ func TestBenchRegressionGuard(t *testing.T) {
 	if testing.Short() {
 		t.Skip("skipping wall-clock pps guard in -short mode")
 	}
+	if raceEnabled {
+		t.Skip("wall-clock pps guard is meaningless under the race detector")
+	}
 	floor := base.EnginePPS * base.PPSMinFactor
 	if pps := measureEnginePPS(t); pps < floor {
 		t.Errorf("engine replay ran at %.0f pps, below the guard floor %.0f (baseline %.0f × %.2f)",
 			pps, floor, base.EnginePPS, base.PPSMinFactor)
+	}
+	if base.WirePPS > 0 {
+		wireFloor := base.WirePPS * base.PPSMinFactor
+		if pps := measureWirePPS(t); pps < wireFloor {
+			t.Errorf("wire replay ran at %.0f pps, below the guard floor %.0f (baseline %.0f × %.2f)",
+				pps, wireFloor, base.WirePPS, base.PPSMinFactor)
+		}
+	}
+}
+
+// TestCodecRegressionGuard is the benchstat-style compare for the two
+// wire-codec hot paths: it re-times ParseInto and AppendTo and fails
+// when either exceeds the committed baseline by more than
+// codec_max_factor (wall-clock, so the factor is generous — it catches
+// an accidental per-parse allocation or quadratic scan, not jitter).
+func TestCodecRegressionGuard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping wall-clock codec guard in -short mode")
+	}
+	if raceEnabled {
+		t.Skip("wall-clock codec guard is meaningless under the race detector")
+	}
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		t.Fatalf("reading %s (regenerate with BENCH_BASELINE_UPDATE=1): %v", baselinePath, err)
+	}
+	var base benchBaseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		t.Fatalf("parsing %s: %v", baselinePath, err)
+	}
+	if base.ParseIntoNs == 0 || base.AppendToNs == 0 || base.CodecMaxFactor == 0 {
+		t.Fatalf("%s has no codec baseline — regenerate with BENCH_BASELINE_UPDATE=1", baselinePath)
+	}
+	parseNs, appendNs := measureCodecNs(t)
+	if ceil := base.ParseIntoNs * base.CodecMaxFactor; parseNs > ceil {
+		t.Errorf("ParseInto runs at %.1f ns/op, above the guard ceiling %.1f (baseline %.1f × %.1f)",
+			parseNs, ceil, base.ParseIntoNs, base.CodecMaxFactor)
+	}
+	if ceil := base.AppendToNs * base.CodecMaxFactor; appendNs > ceil {
+		t.Errorf("AppendTo runs at %.1f ns/op, above the guard ceiling %.1f (baseline %.1f × %.1f)",
+			appendNs, ceil, base.AppendToNs, base.CodecMaxFactor)
 	}
 }

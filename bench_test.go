@@ -165,6 +165,30 @@ func BenchmarkEngineShards1(b *testing.B) { benchEngineShards(b, 1) }
 func BenchmarkEngineShards4(b *testing.B) { benchEngineShards(b, 4) }
 func BenchmarkEngineShards8(b *testing.B) { benchEngineShards(b, 8) }
 
+// BenchmarkNetsimReplay measures the end-to-end wire path: the campus
+// trace through the event-driven fabric with all checkers attached —
+// pooled parse, plan-based header binding, in-place telemetry rewrite,
+// and single-pass serialization. `pps` is wall-clock end-to-end
+// throughput; `fast_pct` is the share of switch transmissions that took
+// the in-place rewrite fast path.
+func BenchmarkNetsimReplay(b *testing.B) {
+	const packets = 10_000
+	var res experiments.WireReplayResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = experiments.RunWireReplay(experiments.WireReplayConfig{Packets: packets, Seed: 5})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.DeliveredRatio != 1 || res.Rejected != 0 || res.ParseErrors != 0 {
+			b.Fatalf("replay outcome changed: delivered=%.2f rejected=%d errors=%d",
+				res.DeliveredRatio, res.Rejected, res.ParseErrors)
+		}
+	}
+	b.ReportMetric(res.WallPktsPerSec, "pps")
+	b.ReportMetric(res.FastShare*100, "fast_pct")
+}
+
 // ---------------------------------------------------------------------------
 // Per-checker hot path
 

@@ -7,6 +7,7 @@
 //	hydra-bench -fig12a -fig12b            # Figure 12 RTT experiment
 //	hydra-bench -throughput                # campus-replay throughput
 //	hydra-bench -engine -shards 1,4,8      # sharded checker-engine replay
+//	hydra-bench -wire                      # end-to-end wire-path replay
 //	hydra-bench -all                       # everything
 //
 // Figure 12's duration/background scale with -duration and -bps; see
@@ -34,6 +35,7 @@ func main() {
 		fig12b     = flag.Bool("fig12b", false, "regenerate Figure 12b (RTT CDF + t-test)")
 		throughput = flag.Bool("throughput", false, "regenerate the throughput comparison")
 		engineRun  = flag.Bool("engine", false, "run the sharded checker-engine replay")
+		wireRun    = flag.Bool("wire", false, "run the end-to-end wire-path replay")
 		all        = flag.Bool("all", false, "run everything")
 
 		durationS = flag.Float64("duration", 5, "figure 12: seconds of simulated time per configuration")
@@ -68,9 +70,9 @@ func main() {
 	}
 
 	if *all {
-		*table1, *fig12a, *fig12b, *throughput, *engineRun = true, true, true, true, true
+		*table1, *fig12a, *fig12b, *throughput, *engineRun, *wireRun = true, true, true, true, true, true
 	}
-	if !*table1 && !*fig12a && !*fig12b && !*throughput && !*engineRun {
+	if !*table1 && !*fig12a && !*fig12b && !*throughput && !*engineRun && !*wireRun {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -104,32 +106,43 @@ func main() {
 		fmt.Println(experiments.FormatThroughput(base, chk))
 	}
 
+	var engineResults []experiments.EngineReplayResult
+	var wireResult *experiments.WireReplayResult
 	if *engineRun {
 		counts, err := parseShards(*shards)
 		must(err)
-		var results []experiments.EngineReplayResult
 		for _, n := range counts {
 			fmt.Fprintf(os.Stderr, "running engine replay with %d shard(s)...\n", n)
 			r, err := experiments.RunEngineReplay(experiments.EngineReplayConfig{
 				Packets: *packets, Shards: n,
 			})
 			must(err)
-			results = append(results, r)
+			engineResults = append(engineResults, r)
 		}
-		fmt.Println(experiments.FormatEngineReplay(results))
-		if *benchJSON != "" {
-			must(writeBenchJSON(*benchJSON, results))
+		fmt.Println(experiments.FormatEngineReplay(engineResults))
+	}
+
+	if *wireRun {
+		fmt.Fprintln(os.Stderr, "running end-to-end wire replay...")
+		r, err := experiments.RunWireReplay(experiments.WireReplayConfig{Packets: *packets})
+		must(err)
+		wireResult = &r
+		fmt.Println(experiments.FormatWireReplay(r))
+	}
+
+	if *benchJSON != "" {
+		if !*engineRun && !*wireRun {
+			fmt.Fprintln(os.Stderr, "hydra-bench: -benchjson requires -engine or -wire (or -all)")
+			os.Exit(2)
 		}
-	} else if *benchJSON != "" {
-		fmt.Fprintln(os.Stderr, "hydra-bench: -benchjson requires -engine (or -all)")
-		os.Exit(2)
+		must(writeBenchJSON(*benchJSON, engineResults, wireResult))
 	}
 }
 
-// writeBenchJSON emits the engine replay results in a flat,
-// machine-readable form for dashboards and regression tooling.
-func writeBenchJSON(path string, results []experiments.EngineReplayResult) error {
-	type row struct {
+// writeBenchJSON emits the replay results in a flat, machine-readable
+// form for dashboards and regression tooling.
+func writeBenchJSON(path string, engine []experiments.EngineReplayResult, wire *experiments.WireReplayResult) error {
+	type engineRow struct {
 		Shards    int     `json:"shards"`
 		Packets   uint64  `json:"packets"`
 		Forwarded uint64  `json:"forwarded"`
@@ -138,9 +151,21 @@ func writeBenchJSON(path string, results []experiments.EngineReplayResult) error
 		Errors    uint64  `json:"errors"`
 		PPS       float64 `json:"pps"`
 	}
-	rows := make([]row, len(results))
-	for i, r := range results {
-		rows[i] = row{
+	type wireRow struct {
+		PPS       float64 `json:"pps"`
+		Delivered uint64  `json:"delivered"`
+		Checked   uint64  `json:"checked"`
+		Rejected  uint64  `json:"rejected"`
+		FastTx    uint64  `json:"fast_tx"`
+		SlowTx    uint64  `json:"slow_tx"`
+		Errors    uint64  `json:"errors"`
+	}
+	out := struct {
+		Engine []engineRow `json:"engine,omitempty"`
+		Wire   *wireRow    `json:"wire,omitempty"`
+	}{}
+	for _, r := range engine {
+		out.Engine = append(out.Engine, engineRow{
 			Shards:    r.Shards,
 			Packets:   r.Counts.Packets,
 			Forwarded: r.Counts.Forwarded,
@@ -148,9 +173,20 @@ func writeBenchJSON(path string, results []experiments.EngineReplayResult) error
 			Reports:   r.Counts.Reports,
 			Errors:    r.Counts.Errors,
 			PPS:       r.WallPktsPerSec,
+		})
+	}
+	if wire != nil {
+		out.Wire = &wireRow{
+			PPS:       wire.WallPktsPerSec,
+			Delivered: wire.Delivered,
+			Checked:   wire.Checked,
+			Rejected:  wire.Rejected,
+			FastTx:    wire.FastTxFrames,
+			SlowTx:    wire.SlowTxFrames,
+			Errors:    wire.ParseErrors,
 		}
 	}
-	data, err := json.MarshalIndent(rows, "", "  ")
+	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
 		return err
 	}

@@ -105,9 +105,15 @@ type HopEnv struct {
 	// PacketLen is the wire length exposed as packet_length.
 	PacketLen uint32
 	// ReuseBlob lets RunBlocks encode the outgoing telemetry into the
-	// incoming blob's storage. Only safe when the caller owns that
-	// storage outright — not when sibling checkers alias subslices of a
-	// shared backing array (netsim's split blobs).
+	// incoming blob's storage. The decode pass completes before the
+	// encode pass starts, so in-place rewrite is safe as long as the
+	// encode cannot spill past the caller's slot: pass a blob whose
+	// capacity is capped at its own slot (three-index subslice) or that
+	// is already exactly TeleWireBytes long. netsim's split blobs use
+	// capped disjoint subslices of the frame for exactly this. Note the
+	// unlinked (NoLink) reference path ignores ReuseBlob and returns a
+	// fresh blob; callers that require in-place must compare storage
+	// (&blob[0]) and copy back when it differs.
 	ReuseBlob bool
 }
 

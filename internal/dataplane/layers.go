@@ -142,7 +142,13 @@ const SourceRouteHopLen = 6
 // DecodeSourceRoute parses the full header stack (entries up to and
 // including the bottom-of-stack entry) and returns the remaining payload.
 func DecodeSourceRoute(b []byte) ([]SourceRouteHop, []byte, error) {
-	var hops []SourceRouteHop
+	return decodeSourceRouteInto(nil, b)
+}
+
+// decodeSourceRouteInto is DecodeSourceRoute appending into a
+// caller-owned slice (normally sliced to length 0), so steady-state
+// parsing reuses its capacity.
+func decodeSourceRouteInto(hops []SourceRouteHop, b []byte) ([]SourceRouteHop, []byte, error) {
 	for {
 		if len(b) < SourceRouteHopLen {
 			return nil, nil, fmt.Errorf("source route: truncated stack after %d hops", len(hops))

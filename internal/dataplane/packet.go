@@ -85,11 +85,29 @@ type Decoded struct {
 // Parse decodes a full packet from wire bytes. It never fails on an
 // unknown inner protocol — parsing just stops and the rest lands in
 // Payload — but it does fail on structurally broken headers.
+//
+// Parse allocates a fresh Decoded per call; hot paths should hold a
+// Decoded of their own and use ParseInto.
 func Parse(data []byte) (*Decoded, error) {
 	d := &Decoded{}
+	if err := ParseInto(d, data); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// ParseInto decodes a full packet from wire bytes into a caller-owned
+// Decoded, reusing its SourceRoute capacity so steady-state parsing does
+// not allocate. All fields are reset first, so d may be dirty from a
+// previous packet. On error the contents of d are unspecified.
+//
+// The Hydra blob and Payload alias data: d is only valid while the
+// caller owns the frame. Retain a packet past that with Clone.
+func ParseInto(d *Decoded, data []byte) error {
+	*d = Decoded{SourceRoute: d.SourceRoute[:0]}
 	rest, err := d.Eth.Decode(data)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	next := d.Eth.Type
 
@@ -97,7 +115,7 @@ func Parse(data []byte) (*Decoded, error) {
 		d.HasHydra = true
 		rest, err = d.Hydra.Decode(rest)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		next = d.Hydra.OrigType
 	}
@@ -106,29 +124,29 @@ func Parse(data []byte) (*Decoded, error) {
 		d.HasVLAN = true
 		rest, err = d.VLAN.Decode(rest)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		next = d.VLAN.Type
 	}
 
 	if next == EtherTypeSourceRoute {
 		d.HasSourceRoute = true
-		d.SourceRoute, rest, err = DecodeSourceRoute(rest)
+		d.SourceRoute, rest, err = decodeSourceRouteInto(d.SourceRoute, rest)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		next = EtherTypeIPv4 // the tutorial protocol always carries IPv4
 	}
 
 	if next != EtherTypeIPv4 {
 		d.Payload = rest
-		return d, nil
+		return nil
 	}
 
 	d.HasIPv4 = true
 	rest, err = d.IPv4.Decode(rest)
 	if err != nil {
-		return nil, err
+		return err
 	}
 
 	switch d.IPv4.Protocol {
@@ -136,14 +154,14 @@ func Parse(data []byte) (*Decoded, error) {
 		d.HasUDP = true
 		rest, err = d.UDP.Decode(rest)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if d.UDP.DstPort == GTPUPort || d.UDP.SrcPort == GTPUPort {
 			// Port 2152 suggests GTP-U, but the port alone is only a
 			// heuristic: traffic that happens to use it without a valid
 			// GTP header falls back to opaque UDP payload.
 			if err := d.parseGTPU(rest); err == nil {
-				return d, nil
+				return nil
 			}
 			// parseGTPU may have set tunnel flags before hitting the
 			// broken framing; clear them so the fallback really is a
@@ -155,23 +173,23 @@ func Parse(data []byte) (*Decoded, error) {
 			d.HasInnerTCP, d.InnerTCP = false, TCP{}
 			d.HasInnerICMP, d.InnerICMP = false, ICMPEcho{}
 			d.Payload = rest
-			return d, nil
+			return nil
 		}
 	case ProtoTCP:
 		d.HasTCP = true
 		rest, err = d.TCP.Decode(rest)
 		if err != nil {
-			return nil, err
+			return err
 		}
 	case ProtoICMP:
 		d.HasICMP = true
 		rest, err = d.ICMP.Decode(rest)
 		if err != nil {
-			return nil, err
+			return err
 		}
 	}
 	d.Payload = rest
-	return d, nil
+	return nil
 }
 
 func (d *Decoded) parseGTPU(b []byte) error {
@@ -210,93 +228,202 @@ func (d *Decoded) parseGTPU(b []byte) error {
 // Serialize re-encodes the packet to wire bytes, fixing up chained
 // EtherTypes, IPv4 total lengths, UDP lengths, and GTP-U lengths so a
 // mutated Decoded (e.g. telemetry inserted, tunnel stripped) re-encodes
-// consistently.
-func (d *Decoded) Serialize() []byte {
-	// Build from the inside out so lengths are known.
-	var inner []byte
-	if d.HasInnerIPv4 {
-		var l4 []byte
-		switch {
-		case d.HasInnerUDP:
-			d.InnerUDP.Length = uint16(UDPLen + len(d.Payload))
-			l4 = d.InnerUDP.Append(nil)
-		case d.HasInnerTCP:
-			l4 = d.InnerTCP.Append(nil)
-		case d.HasInnerICMP:
-			l4 = d.InnerICMP.Append(nil)
-		}
-		d.InnerIPv4.TotalLen = uint16(IPv4Len + len(l4) + len(d.Payload))
-		inner = d.InnerIPv4.Append(nil)
-		inner = append(inner, l4...)
-		inner = append(inner, d.Payload...)
-	}
+// consistently. It is a convenience wrapper over AppendTo and, unlike
+// the historical implementation, does NOT mutate the receiver — a shared
+// *Decoded may be serialized from multiple goroutines concurrently.
+func (d *Decoded) Serialize() []byte { return d.AppendTo(nil) }
 
-	var l3 []byte
-	if d.HasIPv4 {
-		var l4 []byte
-		switch {
-		case d.HasGTPU:
-			d.GTPU.Length = uint16(len(inner))
-			g := d.GTPU.Append(nil)
-			g = append(g, inner...)
-			d.UDP.Length = uint16(UDPLen + len(g))
-			l4 = d.UDP.Append(nil)
-			l4 = append(l4, g...)
-		case d.HasUDP:
-			d.UDP.Length = uint16(UDPLen + len(d.Payload))
-			l4 = d.UDP.Append(nil)
-			l4 = append(l4, d.Payload...)
-		case d.HasTCP:
-			l4 = d.TCP.Append(nil)
-			l4 = append(l4, d.Payload...)
-		case d.HasICMP:
-			l4 = d.ICMP.Append(nil)
-			l4 = append(l4, d.Payload...)
-		default:
-			l4 = d.Payload
-		}
-		d.IPv4.TotalLen = uint16(IPv4Len + len(l4))
-		l3 = d.IPv4.Append(nil)
-		l3 = append(l3, l4...)
-	} else {
-		l3 = d.Payload
-	}
-
-	if d.HasSourceRoute {
-		sr := AppendSourceRoute(nil, d.SourceRoute)
-		l3 = append(sr, l3...)
-	}
-
-	// Chain the EtherTypes from the outside in.
-	innermostType := EtherTypeIPv4
-	if d.HasSourceRoute {
-		innermostType = EtherTypeSourceRoute
-	} else if !d.HasIPv4 {
-		innermostType = d.Eth.Type // opaque payload: preserve as parsed
-		if d.HasHydra {
-			innermostType = d.Hydra.OrigType
-		}
-		if d.HasVLAN {
-			innermostType = d.VLAN.Type
-		}
-	}
-
-	if d.HasVLAN {
-		d.VLAN.Type = innermostType
-		l3 = append(d.VLAN.Append(nil), l3...)
-		innermostType = EtherTypeVLAN
-	}
+// WireLen returns the serialized packet length, computed arithmetically
+// from the layer validity flags — no serialization happens.
+//
+// One legacy quirk is preserved deliberately: a GTP-U header with no
+// inner IPv4 serializes without its payload (the tunnel carries the
+// inner packet, and there is none), so Payload does not count there.
+func (d *Decoded) WireLen() int {
+	n := EthernetLen
 	if d.HasHydra {
-		d.Hydra.OrigType = innermostType
-		l3 = append(d.Hydra.Append(nil), l3...)
-		innermostType = EtherTypeHydra
+		n += hydraFixedLen + len(d.Hydra.Blob)
 	}
-	d.Eth.Type = innermostType
-	return append(d.Eth.Append(nil), l3...)
+	if d.HasVLAN {
+		n += VLANLen
+	}
+	if d.HasSourceRoute {
+		n += len(d.SourceRoute) * SourceRouteHopLen
+	}
+	if !d.HasIPv4 {
+		return n + len(d.Payload)
+	}
+	n += IPv4Len
+	switch {
+	case d.HasGTPU:
+		n += UDPLen + GTPULen + d.gtpuInnerLen()
+	case d.HasUDP:
+		n += UDPLen + len(d.Payload)
+	case d.HasTCP:
+		n += TCPLen + len(d.Payload)
+	case d.HasICMP:
+		n += ICMPEchoLen + len(d.Payload)
+	default:
+		n += len(d.Payload)
+	}
+	return n
 }
 
-// WireLen returns the serialized packet length without building it.
-func (d *Decoded) WireLen() int { return len(d.Serialize()) }
+// gtpuInnerLen is the byte length of everything inside the GTP-U header:
+// inner IPv4 + inner L4 + payload, or 0 when there is no inner packet.
+func (d *Decoded) gtpuInnerLen() int {
+	if !d.HasInnerIPv4 {
+		return 0
+	}
+	n := IPv4Len + len(d.Payload)
+	switch {
+	case d.HasInnerUDP:
+		n += UDPLen
+	case d.HasInnerTCP:
+		n += TCPLen
+	case d.HasInnerICMP:
+		n += ICMPEchoLen
+	}
+	return n
+}
+
+// AppendTo serializes the packet onto buf in a single front-to-back pass
+// and returns the extended slice. The total length comes from WireLen,
+// so buf grows at most once; all length fix-ups (IPv4 TotalLen, UDP
+// Length, GTP-U Length, the EtherType chain) are computed into stack
+// copies of the headers — AppendTo never writes to d.
+//
+// AppendTo is safe for in-place rewrite: if buf is frame[:0] and
+// d.Hydra.Blob / d.Payload alias frame at their already-serialized
+// offsets (i.e. the wire shape is unchanged since ParseInto), the copies
+// of those slices are identity memmoves and the result is a correct
+// rewrite of the original frame.
+func (d *Decoded) AppendTo(buf []byte) []byte {
+	if need := d.WireLen(); cap(buf)-len(buf) < need {
+		grown := make([]byte, len(buf), len(buf)+need)
+		copy(grown, buf)
+		buf = grown
+	}
+
+	// Resolve the EtherType chain outside-in before writing anything.
+	// innermost is what the layer *after* VLAN announces.
+	innermost := EtherTypeIPv4
+	if d.HasSourceRoute {
+		innermost = EtherTypeSourceRoute
+	} else if !d.HasIPv4 {
+		innermost = d.Eth.Type // opaque payload: preserve as parsed
+		if d.HasHydra {
+			innermost = d.Hydra.OrigType
+		}
+		if d.HasVLAN {
+			innermost = d.VLAN.Type
+		}
+	}
+	vlanType := innermost
+	if d.HasVLAN {
+		innermost = EtherTypeVLAN
+	}
+	hydraOrig := innermost
+	if d.HasHydra {
+		innermost = EtherTypeHydra
+	}
+
+	eth := d.Eth
+	eth.Type = innermost
+	buf = eth.Append(buf)
+	if d.HasHydra {
+		h := d.Hydra
+		h.OrigType = hydraOrig
+		buf = h.Append(buf)
+	}
+	if d.HasVLAN {
+		v := d.VLAN
+		v.Type = vlanType
+		buf = v.Append(buf)
+	}
+	if d.HasSourceRoute {
+		buf = AppendSourceRoute(buf, d.SourceRoute)
+	}
+	if !d.HasIPv4 {
+		return append(buf, d.Payload...)
+	}
+
+	// Explicit length arithmetic replaces the old serialize-to-count.
+	var l4Len int
+	switch {
+	case d.HasGTPU:
+		l4Len = UDPLen + GTPULen + d.gtpuInnerLen()
+	case d.HasUDP:
+		l4Len = UDPLen + len(d.Payload)
+	case d.HasTCP:
+		l4Len = TCPLen + len(d.Payload)
+	case d.HasICMP:
+		l4Len = ICMPEchoLen + len(d.Payload)
+	default:
+		l4Len = len(d.Payload)
+	}
+	ip := d.IPv4
+	ip.TotalLen = uint16(IPv4Len + l4Len)
+	buf = ip.Append(buf)
+
+	switch {
+	case d.HasGTPU:
+		innerLen := d.gtpuInnerLen()
+		u := d.UDP
+		u.Length = uint16(UDPLen + GTPULen + innerLen)
+		buf = u.Append(buf)
+		g := d.GTPU
+		g.Length = uint16(innerLen)
+		buf = g.Append(buf)
+		if d.HasInnerIPv4 {
+			iip := d.InnerIPv4
+			iip.TotalLen = uint16(innerLen)
+			buf = iip.Append(buf)
+			switch {
+			case d.HasInnerUDP:
+				iu := d.InnerUDP
+				iu.Length = uint16(UDPLen + len(d.Payload))
+				buf = iu.Append(buf)
+			case d.HasInnerTCP:
+				buf = d.InnerTCP.Append(buf)
+			case d.HasInnerICMP:
+				buf = d.InnerICMP.Append(buf)
+			}
+			buf = append(buf, d.Payload...)
+		}
+	case d.HasUDP:
+		u := d.UDP
+		u.Length = uint16(UDPLen + len(d.Payload))
+		buf = u.Append(buf)
+		buf = append(buf, d.Payload...)
+	case d.HasTCP:
+		buf = d.TCP.Append(buf)
+		buf = append(buf, d.Payload...)
+	case d.HasICMP:
+		buf = d.ICMP.Append(buf)
+		buf = append(buf, d.Payload...)
+	default:
+		buf = append(buf, d.Payload...)
+	}
+	return buf
+}
+
+// Clone returns a deep copy of d that is safe to retain after the frame
+// backing d is released, rewritten, or pooled: SourceRoute, the Hydra
+// blob, and Payload get their own storage.
+func (d *Decoded) Clone() *Decoded {
+	c := *d
+	if d.SourceRoute != nil {
+		c.SourceRoute = append([]SourceRouteHop(nil), d.SourceRoute...)
+	}
+	if d.Hydra.Blob != nil {
+		c.Hydra.Blob = append([]byte(nil), d.Hydra.Blob...)
+	}
+	if d.Payload != nil {
+		c.Payload = append([]byte(nil), d.Payload...)
+	}
+	return &c
+}
 
 // InsertHydra adds an empty Hydra header (first-hop injection, §4.1).
 // It is a no-op if the header is already present.

@@ -299,6 +299,7 @@ func FuzzParse(f *testing.F) {
 		f.Add(tc.wire)
 	}
 	f.Fuzz(func(t *testing.T, data []byte) {
+		checkCodecDifferential(t, data)
 		d, err := Parse(data)
 		if err != nil {
 			return

@@ -139,3 +139,24 @@ func TestAttachAllConfiguresEveryChecker(t *testing.T) {
 		t.Fatal("udp flow lost under all-checkers config")
 	}
 }
+
+func TestWireReplayBenign(t *testing.T) {
+	res, err := RunWireReplay(WireReplayConfig{Packets: 2_000, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DeliveredRatio != 1 {
+		t.Fatalf("benign wire replay delivered %.1f%%, want 100%%", res.DeliveredRatio*100)
+	}
+	if res.Rejected != 0 || res.ParseErrors != 0 {
+		t.Fatalf("benign wire replay: rejected=%d errors=%d", res.Rejected, res.ParseErrors)
+	}
+	// Every packet crosses two spines-worth of telemetry-only hops; the
+	// in-place fast path must dominate mid-fabric transmissions.
+	if res.FastTxFrames == 0 {
+		t.Fatal("wire replay never used the in-place fast path")
+	}
+	if res.Checked == 0 {
+		t.Fatal("no checker verdicts recorded")
+	}
+}

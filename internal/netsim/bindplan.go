@@ -1,0 +1,232 @@
+package netsim
+
+import (
+	"repro/internal/compiler"
+	"repro/internal/dataplane"
+	"repro/internal/pipeline"
+)
+
+// headerBinder extracts one standard header binding from a parsed
+// packet and the per-hop forwarding context. A zero (width-0) Value
+// means the header is absent at this hop, matching the SlotHeaders
+// convention.
+type headerBinder func(pkt *dataplane.Decoded, meta *PacketMeta, inPort, outPort int) pipeline.Value
+
+// bindPlan is the allocation-free replacement for the old per-hop
+// map[string]pipeline.Value header environment: at attach time the
+// checker's sorted header bindings (Runtime.Bindings) are resolved to
+// one binder function per slot, and at each hop bind() scatters the
+// packet fields straight into a reused SlotHeaders array — the same
+// scheme the engine's shards use, now reading the switch's pooled
+// Decoded.
+type bindPlan struct {
+	funcs []headerBinder
+	slots []pipeline.Value
+	// extraIdx maps annotation paths to slot indices for the
+	// meta.Extra overlay (program-specific bindings override the
+	// standard ones, as the old map merge order guaranteed).
+	extraIdx map[string]int
+}
+
+// newBindPlan resolves a runtime's bindings. packetOnly plans (Hydra
+// NICs) have no forwarding context: standard_metadata/fabric_metadata
+// paths stay unbound, exactly as the old BindPacketHeaders(pkt, nil)
+// environment left them.
+func newBindPlan(rt *compiler.Runtime, packetOnly bool) *bindPlan {
+	bindings := rt.Bindings()
+	p := &bindPlan{
+		funcs:    make([]headerBinder, len(bindings)),
+		slots:    make([]pipeline.Value, len(bindings)),
+		extraIdx: make(map[string]int, len(bindings)),
+	}
+	for i, path := range bindings {
+		p.extraIdx[path] = i
+		if packetOnly && binderNeedsMeta(path) {
+			continue
+		}
+		p.funcs[i] = binderFor(path)
+	}
+	return p
+}
+
+// bind fills the plan's slot array for one hop and returns it. The
+// returned slice is the plan's own scratch: it is valid until the next
+// bind call on the same plan, which is safe because the simulator is
+// single-threaded and each attachment binds once per RunBlocks call.
+func (p *bindPlan) bind(pkt *dataplane.Decoded, meta *PacketMeta, inPort, outPort int) []pipeline.Value {
+	for i, fn := range p.funcs {
+		if fn != nil {
+			p.slots[i] = fn(pkt, meta, inPort, outPort)
+		} else {
+			p.slots[i] = pipeline.Value{}
+		}
+	}
+	if meta != nil && len(meta.Extra) > 0 {
+		for k, v := range meta.Extra {
+			if i, ok := p.extraIdx[k]; ok {
+				p.slots[i] = v
+			}
+		}
+	}
+	return p.slots
+}
+
+// binderNeedsMeta reports whether a path binds forwarding metadata
+// rather than packet contents.
+func binderNeedsMeta(path string) bool {
+	switch path {
+	case "standard_metadata.ingress_port",
+		"standard_metadata.egress_port",
+		"fabric_metadata.skip_forwarding":
+		return true
+	}
+	return false
+}
+
+// binderFor returns the extractor for a standard annotation path, or
+// nil for program-specific paths (those are only ever bound through
+// meta.Extra). The set and the per-field presence rules mirror the old
+// bindHeaders/BindPacketHeaders maps exactly.
+func binderFor(path string) headerBinder {
+	switch path {
+	case "standard_metadata.ingress_port":
+		return func(_ *dataplane.Decoded, _ *PacketMeta, inPort, _ int) pipeline.Value {
+			return pipeline.B(8, uint64(inPort))
+		}
+	case "standard_metadata.egress_port":
+		return func(_ *dataplane.Decoded, _ *PacketMeta, _, outPort int) pipeline.Value {
+			return pipeline.B(8, uint64(maxInt(outPort, 0)))
+		}
+	case "fabric_metadata.skip_forwarding":
+		return func(_ *dataplane.Decoded, meta *PacketMeta, _, _ int) pipeline.Value {
+			return pipeline.BoolV(meta.Drop)
+		}
+	case "hdr.vlan_tag.vlan_id":
+		return func(pkt *dataplane.Decoded, _ *PacketMeta, _, _ int) pipeline.Value {
+			if !pkt.HasVLAN {
+				return pipeline.Value{}
+			}
+			return pipeline.B(16, uint64(pkt.VLAN.VID))
+		}
+	case "hdr.ipv4.$valid$":
+		return func(pkt *dataplane.Decoded, _ *PacketMeta, _, _ int) pipeline.Value {
+			return pipeline.BoolV(pkt.HasIPv4)
+		}
+	case "hdr.ipv4.src_addr":
+		return func(pkt *dataplane.Decoded, _ *PacketMeta, _, _ int) pipeline.Value {
+			if !pkt.HasIPv4 {
+				return pipeline.Value{}
+			}
+			return pipeline.B(32, uint64(pkt.IPv4.Src))
+		}
+	case "hdr.ipv4.dst_addr":
+		return func(pkt *dataplane.Decoded, _ *PacketMeta, _, _ int) pipeline.Value {
+			if !pkt.HasIPv4 {
+				return pipeline.Value{}
+			}
+			return pipeline.B(32, uint64(pkt.IPv4.Dst))
+		}
+	case "hdr.ipv4.protocol":
+		return func(pkt *dataplane.Decoded, _ *PacketMeta, _, _ int) pipeline.Value {
+			if !pkt.HasIPv4 {
+				return pipeline.Value{}
+			}
+			return pipeline.B(8, uint64(pkt.IPv4.Protocol))
+		}
+	case "hdr.tcp.$valid$":
+		return func(pkt *dataplane.Decoded, _ *PacketMeta, _, _ int) pipeline.Value {
+			return pipeline.BoolV(pkt.HasTCP)
+		}
+	case "hdr.tcp.sport":
+		return func(pkt *dataplane.Decoded, _ *PacketMeta, _, _ int) pipeline.Value {
+			if !pkt.HasTCP {
+				return pipeline.Value{}
+			}
+			return pipeline.B(16, uint64(pkt.TCP.SrcPort))
+		}
+	case "hdr.tcp.dport":
+		return func(pkt *dataplane.Decoded, _ *PacketMeta, _, _ int) pipeline.Value {
+			if !pkt.HasTCP {
+				return pipeline.Value{}
+			}
+			return pipeline.B(16, uint64(pkt.TCP.DstPort))
+		}
+	case "hdr.udp.$valid$":
+		return func(pkt *dataplane.Decoded, _ *PacketMeta, _, _ int) pipeline.Value {
+			return pipeline.BoolV(pkt.HasUDP && !pkt.HasGTPU)
+		}
+	case "hdr.udp.sport":
+		return func(pkt *dataplane.Decoded, _ *PacketMeta, _, _ int) pipeline.Value {
+			if !pkt.HasUDP {
+				return pipeline.Value{}
+			}
+			return pipeline.B(16, uint64(pkt.UDP.SrcPort))
+		}
+	case "hdr.udp.dport":
+		return func(pkt *dataplane.Decoded, _ *PacketMeta, _, _ int) pipeline.Value {
+			if !pkt.HasUDP {
+				return pipeline.Value{}
+			}
+			return pipeline.B(16, uint64(pkt.UDP.DstPort))
+		}
+	case "hdr.inner_ipv4.$valid$":
+		return func(pkt *dataplane.Decoded, _ *PacketMeta, _, _ int) pipeline.Value {
+			return pipeline.BoolV(pkt.HasInnerIPv4)
+		}
+	case "hdr.inner_ipv4.src_addr":
+		return func(pkt *dataplane.Decoded, _ *PacketMeta, _, _ int) pipeline.Value {
+			if !pkt.HasInnerIPv4 {
+				return pipeline.Value{}
+			}
+			return pipeline.B(32, uint64(pkt.InnerIPv4.Src))
+		}
+	case "hdr.inner_ipv4.dst_addr":
+		return func(pkt *dataplane.Decoded, _ *PacketMeta, _, _ int) pipeline.Value {
+			if !pkt.HasInnerIPv4 {
+				return pipeline.Value{}
+			}
+			return pipeline.B(32, uint64(pkt.InnerIPv4.Dst))
+		}
+	case "hdr.inner_ipv4.protocol":
+		return func(pkt *dataplane.Decoded, _ *PacketMeta, _, _ int) pipeline.Value {
+			if !pkt.HasInnerIPv4 {
+				return pipeline.Value{}
+			}
+			return pipeline.B(8, uint64(pkt.InnerIPv4.Protocol))
+		}
+	case "hdr.inner_tcp.$valid$":
+		return func(pkt *dataplane.Decoded, _ *PacketMeta, _, _ int) pipeline.Value {
+			return pipeline.BoolV(pkt.HasInnerTCP)
+		}
+	case "hdr.inner_tcp.dport":
+		return func(pkt *dataplane.Decoded, _ *PacketMeta, _, _ int) pipeline.Value {
+			if !pkt.HasInnerTCP {
+				return pipeline.Value{}
+			}
+			return pipeline.B(16, uint64(pkt.InnerTCP.DstPort))
+		}
+	case "hdr.inner_udp.$valid$":
+		return func(pkt *dataplane.Decoded, _ *PacketMeta, _, _ int) pipeline.Value {
+			return pipeline.BoolV(pkt.HasInnerUDP)
+		}
+	case "hdr.inner_udp.dport":
+		return func(pkt *dataplane.Decoded, _ *PacketMeta, _, _ int) pipeline.Value {
+			if !pkt.HasInnerUDP {
+				return pipeline.Value{}
+			}
+			return pipeline.B(16, uint64(pkt.InnerUDP.DstPort))
+		}
+	case "hdr.srcRoutes[0].$valid$":
+		return func(pkt *dataplane.Decoded, _ *PacketMeta, _, _ int) pipeline.Value {
+			return pipeline.BoolV(pkt.HasSourceRoute && len(pkt.SourceRoute) > 0)
+		}
+	case "hdr.srcRoutes[0].switch_id":
+		return func(pkt *dataplane.Decoded, _ *PacketMeta, _, _ int) pipeline.Value {
+			if !pkt.HasSourceRoute || len(pkt.SourceRoute) == 0 {
+				return pipeline.Value{}
+			}
+			return pipeline.B(32, uint64(pkt.SourceRoute[0].SwitchID))
+		}
+	}
+	return nil
+}

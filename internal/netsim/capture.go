@@ -30,6 +30,12 @@ type Capture struct {
 	Records []CaptureRecord
 	// Dropped counts records discarded past Max.
 	Dropped uint64
+
+	// dec is reused across records. Tap callbacks borrow the frame for
+	// the duration of the call (it may be a pooled buffer that is
+	// recycled afterwards), so a record keeps only derived strings —
+	// never the frame or slices into it.
+	dec dataplane.Decoded
 }
 
 // Tap mirrors every frame delivered over the link into the capture,
@@ -46,9 +52,9 @@ func (c *Capture) record(at Time, node string, port int, dir string, frame []byt
 		return
 	}
 	rec := CaptureRecord{At: at, Node: node, Port: port, Dir: dir, Len: len(frame)}
-	if pkt, err := dataplane.Parse(frame); err == nil {
-		rec.Summary = Summarize(pkt)
-		rec.HasHydra = pkt.HasHydra
+	if err := dataplane.ParseInto(&c.dec, frame); err == nil {
+		rec.Summary = Summarize(&c.dec)
+		rec.HasHydra = c.dec.HasHydra
 	} else {
 		rec.Summary = fmt.Sprintf("undecodable (%v)", err)
 	}

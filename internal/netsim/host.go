@@ -54,6 +54,12 @@ type Host struct {
 	// nic is the optional Hydra NIC offload (see nic.go).
 	nic *HydraNIC
 
+	// rxDec and txBuf are per-host scratch: the simulator is
+	// single-threaded, so one decode target and one serialize buffer
+	// suffice.
+	rxDec dataplane.Decoded
+	txBuf []byte
+
 	// StackBase and StackJitter model end-host networking-stack latency
 	// (kernel + NIC): each send and receive is delayed by
 	// StackBase + Exp(StackJitter). Zero (the default) disables the
@@ -97,20 +103,25 @@ func (h *Host) NodeName() string { return h.Name }
 // AttachLink wires the host's single NIC.
 func (h *Host) AttachLink(l *Link) { h.link = l }
 
-// Receive implements Node.
+// Receive implements Node. The host takes ownership of the frame and
+// releases it once the packet is delivered; anything retained
+// (Received) is a deep copy.
 func (h *Host) Receive(frame []byte, port int) {
 	if d := h.stackDelay(); d > 0 {
-		buf := append([]byte(nil), frame...)
-		h.sim.After(d, func() { h.deliver(buf) })
+		h.sim.After(d, func() {
+			h.deliver(frame)
+			h.sim.ReleaseFrame(frame)
+		})
 		return
 	}
 	h.deliver(frame)
+	h.sim.ReleaseFrame(frame)
 }
 
 func (h *Host) deliver(frame []byte) {
 	h.RxFrames++
-	pkt, err := dataplane.Parse(frame)
-	if err != nil {
+	pkt := &h.rxDec
+	if err := dataplane.ParseInto(pkt, frame); err != nil {
 		h.ParseErrs++
 		return
 	}
@@ -119,9 +130,11 @@ func (h *Host) deliver(frame []byte) {
 	}
 	h.RxBytes += uint64(len(frame))
 	if h.RecordAll {
-		h.Received = append(h.Received, ReceivedPacket{At: h.sim.Now(), Pkt: pkt})
+		// pkt borrows the pooled frame; retained records get a copy.
+		h.Received = append(h.Received, ReceivedPacket{At: h.sim.Now(), Pkt: pkt.Clone()})
 	}
 	if h.OnPacket != nil {
+		// OnPacket borrows pkt for the duration of the callback only.
 		h.OnPacket(pkt)
 	}
 
@@ -146,11 +159,16 @@ func (h *Host) send(pkt *dataplane.Decoded) {
 	}
 	h.nicEgress(pkt)
 	if d := h.stackDelay(); d > 0 {
-		wire := pkt.Serialize()
-		h.sim.After(d, func() { h.link.Send(h, wire) })
+		wire := pkt.AppendTo(h.sim.AcquireFrame(pkt.WireLen())[:0])
+		h.sim.After(d, func() {
+			h.link.Send(h, wire)
+			h.sim.ReleaseFrame(wire)
+		})
 		return
 	}
-	h.link.Send(h, pkt.Serialize())
+	// Serialize into per-host scratch; Link.Send copies before returning.
+	h.txBuf = pkt.AppendTo(h.txBuf[:0])
+	h.link.Send(h, h.txBuf)
 }
 
 // SendPacket transmits an arbitrary pre-built packet, for substrates

@@ -48,10 +48,10 @@ func (p *L3Program) Process(sw *Switch, pkt *dataplane.Decoded, meta *PacketMeta
 	}
 	ports := p.Routes[best].Ports
 	if len(ports) == 1 {
-		return []Egress{{Port: ports[0]}}
+		return meta.OneEgress(ports[0])
 	}
 	// ECMP: hash the flow 5-tuple so a flow sticks to one path.
-	return []Egress{{Port: ports[FlowHash(pkt)%uint32(len(ports))]}}
+	return meta.OneEgress(ports[FlowHash(pkt)%uint32(len(ports))])
 }
 
 // FlowHash computes a deterministic 5-tuple hash (FNV-1a) used for ECMP

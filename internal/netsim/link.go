@@ -4,7 +4,11 @@ package netsim
 // port. Receive is called by the simulator when the last bit of a frame
 // arrives.
 type Node interface {
-	// Receive delivers a frame on the node's port.
+	// Receive delivers a frame on the node's port. Ownership of the
+	// frame buffer transfers to the receiver (see the package comment's
+	// frame-ownership contract): the receiver may scribble on it, must
+	// copy anything it retains past the callback, and should return it
+	// with Simulator.ReleaseFrame when done.
 	Receive(frame []byte, port int)
 	// NodeName identifies the node in traces and errors.
 	NodeName() string
@@ -14,6 +18,24 @@ type Node interface {
 type endpoint struct {
 	node Node
 	port int
+}
+
+// linkSink delivers frames arriving at one endpoint of a link; one per
+// direction, allocated with the Link, so frame-arrival events carry a
+// pre-existing sink instead of a fresh closure.
+type linkSink struct {
+	l  *Link
+	to endpoint
+}
+
+func (s *linkSink) deliverFrame(frame []byte, port int) {
+	l := s.l
+	l.Frames++
+	l.Bytes += uint64(len(frame))
+	for _, tap := range l.taps {
+		tap(l.sim.Now(), s.to.node.NodeName(), port, frame)
+	}
+	s.to.node.Receive(frame, port)
 }
 
 // direction carries the transmit state for one direction of a link.
@@ -37,6 +59,9 @@ type Link struct {
 	QueueBytes int
 
 	ab, ba direction
+	// toA and toB are the per-direction delivery sinks (toB receives
+	// frames sent by a, and vice versa).
+	toA, toB linkSink
 
 	// Drops counts frames lost to queue overflow, per direction a->b
 	// and b->a.
@@ -53,27 +78,33 @@ type Link struct {
 // number may be reused on different nodes; each (node, port) pair must
 // be wired at most once (the caller owns that invariant).
 func Connect(sim *Simulator, a Node, aPort int, b Node, bPort int, bitsPerSec int64, prop Time) *Link {
-	return &Link{
+	l := &Link{
 		sim:        sim,
 		a:          endpoint{a, aPort},
 		b:          endpoint{b, bPort},
 		BitsPerSec: bitsPerSec,
 		PropDelay:  prop,
 	}
+	l.toA = linkSink{l: l, to: l.a}
+	l.toB = linkSink{l: l, to: l.b}
+	return l
 }
 
 // Send transmits a frame from the given node (which must be one of the
 // link's endpoints) toward the other side. It models serialization at
 // the line rate, a bounded transmit queue, and propagation delay.
+//
+// Send copies the frame into a pooled buffer: the caller keeps
+// ownership of frame and may reuse it as soon as Send returns.
 func (l *Link) Send(from Node, frame []byte) {
 	var dir *direction
 	var drops *uint64
-	var to endpoint
+	var sink *linkSink
 	switch from {
 	case l.a.node:
-		dir, drops, to = &l.ab, &l.DropsAB, l.b
+		dir, drops, sink = &l.ab, &l.DropsAB, &l.toB
 	case l.b.node:
-		dir, drops, to = &l.ba, &l.DropsBA, l.a
+		dir, drops, sink = &l.ba, &l.DropsBA, &l.toA
 	default:
 		panic("netsim: Send from a node not on this link")
 	}
@@ -101,16 +132,9 @@ func (l *Link) Send(from Node, frame []byte) {
 	dir.busyUntil = start + txTime
 
 	arrive := dir.busyUntil + l.PropDelay
-	buf := make([]byte, len(frame))
+	buf := l.sim.AcquireFrame(len(frame))
 	copy(buf, frame)
-	l.sim.At(arrive, func() {
-		l.Frames++
-		l.Bytes += uint64(len(buf))
-		for _, tap := range l.taps {
-			tap(l.sim.Now(), to.node.NodeName(), to.port, buf)
-		}
-		to.node.Receive(buf, to.port)
-	})
+	l.sim.atFrame(arrive, sink, buf, sink.to.port)
 }
 
 // Peer returns the node and port on the opposite side from `from`.

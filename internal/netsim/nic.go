@@ -24,12 +24,24 @@ type HydraNIC struct {
 	Injected uint64
 	Checked  uint64
 	Rejected uint64
+
+	// plan is the packet-only header bind plan (no forwarding
+	// metadata); blob is the reused injection buffer.
+	plan *bindPlan
+	blob []byte
 }
 
 // AttachNIC wires a Hydra NIC to the host, with fresh per-NIC state.
 func (h *Host) AttachNIC(rt *compiler.Runtime, onReport func(*Host, pipeline.Report)) *HydraNIC {
-	h.nic = &HydraNIC{Runtime: rt, State: rt.Prog.NewState(), OnReport: onReport}
+	h.nic = &HydraNIC{Runtime: rt, State: rt.Prog.NewState(), OnReport: onReport, plan: newBindPlan(rt, true)}
 	return h.nic
+}
+
+func (nic *HydraNIC) bindPlan() *bindPlan {
+	if nic.plan == nil {
+		nic.plan = newBindPlan(nic.Runtime, true)
+	}
+	return nic.plan
 }
 
 // NIC returns the attached Hydra NIC, or nil.
@@ -43,16 +55,21 @@ func (h *Host) nicEgress(pkt *dataplane.Decoded) {
 	}
 	pkt.InsertHydra(nil)
 	env := compiler.HopEnv{
-		State:     nic.State,
-		SwitchID:  uint32(h.MAC.Uint64()), // NICs identify as their MAC
-		Headers:   BindPacketHeaders(pkt, nil),
-		PacketLen: uint32(pkt.WireLen()),
+		State:       nic.State,
+		SwitchID:    uint32(h.MAC.Uint64()), // NICs identify as their MAC
+		SlotHeaders: nic.bindPlan().bind(pkt, nil, 0, 0),
+		PacketLen:   uint32(pkt.WireLen()),
+		ReuseBlob:   true,
 	}
-	hr, err := nic.Runtime.RunBlocks(nil, env, compiler.BlockSet{Init: true}, true, false)
+	if n := (nic.Runtime.Prog.TeleWireBits() + 7) / 8; cap(nic.blob) < n {
+		nic.blob = make([]byte, 0, n)
+	}
+	hr, err := nic.Runtime.RunBlocks(nic.blob[:0], env, compiler.BlockSet{Init: true}, true, false)
 	if err != nil {
 		h.ParseErrs++
 		return
 	}
+	nic.blob = hr.Blob[:0]
 	nic.Injected++
 	pkt.Hydra.Blob = hr.Blob
 	for _, rep := range hr.Reports {
@@ -70,10 +87,16 @@ func (h *Host) nicIngress(pkt *dataplane.Decoded) bool {
 		return true
 	}
 	env := compiler.HopEnv{
-		State:     nic.State,
-		SwitchID:  uint32(h.MAC.Uint64()),
-		Headers:   BindPacketHeaders(pkt, nil),
-		PacketLen: uint32(pkt.WireLen()),
+		State:       nic.State,
+		SwitchID:    uint32(h.MAC.Uint64()),
+		SlotHeaders: nic.bindPlan().bind(pkt, nil, 0, 0),
+		PacketLen:   uint32(pkt.WireLen()),
+		// The blob aliases the received frame, which the host owns
+		// until delivery completes — encoding into it is safe, but only
+		// when the blob is exactly one telemetry record wide (encode
+		// always writes TeleWireBytes; a shorter foreign blob would
+		// spill into the frame bytes that follow it).
+		ReuseBlob: len(pkt.Hydra.Blob) == (nic.Runtime.Prog.TeleWireBits()+7)/8,
 	}
 	hr, err := nic.Runtime.RunBlocks(pkt.Hydra.Blob, env, compiler.BlockSet{Checker: true}, false, true)
 	if err != nil {

@@ -6,10 +6,24 @@
 // Hydra checker attached to switches exactly where the compiler's
 // linking rules place it (init at first-hop ingress, telemetry at every
 // egress, checker at last-hop egress).
+//
+// # Frame ownership
+//
+// The wire path recycles frame buffers through the simulator's free
+// list (AcquireFrame/ReleaseFrame). The contract, enforced by every
+// built-in node and expected of custom ones:
+//
+//   - Link.Send copies the frame: the caller keeps ownership of what it
+//     passed in and may reuse it immediately.
+//   - Node.Receive transfers ownership of the frame to the receiver.
+//     The frame is borrowed storage — a receiver that retains packet
+//     data past its callback must copy it (Decoded.Clone), and should
+//     hand the buffer back with ReleaseFrame when done. Releasing is
+//     optional (an unreleased frame is just garbage-collected), but a
+//     released frame must not be referenced again.
 package netsim
 
 import (
-	"container/heap"
 	"fmt"
 	"time"
 )
@@ -33,35 +47,88 @@ func (t Time) String() string { return t.Duration().String() }
 // Seconds returns the time in floating-point seconds.
 func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
 
+// frameSink is the closure-free form of a frame-delivery event: the
+// wire path schedules (sink, frame, port) triples instead of capturing
+// them in a func, so steady-state forwarding allocates nothing per hop.
+type frameSink interface {
+	deliverFrame(frame []byte, port int)
+}
+
 type event struct {
 	at  Time
 	seq uint64 // FIFO tie-break for same-timestamp events
 	fn  func()
+	// Frame-delivery form: when sink is non-nil, fn is nil and the
+	// event runs sink.deliverFrame(frame, port).
+	sink  frameSink
+	frame []byte
+	port  int
 }
 
+// eventHeap is a hand-rolled binary min-heap. container/heap would box
+// every event into an interface on Push — one allocation per scheduled
+// event — which is exactly what the zero-allocation wire path removes.
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+func (h eventHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func (h eventHeap) down(i int) {
+	n := len(h)
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && h.less(l, small) {
+			small = l
+		}
+		if r < n && h.less(r, small) {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		h[i], h[small] = h[small], h[i]
+		i = small
+	}
+}
 
 // Simulator owns the event loop. It is single-threaded: all node
-// callbacks run inside Run, so nodes need no locking of their own.
+// callbacks run inside Run, so nodes need no locking of their own —
+// and the frame free list below needs no synchronization either.
 type Simulator struct {
 	now    Time
 	events eventHeap
 	seq    uint64
 
+	// frames is the free list backing AcquireFrame/ReleaseFrame.
+	frames [][]byte
+
 	// Stats.
 	EventsRun uint64
 }
+
+// framePoolMax bounds the free list; frames released beyond it fall to
+// the garbage collector.
+const framePoolMax = 4096
+
+// frameMinCap is the minimum capacity of a freshly allocated frame
+// buffer, so buffers recycle across frame sizes instead of churning.
+const frameMinCap = 2048
 
 // NewSimulator returns an empty simulator at time zero.
 func NewSimulator() *Simulator { return &Simulator{} }
@@ -69,17 +136,81 @@ func NewSimulator() *Simulator { return &Simulator{} }
 // Now returns the current simulation time.
 func (s *Simulator) Now() Time { return s.now }
 
-// At schedules fn to run at absolute time t (clamped to now).
-func (s *Simulator) At(t Time, fn func()) {
-	if t < s.now {
-		t = s.now
+// AcquireFrame returns a frame buffer of length n, reusing the free
+// list when possible. The buffer contents are arbitrary: callers are
+// expected to overwrite all n bytes.
+func (s *Simulator) AcquireFrame(n int) []byte {
+	if k := len(s.frames); k > 0 {
+		b := s.frames[k-1]
+		s.frames[k-1] = nil
+		s.frames = s.frames[:k-1]
+		if cap(b) >= n {
+			return b[:n]
+		}
+		// Too small for this frame: let it go and allocate fresh.
+	}
+	c := n
+	if c < frameMinCap {
+		c = frameMinCap
+	}
+	return make([]byte, n, c)
+}
+
+// ReleaseFrame returns a frame buffer to the free list. The caller must
+// not touch the buffer afterwards.
+func (s *Simulator) ReleaseFrame(b []byte) {
+	if cap(b) == 0 || len(s.frames) >= framePoolMax {
+		return
+	}
+	s.frames = append(s.frames, b[:0])
+}
+
+func (s *Simulator) push(e event) {
+	if e.at < s.now {
+		e.at = s.now
 	}
 	s.seq++
-	heap.Push(&s.events, event{at: t, seq: s.seq, fn: fn})
+	e.seq = s.seq
+	s.events = append(s.events, e)
+	s.events.up(len(s.events) - 1)
+}
+
+func (s *Simulator) pop() event {
+	h := s.events
+	e := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = event{} // drop frame/closure references
+	s.events = h[:n]
+	if n > 0 {
+		s.events.down(0)
+	}
+	return e
+}
+
+func (s *Simulator) runEvent(e event) {
+	s.now = e.at
+	if e.sink != nil {
+		e.sink.deliverFrame(e.frame, e.port)
+	} else {
+		e.fn()
+	}
+	s.EventsRun++
+}
+
+// At schedules fn to run at absolute time t (clamped to now).
+func (s *Simulator) At(t Time, fn func()) {
+	s.push(event{at: t, fn: fn})
 }
 
 // After schedules fn to run delay from now.
 func (s *Simulator) After(delay Time, fn func()) { s.At(s.now+delay, fn) }
+
+// atFrame schedules a closure-free frame delivery: at time t, the sink
+// receives (frame, port). Ownership of frame passes to the sink.
+func (s *Simulator) atFrame(t Time, sink frameSink, frame []byte, port int) {
+	s.push(event{at: t, sink: sink, frame: frame, port: port})
+}
 
 // Run processes events until the queue empties or the clock passes
 // until; it returns the number of events processed.
@@ -89,11 +220,8 @@ func (s *Simulator) Run(until Time) uint64 {
 		if s.events[0].at > until {
 			break
 		}
-		e := heap.Pop(&s.events).(event)
-		s.now = e.at
-		e.fn()
+		s.runEvent(s.pop())
 		n++
-		s.EventsRun++
 	}
 	if s.now < until {
 		s.now = until
@@ -107,11 +235,8 @@ func (s *Simulator) RunAll() uint64 {
 	const cap = 50_000_000
 	var n uint64
 	for len(s.events) > 0 {
-		e := heap.Pop(&s.events).(event)
-		s.now = e.at
-		e.fn()
+		s.runEvent(s.pop())
 		n++
-		s.EventsRun++
 		if n > cap {
 			panic(fmt.Sprintf("netsim: event cap exceeded at t=%s — forwarding loop?", s.now))
 		}

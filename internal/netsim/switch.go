@@ -27,6 +27,25 @@ type PacketMeta struct {
 	// Extra carries program-specific header bindings for the checker,
 	// keyed by annotation path.
 	Extra map[string]pipeline.Value
+
+	// egr backs OneEgress.
+	egr [1]Egress
+}
+
+// OneEgress returns a single-entry egress slice backed by per-packet
+// scratch, letting unicast forwarding programs return their decision
+// without a per-hop allocation. The slice is valid until the switch
+// finishes processing the packet.
+func (m *PacketMeta) OneEgress(port int) []Egress {
+	m.egr[0] = Egress{Port: port}
+	return m.egr[:1]
+}
+
+// reset prepares the meta for a new packet.
+func (m *PacketMeta) reset(inPort int) {
+	m.InPort = inPort
+	m.Drop = false
+	m.Extra = nil
 }
 
 // ForwardingProgram is the switch's forwarding behavior — the analogue
@@ -35,7 +54,8 @@ type PacketMeta struct {
 // is key").
 type ForwardingProgram interface {
 	// Process inspects (and may rewrite) the packet and returns egress
-	// decisions; returning nil drops the packet.
+	// decisions; returning nil drops the packet. The packet and meta are
+	// borrowed from the switch: they must not be retained past the call.
 	Process(sw *Switch, pkt *dataplane.Decoded, meta *PacketMeta) []Egress
 }
 
@@ -51,6 +71,51 @@ type HydraAttachment struct {
 	Rejected uint64
 	// Checked counts packets that ran the checker block here.
 	Checked uint64
+
+	// plan is the precompiled header bind plan (built lazily for
+	// attachments constructed without AttachChecker).
+	plan *bindPlan
+}
+
+func (at *HydraAttachment) bindPlan() *bindPlan {
+	if at.plan == nil {
+		at.plan = newBindPlan(at.Runtime, false)
+	}
+	return at.plan
+}
+
+// wireShape is a snapshot of everything that determines a packet's
+// serialized layout: the layer validity flags and the lengths of the
+// variable-size pieces. If the shape at egress equals the shape at
+// parse, every byte offset in the frame is unchanged — telemetry and
+// field rewrites can be serialized in place over the received frame.
+type wireShape struct {
+	hasHydra, hasVLAN, hasSourceRoute      bool
+	hasIPv4, hasUDP, hasTCP, hasICMP       bool
+	hasGTPU                                bool
+	hasInnerIPv4, hasInnerUDP, hasInnerTCP bool
+	hasInnerICMP                           bool
+	blobLen, srHops, payloadLen            int
+}
+
+func shapeOf(pkt *dataplane.Decoded) wireShape {
+	return wireShape{
+		hasHydra:       pkt.HasHydra,
+		hasVLAN:        pkt.HasVLAN,
+		hasSourceRoute: pkt.HasSourceRoute,
+		hasIPv4:        pkt.HasIPv4,
+		hasUDP:         pkt.HasUDP,
+		hasTCP:         pkt.HasTCP,
+		hasICMP:        pkt.HasICMP,
+		hasGTPU:        pkt.HasGTPU,
+		hasInnerIPv4:   pkt.HasInnerIPv4,
+		hasInnerUDP:    pkt.HasInnerUDP,
+		hasInnerTCP:    pkt.HasInnerTCP,
+		hasInnerICMP:   pkt.HasInnerICMP,
+		blobLen:        len(pkt.Hydra.Blob),
+		srHops:         len(pkt.SourceRoute),
+		payloadLen:     len(pkt.Payload),
+	}
 }
 
 // Switch is a programmable switch: a forwarding program, an optional
@@ -87,6 +152,19 @@ type Switch struct {
 	RxFrames, TxFrames, Dropped uint64
 	// ParseErrors counts undecodable frames.
 	ParseErrors uint64
+	// FastTxFrames counts frames sent via the in-place rewrite fast
+	// path; SlowTxFrames counts full re-serializations (inject, strip,
+	// encap/decap, source-route edits, multicast clones).
+	FastTxFrames, SlowTxFrames uint64
+
+	// Per-packet scratch. The simulator is single-threaded and frame
+	// processing never nests (Link.Send defers delivery through the
+	// event queue), so one of each suffices per switch.
+	dec       dataplane.Decoded
+	meta      PacketMeta
+	parts     [][]byte
+	txBuf     []byte
+	injectBuf []byte
 }
 
 // NewSwitch creates a switch with the given identifier.
@@ -118,19 +196,34 @@ func (sw *Switch) Link(port int) *Link { return sw.links[port] }
 // Sim returns the simulator the switch runs in.
 func (sw *Switch) Sim() *Simulator { return sw.sim }
 
-// Receive implements Node: a frame arrived on `port`.
+// Receive implements Node: a frame arrived on `port`. The switch takes
+// ownership of the frame and releases it after the pipeline runs.
 func (sw *Switch) Receive(frame []byte, port int) {
 	sw.RxFrames++
-	sw.sim.After(sw.PipelineLatency, func() { sw.process(frame, port) })
+	sw.sim.atFrame(sw.sim.Now()+sw.PipelineLatency, (*switchPipe)(sw), frame, port)
+}
+
+// switchPipe is the frame sink running the switch pipeline; a separate
+// type so Switch.Receive (link-side entry) and pipeline entry (after
+// PipelineLatency) both exist without an extra object.
+type switchPipe Switch
+
+func (p *switchPipe) deliverFrame(frame []byte, port int) {
+	(*Switch)(p).process(frame, port)
 }
 
 func (sw *Switch) process(frame []byte, inPort int) {
-	pkt, err := dataplane.Parse(frame)
-	if err != nil {
+	defer sw.sim.ReleaseFrame(frame)
+	pkt := &sw.dec
+	if err := dataplane.ParseInto(pkt, frame); err != nil {
 		sw.ParseErrors++
 		return
 	}
-	meta := &PacketMeta{InPort: inPort}
+	meta := &sw.meta
+	meta.reset(inPort)
+	// Shape snapshot for the egress fast path: taken before forwarding
+	// so any layer the program adds/removes forces re-serialization.
+	shape := shapeOf(pkt)
 
 	// --- Hydra first-hop injection + init blocks. §4.2: "the init block
 	// must be placed at the beginning of the ingress pipeline on
@@ -139,26 +232,8 @@ func (sw *Switch) process(frame []byte, inPort int) {
 	// GTP tunnel, which the Figure 9 checker's init block relies on).
 	firstHop := false
 	if len(sw.Checkers) > 0 && !sw.NICOffload && !pkt.HasHydra && sw.EdgePorts[inPort] {
-		pkt.InsertHydra(nil)
+		sw.inject(pkt, meta, inPort)
 		firstHop = true
-		headers := sw.bindHeaders(pkt, meta, inPort, -1)
-		pktLen := uint32(pkt.WireLen())
-		parts := make([][]byte, len(sw.Checkers))
-		for i, at := range sw.Checkers {
-			env := compiler.HopEnv{State: at.State, SwitchID: sw.ID, Headers: headers, PacketLen: pktLen}
-			hr, err := at.Runtime.RunBlocks(nil, env, compiler.BlockSet{Init: true}, true, false)
-			if err != nil {
-				sw.ParseErrors++
-				hr.Blob = make([]byte, blobSize(at))
-			}
-			parts[i] = hr.Blob
-			for _, rep := range hr.Reports {
-				if at.OnReport != nil {
-					at.OnReport(sw, rep)
-				}
-			}
-		}
-		pkt.Hydra.Blob = joinBlobs(parts)
 	}
 
 	// --- Forwarding (independent of checking).
@@ -174,28 +249,71 @@ func (sw *Switch) process(frame []byte, inPort int) {
 	// --- Egress pipeline per output port: telemetry at every hop,
 	// checker + strip at the last hop (edge egress port).
 	for _, eg := range egresses {
-		out := pkt
+		out, f := pkt, frame
 		if len(egresses) > 1 {
-			// Multicast: each copy carries independent telemetry.
-			clone, err := dataplane.Parse(pkt.Serialize())
-			if err != nil {
-				sw.ParseErrors++
-				continue
-			}
-			out = clone
+			// Multicast: each copy carries independent telemetry, so it
+			// gets its own storage (and no in-place frame).
+			out, f = pkt.Clone(), nil
 		}
-		sw.egress(out, meta, inPort, eg.Port, firstHop)
+		sw.egress(out, f, shape, meta, inPort, eg.Port, firstHop)
 	}
 	if meta.Drop && len(sw.Checkers) > 0 && len(egresses) == 0 {
 		// The forwarding program dropped the packet outright with no
 		// egress decision: the checker still observes it at this hop so
 		// properties like Figure 9's can fire (modelled as an egress to
 		// a drop port).
-		sw.egress(pkt, meta, inPort, -1, firstHop)
+		sw.egress(pkt, nil, shape, meta, inPort, -1, firstHop)
 	}
 }
 
-func (sw *Switch) egress(pkt *dataplane.Decoded, meta *PacketMeta, inPort, outPort int, firstHop bool) {
+// inject runs first-hop injection: an empty Hydra header is inserted
+// and every checker's init block encodes its telemetry slot directly
+// into the switch's reused inject buffer.
+func (sw *Switch) inject(pkt *dataplane.Decoded, meta *PacketMeta, inPort int) {
+	pkt.InsertHydra(nil)
+	pktLen := uint32(pkt.WireLen())
+	total := sw.totalBlobSize()
+	if cap(sw.injectBuf) < total {
+		sw.injectBuf = make([]byte, total)
+	}
+	blob := sw.injectBuf[:total]
+	off := 0
+	for _, at := range sw.Checkers {
+		n := blobSize(at)
+		slot := blob[off : off+n : off+n]
+		off += n
+		env := compiler.HopEnv{
+			State:       at.State,
+			SwitchID:    sw.ID,
+			SlotHeaders: at.bindPlan().bind(pkt, meta, inPort, -1),
+			PacketLen:   pktLen,
+			ReuseBlob:   true,
+		}
+		// slot[:0] as the incoming blob: DecodeTele zero-fills on an
+		// empty blob, and ReuseBlob encodes back into the slot.
+		hr, err := at.Runtime.RunBlocks(slot[:0], env, compiler.BlockSet{Init: true}, true, false)
+		if err != nil {
+			sw.ParseErrors++
+			zeroFill(slot)
+			continue
+		}
+		if !sameStorage(hr.Blob, slot) {
+			copy(slot, hr.Blob) // map-path executor returned fresh storage
+		}
+		for _, rep := range hr.Reports {
+			if at.OnReport != nil {
+				at.OnReport(sw, rep)
+			}
+		}
+	}
+	pkt.Hydra.Blob = blob
+}
+
+// egress runs the per-hop egress pipeline for one output port. frame,
+// when non-nil, is the received frame backing pkt's blob and payload;
+// if the wire shape is unchanged the rewritten packet is serialized in
+// place over it and sent without allocating.
+func (sw *Switch) egress(pkt *dataplane.Decoded, frame []byte, shape wireShape, meta *PacketMeta, inPort, outPort int, firstHop bool) {
 	// A packet leaving through a host-facing port — or being dropped by
 	// the forwarding program — is at its last hop: the checker must run
 	// now or never (the Figure 9 property explicitly inspects packets
@@ -209,13 +327,20 @@ func (sw *Switch) egress(pkt *dataplane.Decoded, meta *PacketMeta, inPort, outPo
 	}
 
 	if len(sw.Checkers) > 0 && pkt.HasHydra {
-		headers := sw.bindHeaders(pkt, meta, inPort, outPort)
 		pktLen := uint32(pkt.WireLen())
-		parts := sw.splitBlob(pkt.Hydra.Blob)
+		parts, inPlace := sw.splitBlob(pkt.Hydra.Blob)
 		rejected := false
 		for i, at := range sw.Checkers {
-			env := compiler.HopEnv{State: at.State, SwitchID: sw.ID, Headers: headers, PacketLen: pktLen}
 			check := lastHop || at.Runtime.CheckEveryHop
+			env := compiler.HopEnv{
+				State:       at.State,
+				SwitchID:    sw.ID,
+				SlotHeaders: at.bindPlan().bind(pkt, meta, inPort, outPort),
+				PacketLen:   pktLen,
+				// The split slots are disjoint capped subslices of the
+				// blob, so each checker may encode into its own slot.
+				ReuseBlob: inPlace,
+			}
 			hr, err := at.Runtime.RunBlocks(parts[i], env, compiler.BlockSet{
 				Telemetry: true,
 				Checker:   check,
@@ -224,12 +349,20 @@ func (sw *Switch) egress(pkt *dataplane.Decoded, meta *PacketMeta, inPort, outPo
 				// A checker execution error must never take down
 				// forwarding; count it and forward unchecked.
 				sw.ParseErrors++
-				if parts[i] == nil {
+				if inPlace {
+					zeroFill(parts[i])
+				} else if parts[i] == nil {
 					parts[i] = make([]byte, blobSize(at))
 				}
 				continue
 			}
-			parts[i] = hr.Blob
+			if inPlace {
+				if !sameStorage(hr.Blob, parts[i]) {
+					copy(parts[i], hr.Blob) // map-path executor: copy back
+				}
+			} else {
+				parts[i] = hr.Blob
+			}
 			for _, rep := range hr.Reports {
 				if at.OnReport != nil {
 					at.OnReport(sw, rep)
@@ -243,7 +376,9 @@ func (sw *Switch) egress(pkt *dataplane.Decoded, meta *PacketMeta, inPort, outPo
 				rejected = true
 			}
 		}
-		pkt.Hydra.Blob = joinBlobs(parts)
+		if !inPlace {
+			pkt.Hydra.Blob = joinBlobs(parts)
+		}
 		if rejected {
 			return // a checker halts the packet (reject, §2)
 		}
@@ -262,12 +397,27 @@ func (sw *Switch) egress(pkt *dataplane.Decoded, meta *PacketMeta, inPort, outPo
 		return
 	}
 	sw.TxFrames++
-	link.Send(sw, pkt.Serialize())
+	// Fast path: same wire shape as at parse means every offset is
+	// unchanged — rewrite the received frame in place (header field and
+	// telemetry updates land at their old offsets; blob and payload
+	// copies are identity memmoves). Inject, strip, encap/decap, and
+	// source-route edits all change the shape and take the slow path.
+	if frame != nil && pkt.WireLen() == len(frame) && shapeOf(pkt) == shape {
+		sw.FastTxFrames++
+		link.Send(sw, pkt.AppendTo(frame[:0]))
+		return
+	}
+	sw.SlowTxFrames++
+	sw.txBuf = pkt.AppendTo(sw.txBuf[:0])
+	link.Send(sw, sw.txBuf)
 }
 
 // bindHeaders builds the checker's header-variable environment from the
 // packet and metadata, using the standard annotation paths plus any
 // program-specific extras.
+//
+// It survives as the map-based reference used by tests; the hot path
+// binds through each attachment's bindPlan instead.
 func (sw *Switch) bindHeaders(pkt *dataplane.Decoded, meta *PacketMeta, inPort, outPort int) map[string]pipeline.Value {
 	h := BindPacketHeaders(pkt, map[string]pipeline.Value{
 		"standard_metadata.ingress_port":  pipeline.B(8, uint64(inPort)),
@@ -341,8 +491,9 @@ func maxInt(a, b int) int {
 // Multiple checkers may be attached; their telemetry shares the Hydra
 // header, each in a statically-sized slot.
 func (sw *Switch) AttachChecker(rt *compiler.Runtime, onReport func(*Switch, pipeline.Report)) *HydraAttachment {
-	at := &HydraAttachment{Runtime: rt, State: rt.Prog.NewState(), OnReport: onReport}
+	at := &HydraAttachment{Runtime: rt, State: rt.Prog.NewState(), OnReport: onReport, plan: newBindPlan(rt, false)}
 	sw.Checkers = append(sw.Checkers, at)
+	sw.parts = nil // checker set changed: rebuild split scratch
 	return at
 }
 
@@ -359,23 +510,55 @@ func blobSize(at *HydraAttachment) int {
 	return (at.Runtime.Prog.TeleWireBits() + 7) / 8
 }
 
-// splitBlob slices the shared telemetry blob into per-checker slots; a
-// fresh (empty) blob yields nil slices, which DecodeTele zero-fills.
-func (sw *Switch) splitBlob(blob []byte) [][]byte {
-	out := make([][]byte, len(sw.Checkers))
+// totalBlobSize is the wire size of the shared telemetry blob.
+func (sw *Switch) totalBlobSize() int {
+	total := 0
+	for _, at := range sw.Checkers {
+		total += blobSize(at)
+	}
+	return total
+}
+
+// splitBlob slices the shared telemetry blob into per-checker slots,
+// reusing the switch's scratch slice. When the blob length matches the
+// attached checkers exactly, the slots are disjoint capped subslices of
+// the blob and inPlace is true: checkers may encode telemetry back into
+// them without reassembly. Otherwise (fresh empty blob, or a malformed
+// length) the slots are detached and the caller must joinBlobs.
+func (sw *Switch) splitBlob(blob []byte) (parts [][]byte, inPlace bool) {
+	if cap(sw.parts) < len(sw.Checkers) {
+		sw.parts = make([][]byte, len(sw.Checkers))
+	}
+	parts = sw.parts[:len(sw.Checkers)]
+	if len(blob) == sw.totalBlobSize() && len(blob) > 0 {
+		off := 0
+		for i, at := range sw.Checkers {
+			n := blobSize(at)
+			parts[i] = blob[off : off+n : off+n]
+			off += n
+		}
+		return parts, true
+	}
+	for i := range parts {
+		parts[i] = nil
+	}
 	if len(blob) == 0 {
-		return out
+		return parts, false
 	}
 	off := 0
 	for i, at := range sw.Checkers {
 		n := blobSize(at)
 		if off+n > len(blob) {
-			return make([][]byte, len(sw.Checkers)) // malformed: reset
+			// Malformed: reset every slot so DecodeTele zero-fills.
+			for j := range parts {
+				parts[j] = nil
+			}
+			return parts, false
 		}
-		out[i] = blob[off : off+n]
+		parts[i] = blob[off : off+n]
 		off += n
 	}
-	return out
+	return parts, false
 }
 
 func joinBlobs(parts [][]byte) []byte {
@@ -384,4 +567,16 @@ func joinBlobs(parts [][]byte) []byte {
 		out = append(out, p...)
 	}
 	return out
+}
+
+// sameStorage reports whether two equal-length slices share a backing
+// array (first byte at the same address).
+func sameStorage(a, b []byte) bool {
+	return len(a) == len(b) && (len(a) == 0 || &a[0] == &b[0])
+}
+
+func zeroFill(b []byte) {
+	for i := range b {
+		b[i] = 0
+	}
 }

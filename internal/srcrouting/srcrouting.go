@@ -36,7 +36,7 @@ func (Program) Process(_ *netsim.Switch, pkt *dataplane.Decoded, meta *netsim.Pa
 	}
 	meta.Extra["hdr.srcRoutes[0].$valid$"] = pipeline.BoolV(true)
 	meta.Extra["hdr.srcRoutes[0].switch_id"] = pipeline.B(32, uint64(hop.SwitchID))
-	return []netsim.Egress{{Port: int(hop.Port)}}
+	return meta.OneEgress(int(hop.Port))
 }
 
 // Figure8 is the topology of Figure 8: leaves s1, s2 and spines s3, s4,

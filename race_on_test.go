@@ -1,0 +1,8 @@
+//go:build race
+
+package repro_test
+
+// raceEnabled reports whether the race detector is instrumenting this
+// build; the wall-clock regression guards skip themselves under it
+// because the ~20x instrumentation slowdown swamps the guard floors.
+const raceEnabled = true
