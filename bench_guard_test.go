@@ -24,6 +24,11 @@ type benchBaseline struct {
 	// WirePPS is the end-to-end wire-path replay rate (netsim fabric,
 	// all checkers), guarded by the same min factor as the engine rate.
 	WirePPS float64 `json:"wire_pps"`
+	// StormPPS is the wire-path replay rate with the always-violating
+	// storm probe armed — every packet raises a digest at every hop into
+	// the report bus. Guarded by the same min factor: a per-digest
+	// allocation or lock on the publish path shows up here first.
+	StormPPS float64 `json:"storm_pps"`
 	// ParseIntoNs/AppendToNs are the codec hot-path costs; the guard
 	// fails when either slows down by more than CodecMaxFactor.
 	ParseIntoNs    float64            `json:"parse_into_ns"`
@@ -60,6 +65,21 @@ func measureWirePPS(t testing.TB) float64 {
 			res.DeliveredRatio, res.Rejected, res.ParseErrors)
 	}
 	return res.WallPktsPerSec
+}
+
+func measureStormPPS(t testing.TB) float64 {
+	res, err := experiments.RunStorm(experiments.StormConfig{
+		Packets: 20_000, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Storm.Unaccounted != 0 || res.Storm.Dropped != 0 ||
+		res.Storm.ExportedDigests != res.Storm.Raised {
+		t.Fatalf("storm replay accounting broke: raised=%d exported=%d dropped=%d unaccounted=%d",
+			res.Storm.Raised, res.Storm.ExportedDigests, res.Storm.Dropped, res.Storm.Unaccounted)
+	}
+	return res.Storm.WallPktsPerSec
 }
 
 // codecBenchFrame mirrors the packet shape of the dataplane package's
@@ -131,6 +151,7 @@ func TestBenchRegressionGuard(t *testing.T) {
 			EnginePPS:      measureEnginePPS(t),
 			PPSMinFactor:   0.35,
 			WirePPS:        measureWirePPS(t),
+			StormPPS:       measureStormPPS(t),
 			ParseIntoNs:    parseNs,
 			AppendToNs:     appendNs,
 			CodecMaxFactor: 2.0,
@@ -190,6 +211,13 @@ func TestBenchRegressionGuard(t *testing.T) {
 		if pps := measureWirePPS(t); pps < wireFloor {
 			t.Errorf("wire replay ran at %.0f pps, below the guard floor %.0f (baseline %.0f × %.2f)",
 				pps, wireFloor, base.WirePPS, base.PPSMinFactor)
+		}
+	}
+	if base.StormPPS > 0 {
+		stormFloor := base.StormPPS * base.PPSMinFactor
+		if pps := measureStormPPS(t); pps < stormFloor {
+			t.Errorf("storm replay ran at %.0f pps, below the guard floor %.0f (baseline %.0f × %.2f)",
+				pps, stormFloor, base.StormPPS, base.PPSMinFactor)
 		}
 	}
 }

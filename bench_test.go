@@ -189,6 +189,32 @@ func BenchmarkNetsimReplay(b *testing.B) {
 	b.ReportMetric(res.FastShare*100, "fast_pct")
 }
 
+// BenchmarkStormReplay measures the report-bus pipeline under a
+// worst-case report storm: the campus trace with an always-violating
+// probe raising a digest at every hop, aggregated and rate-limited by
+// the bus. `storm_pps` is replay throughput with the storm active;
+// `pps_ratio` is storm over baseline (probe disarmed) — the cost of the
+// report path itself.
+func BenchmarkStormReplay(b *testing.B) {
+	var res experiments.StormResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = experiments.RunStorm(experiments.StormConfig{
+			Packets: 10_000, Seed: 5, Repeats: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Storm.Unaccounted != 0 || res.Storm.ExportedDigests != res.Storm.Raised {
+			b.Fatalf("storm accounting broke: raised=%d exported=%d unaccounted=%d",
+				res.Storm.Raised, res.Storm.ExportedDigests, res.Storm.Unaccounted)
+		}
+	}
+	b.ReportMetric(res.Storm.WallPktsPerSec, "storm_pps")
+	b.ReportMetric(res.PPSRatio, "pps_ratio")
+	b.ReportMetric(float64(res.Storm.MaxLiveAggregates), "max_live_aggs")
+}
+
 // ---------------------------------------------------------------------------
 // Per-checker hot path
 

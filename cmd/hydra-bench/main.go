@@ -8,6 +8,7 @@
 //	hydra-bench -throughput                # campus-replay throughput
 //	hydra-bench -engine -shards 1,4,8      # sharded checker-engine replay
 //	hydra-bench -wire                      # end-to-end wire-path replay
+//	hydra-bench -storm                     # report-storm replay on the bus
 //	hydra-bench -all                       # everything
 //
 // Figure 12's duration/background scale with -duration and -bps; see
@@ -36,6 +37,7 @@ func main() {
 		throughput = flag.Bool("throughput", false, "regenerate the throughput comparison")
 		engineRun  = flag.Bool("engine", false, "run the sharded checker-engine replay")
 		wireRun    = flag.Bool("wire", false, "run the end-to-end wire-path replay")
+		stormRun   = flag.Bool("storm", false, "run the report-storm replay (baseline vs always-violating probe on the report bus)")
 		all        = flag.Bool("all", false, "run everything")
 
 		durationS = flag.Float64("duration", 5, "figure 12: seconds of simulated time per configuration")
@@ -70,9 +72,9 @@ func main() {
 	}
 
 	if *all {
-		*table1, *fig12a, *fig12b, *throughput, *engineRun, *wireRun = true, true, true, true, true, true
+		*table1, *fig12a, *fig12b, *throughput, *engineRun, *wireRun, *stormRun = true, true, true, true, true, true, true
 	}
-	if !*table1 && !*fig12a && !*fig12b && !*throughput && !*engineRun && !*wireRun {
+	if !*table1 && !*fig12a && !*fig12b && !*throughput && !*engineRun && !*wireRun && !*stormRun {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -130,18 +132,27 @@ func main() {
 		fmt.Println(experiments.FormatWireReplay(r))
 	}
 
+	var stormResult *experiments.StormResult
+	if *stormRun {
+		fmt.Fprintln(os.Stderr, "running report-storm replay (baseline + storm passes)...")
+		r, err := experiments.RunStorm(experiments.StormConfig{Packets: *packets, Seed: 5})
+		must(err)
+		stormResult = &r
+		fmt.Println(experiments.FormatStorm(r))
+	}
+
 	if *benchJSON != "" {
-		if !*engineRun && !*wireRun {
-			fmt.Fprintln(os.Stderr, "hydra-bench: -benchjson requires -engine or -wire (or -all)")
+		if !*engineRun && !*wireRun && !*stormRun {
+			fmt.Fprintln(os.Stderr, "hydra-bench: -benchjson requires -engine, -wire or -storm (or -all)")
 			os.Exit(2)
 		}
-		must(writeBenchJSON(*benchJSON, engineResults, wireResult))
+		must(writeBenchJSON(*benchJSON, engineResults, wireResult, stormResult))
 	}
 }
 
 // writeBenchJSON emits the replay results in a flat, machine-readable
 // form for dashboards and regression tooling.
-func writeBenchJSON(path string, engine []experiments.EngineReplayResult, wire *experiments.WireReplayResult) error {
+func writeBenchJSON(path string, engine []experiments.EngineReplayResult, wire *experiments.WireReplayResult, storm *experiments.StormResult) error {
 	type engineRow struct {
 		Shards    int     `json:"shards"`
 		Packets   uint64  `json:"packets"`
@@ -160,9 +171,22 @@ func writeBenchJSON(path string, engine []experiments.EngineReplayResult, wire *
 		SlowTx    uint64  `json:"slow_tx"`
 		Errors    uint64  `json:"errors"`
 	}
+	type stormRow struct {
+		BaselinePPS float64 `json:"baseline_pps"`
+		StormPPS    float64 `json:"storm_pps"`
+		PPSRatio    float64 `json:"pps_ratio"`
+		Raised      uint64  `json:"raised"`
+		Exported    uint64  `json:"exported"`
+		Aggregates  uint64  `json:"aggregates"`
+		Suppressed  uint64  `json:"suppressed"`
+		Overflow    uint64  `json:"overflow"`
+		MaxLive     int     `json:"max_live"`
+		Unaccounted int64   `json:"unaccounted"`
+	}
 	out := struct {
 		Engine []engineRow `json:"engine,omitempty"`
 		Wire   *wireRow    `json:"wire,omitempty"`
+		Storm  *stormRow   `json:"storm,omitempty"`
 	}{}
 	for _, r := range engine {
 		out.Engine = append(out.Engine, engineRow{
@@ -184,6 +208,20 @@ func writeBenchJSON(path string, engine []experiments.EngineReplayResult, wire *
 			FastTx:    wire.FastTxFrames,
 			SlowTx:    wire.SlowTxFrames,
 			Errors:    wire.ParseErrors,
+		}
+	}
+	if storm != nil {
+		out.Storm = &stormRow{
+			BaselinePPS: storm.Baseline.WallPktsPerSec,
+			StormPPS:    storm.Storm.WallPktsPerSec,
+			PPSRatio:    storm.PPSRatio,
+			Raised:      storm.Storm.Raised,
+			Exported:    storm.Storm.ExportedDigests,
+			Aggregates:  storm.Storm.EmittedAggregates,
+			Suppressed:  storm.Storm.Suppressed,
+			Overflow:    storm.Storm.OverflowDigests,
+			MaxLive:     storm.Storm.MaxLiveAggregates,
+			Unaccounted: storm.Storm.Unaccounted,
 		}
 	}
 	data, err := json.MarshalIndent(out, "", "  ")

@@ -115,6 +115,14 @@ type HopEnv struct {
 	// fresh blob; callers that require in-place must compare storage
 	// (&blob[0]) and copy back when it differs.
 	ReuseBlob bool
+	// EphemeralReports arms arena-backed report storage on the linked
+	// path (pipeline.LCtx.BeginEphemeralReports): raising a report
+	// allocates nothing, but HopResult.Reports — and the Args inside —
+	// must be fully consumed before the next RunBlocks call on this
+	// runtime from any goroutine. For single-threaded embedders that
+	// deliver reports synchronously; retainers must leave it unset. The
+	// unlinked reference path ignores it (and allocates as always).
+	EphemeralReports bool
 }
 
 // HopResult is the outcome of running the program at one hop.
@@ -155,6 +163,9 @@ func (r *Runtime) RunBlocks(blob []byte, env HopEnv, bs BlockSet, first, last bo
 func (r *Runtime) runLinked(lk *pipeline.Linked, blob []byte, env HopEnv, bs BlockSet, first, last bool) (HopResult, error) {
 	c := lk.AcquireCtx()
 	c.State = env.State
+	if env.EphemeralReports {
+		c.BeginEphemeralReports()
+	}
 	if err := lk.DecodeTele(blob, c.PHV); err != nil {
 		lk.ReleaseCtx(c)
 		return HopResult{}, err

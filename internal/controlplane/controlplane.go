@@ -5,6 +5,21 @@
 // realized as match-action tables by the compiler), and a report sink
 // that collects the digests checkers raise (§2's "report" action).
 //
+// Reports ride the internal/reportbus digest pipeline: every raised
+// digest is published into the bus (one inline producer per switch, so
+// the single-threaded netsim event loop delivers synchronously), the
+// bus's per-digest tap feeds the controller's reactive OnReport
+// callback and its retention store, and the bus's windowed aggregation,
+// storm control, and exporters are available to any consumer that
+// shares the bus (see Config.Bus).
+//
+// Retention policy: the controller keeps the last RetainPerChecker
+// reports per checker (default 4096) in per-checker rings — O(1)
+// insertion, O(k) ReportsFor — and counts what it evicts (Evicted).
+// The full, lossless record is the bus's aggregate stream, not the
+// controller's sample: retention exists for reactive control logic and
+// tests, which want recent individual digests, not history.
+//
 // The Aether-specific control logic (ONOS's UPF rule translation and
 // the Hydra intent app) lives in internal/aether; this package is the
 // generic layer both it and the experiment harnesses build on.
@@ -18,6 +33,7 @@ import (
 	"repro/internal/indus/types"
 	"repro/internal/netsim"
 	"repro/internal/pipeline"
+	"repro/internal/reportbus"
 )
 
 // Report is one collected digest with its provenance.
@@ -29,6 +45,18 @@ type Report struct {
 	Args     []uint64
 }
 
+// Config parameterizes a Controller.
+type Config struct {
+	// Bus, when set, is the report bus the controller publishes into and
+	// taps; the caller keeps ownership (Close never closes it). Nil
+	// means a private inline bus with default settings.
+	Bus *reportbus.Bus
+	// RetainPerChecker bounds the per-checker report retention; default
+	// 4096, negative disables retention entirely (the bus still sees
+	// every digest).
+	RetainPerChecker int
+}
+
 // Controller deploys compiled checkers onto switches and manages their
 // control-plane state.
 type Controller struct {
@@ -37,17 +65,57 @@ type Controller struct {
 	atts map[string]map[uint32]*netsim.HydraAttachment
 	// infos keeps the type information for width-correct installs.
 	runtimes map[string]*compiler.Runtime
-	reports  []Report
-	// OnReport, when set, is additionally invoked for every report.
+	// producers is the per-switch inline bus producer; swNames resolves
+	// digest provenance back to a switch name.
+	producers map[uint32]*reportbus.Producer
+	swNames   map[uint32]string
+
+	bus    *reportbus.Bus
+	ownBus bool
+	ret    retention
+
+	// OnReport, when set, is additionally invoked for every report, fed
+	// synchronously from the bus's per-digest tap.
 	OnReport func(Report)
 }
 
-// NewController returns an empty controller.
-func NewController() *Controller {
-	return &Controller{
-		atts:     map[string]map[uint32]*netsim.HydraAttachment{},
-		runtimes: map[string]*compiler.Runtime{},
+// NewController returns an empty controller with a private report bus.
+func NewController() *Controller { return NewControllerWith(Config{}) }
+
+// NewControllerWith returns an empty controller on the given bus and
+// retention settings.
+func NewControllerWith(cfg Config) *Controller {
+	c := &Controller{
+		atts:      map[string]map[uint32]*netsim.HydraAttachment{},
+		runtimes:  map[string]*compiler.Runtime{},
+		producers: map[uint32]*reportbus.Producer{},
+		swNames:   map[uint32]string{},
+		bus:       cfg.Bus,
 	}
+	if c.bus == nil {
+		c.bus = reportbus.New(reportbus.Config{})
+		c.ownBus = true
+	}
+	c.ret.perChecker = cfg.RetainPerChecker
+	if c.ret.perChecker == 0 {
+		c.ret.perChecker = defaultRetainPerChecker
+	}
+	c.ret.byChecker = map[string]*reportRing{}
+	c.bus.Tap(c.deliver)
+	return c
+}
+
+// Bus returns the controller's report bus.
+func (c *Controller) Bus() *reportbus.Bus { return c.bus }
+
+// Close flushes the report bus (and closes it when the controller owns
+// it), emitting every pending aggregate to the bus's exporters.
+func (c *Controller) Close() {
+	if c.ownBus {
+		c.bus.Close()
+		return
+	}
+	c.bus.Flush()
 }
 
 // Deploy compiles nothing — it attaches an already-compiled checker to
@@ -68,54 +136,80 @@ func (c *Controller) Deploy(name string, info *types.Info, switches ...*netsim.S
 	c.atts[name] = map[uint32]*netsim.HydraAttachment{}
 	for _, sw := range switches {
 		sw := sw
+		// The producer is resolved once per attachment, so the per-digest
+		// callback publishes without touching the controller's mutex.
+		p := c.producerForLocked(sw)
 		att := sw.AttachChecker(rt, func(s *netsim.Switch, rep pipeline.Report) {
-			c.sink(name, s, rep)
+			p.Publish(reportbus.DigestFrom(name, s.ID, int64(s.Sim().Now()), rep))
 		})
 		c.atts[name][sw.ID] = att
 	}
 	return nil
 }
 
+// sink publishes one raised digest into the report bus. The producer
+// is inline, so the bus tap (deliver) runs before sink returns — the
+// reactive path a simulation's control loop observes is synchronous.
 func (c *Controller) sink(name string, sw *netsim.Switch, rep pipeline.Report) {
-	args := make([]uint64, len(rep.Args))
-	for i, a := range rep.Args {
-		args[i] = a.V
-	}
-	r := Report{
-		Checker:  name,
-		SwitchID: sw.ID,
-		Switch:   sw.Name,
-		At:       sw.Sim().Now(),
-		Args:     args,
-	}
+	c.producerFor(sw).Publish(reportbus.DigestFrom(name, sw.ID, int64(sw.Sim().Now()), rep))
+}
+
+// producerFor returns (creating on first use) the switch's inline bus
+// producer.
+func (c *Controller) producerFor(sw *netsim.Switch) *reportbus.Producer {
 	c.mu.Lock()
-	c.reports = append(c.reports, r)
+	defer c.mu.Unlock()
+	return c.producerForLocked(sw)
+}
+
+// producerForLocked is producerFor with c.mu already held.
+func (c *Controller) producerForLocked(sw *netsim.Switch) *reportbus.Producer {
+	p, ok := c.producers[sw.ID]
+	if !ok {
+		p = c.bus.InlineProducer(fmt.Sprintf("switch:%s", sw.Name))
+		c.producers[sw.ID] = p
+		c.swNames[sw.ID] = sw.Name
+	}
+	return p
+}
+
+// deliver is the bus tap: it rebuilds the provenance-tagged Report,
+// retains it, and runs the reactive callback. With retention disabled
+// and no reactive callback there is no consumer, so it skips the
+// per-digest Report construction entirely (the storm experiment's
+// measured configuration).
+func (c *Controller) deliver(d reportbus.Digest) {
+	c.mu.Lock()
+	name := c.swNames[d.SwitchID]
 	cb := c.OnReport
 	c.mu.Unlock()
+	if cb == nil && c.ret.perChecker < 0 {
+		return
+	}
+	r := Report{
+		Checker:  d.Checker,
+		SwitchID: d.SwitchID,
+		Switch:   name,
+		At:       netsim.Time(d.At),
+		Args:     append([]uint64(nil), d.Args[:d.NArgs]...),
+	}
+	c.ret.add(r)
 	if cb != nil {
 		cb(r)
 	}
 }
 
-// Reports returns a snapshot of all collected reports.
-func (c *Controller) Reports() []Report {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return append([]Report(nil), c.reports...)
-}
+// Reports returns a snapshot of the retained reports, oldest first
+// across all checkers (bounded per checker; see the package comment's
+// retention policy).
+func (c *Controller) Reports() []Report { return c.ret.all() }
 
-// ReportsFor returns the reports raised by one checker.
-func (c *Controller) ReportsFor(name string) []Report {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	var out []Report
-	for _, r := range c.reports {
-		if r.Checker == name {
-			out = append(out, r)
-		}
-	}
-	return out
-}
+// ReportsFor returns the retained reports raised by one checker.
+func (c *Controller) ReportsFor(name string) []Report { return c.ret.forChecker(name) }
+
+// Evicted returns how many of a checker's reports the bounded retention
+// has discarded (they remain visible in the bus's aggregate stream).
+func (c *Controller) Evicted(name string) uint64 { return c.ret.evicted(name) }
 
 // Attachment returns the per-switch attachment of a deployed checker.
 func (c *Controller) Attachment(name string, switchID uint32) (*netsim.HydraAttachment, error) {

@@ -8,6 +8,7 @@ import (
 	"repro/internal/checkers"
 	"repro/internal/netsim"
 	"repro/internal/pipeline"
+	"repro/internal/reportbus"
 )
 
 func buildFabric(t *testing.T) (*netsim.Simulator, *netsim.LeafSpine, *Controller) {
@@ -168,5 +169,131 @@ func TestSinkConcurrent(t *testing.T) {
 	const want = goroutines * perGoroutine
 	if got := len(ctl.Reports()); got != want || live.Load() != want {
 		t.Fatalf("collected %d reports, %d live callbacks; want %d of each", got, live.Load(), want)
+	}
+}
+
+// TestRetentionBounded pins the retention policy: the controller keeps
+// at most RetainPerChecker reports per checker (oldest evicted first,
+// eviction counted), ReportsFor indexes per checker without scanning
+// others, and Reports merges rings back into global arrival order.
+func TestRetentionBounded(t *testing.T) {
+	_, ls, _ := buildFabric(t)
+	sw := ls.Leaves[0]
+	ctl := NewControllerWith(Config{RetainPerChecker: 8})
+	defer ctl.Close()
+
+	for i := 0; i < 20; i++ {
+		ctl.sink("a", sw, pipeline.Report{Args: []pipeline.Value{pipeline.B(32, uint64(i))}})
+		if i%2 == 0 {
+			ctl.sink("b", sw, pipeline.Report{Args: []pipeline.Value{pipeline.B(32, uint64(100+i))}})
+		}
+	}
+
+	aReps := ctl.ReportsFor("a")
+	if len(aReps) != 8 {
+		t.Fatalf("checker a retained %d reports, want 8", len(aReps))
+	}
+	// Oldest-first within the ring, and only the newest 8 survive.
+	for i, r := range aReps {
+		if want := uint64(12 + i); r.Args[0] != want {
+			t.Fatalf("a[%d] = %d, want %d", i, r.Args[0], want)
+		}
+	}
+	if got := ctl.Evicted("a"); got != 12 {
+		t.Fatalf("a evicted = %d, want 12", got)
+	}
+	bReps := ctl.ReportsFor("b")
+	if len(bReps) != 8 || ctl.Evicted("b") != 2 {
+		t.Fatalf("checker b retained %d evicted %d, want 8/2", len(bReps), ctl.Evicted("b"))
+	}
+
+	// The merged snapshot is in arrival order across checkers.
+	all := ctl.Reports()
+	if len(all) != 16 {
+		t.Fatalf("merged snapshot has %d reports, want 16", len(all))
+	}
+	lastA, lastB := -1, -1
+	for i, r := range all {
+		switch r.Checker {
+		case "a":
+			if lastA >= 0 && all[lastA].Args[0] >= r.Args[0] {
+				t.Fatal("merged order broken within checker a")
+			}
+			lastA = i
+		case "b":
+			if lastB >= 0 && all[lastB].Args[0] >= r.Args[0] {
+				t.Fatal("merged order broken within checker b")
+			}
+			lastB = i
+		}
+	}
+	// a=15 arrived between b=114 and b=116; merged order must reflect it.
+	idx := map[uint64]int{}
+	for i, r := range all {
+		idx[r.Args[0]] = i
+	}
+	if !(idx[114] < idx[15] && idx[15] < idx[116]) {
+		t.Fatalf("interleave broken: positions b114=%d a15=%d b116=%d", idx[114], idx[15], idx[116])
+	}
+}
+
+// TestRetentionDisabled: negative RetainPerChecker turns retention off
+// entirely while the bus tap (OnReport) still sees every digest.
+func TestRetentionDisabled(t *testing.T) {
+	_, ls, _ := buildFabric(t)
+	sw := ls.Leaves[0]
+	ctl := NewControllerWith(Config{RetainPerChecker: -1})
+	defer ctl.Close()
+	var live int
+	ctl.OnReport = func(Report) { live++ }
+	for i := 0; i < 5; i++ {
+		ctl.sink("fw", sw, pipeline.Report{Args: []pipeline.Value{pipeline.B(32, uint64(i))}})
+	}
+	if live != 5 {
+		t.Fatalf("OnReport fired %d times, want 5", live)
+	}
+	if got := len(ctl.ReportsFor("fw")); got != 0 {
+		t.Fatalf("retention disabled but kept %d reports", got)
+	}
+}
+
+// TestControllerSharesBus: a caller-provided bus receives the
+// controller's digests (aggregates on Close via Flush), and the
+// controller does not close a bus it does not own.
+func TestControllerSharesBus(t *testing.T) {
+	sim, ls, _ := buildFabric(t)
+	sink := &reportbus.CollectExporter{}
+	bus := reportbus.New(reportbus.Config{
+		Clock:     func() int64 { return int64(sim.Now()) },
+		Exporters: []reportbus.Exporter{sink},
+	})
+	ctl := NewControllerWith(Config{Bus: bus})
+	if err := ctl.Deploy("fw", checkers.MustParse("stateful-firewall"), ls.AllSwitches()...); err != nil {
+		t.Fatal(err)
+	}
+	h1, h2 := ls.Host(0, 0), ls.Host(1, 0)
+	if err := ctl.PutDict("fw", 0, "allowed", []uint64{uint64(h1.IP), uint64(h2.IP)}, 1); err != nil {
+		t.Fatal(err)
+	}
+	h1.SendUDP(h2.IP, 555, 80, 64)
+	sim.RunAll()
+	raised := len(ctl.ReportsFor("fw"))
+	if raised == 0 {
+		t.Fatal("expected firewall reports")
+	}
+	ctl.Close() // flushes, must not close the shared bus
+
+	var total uint64
+	for _, c := range sink.CountsByKey() {
+		total += c
+	}
+	if total != uint64(raised) {
+		t.Fatalf("bus aggregates sum to %d digests, controller saw %d", total, raised)
+	}
+	// The bus is still usable after the controller's Close.
+	p := bus.InlineProducer("post")
+	p.Publish(reportbus.DigestFrom("fw", 1, int64(sim.Now()), pipeline.Report{}))
+	if m := bus.Metrics(); m.Unaccounted() < 0 {
+		t.Fatalf("bus unusable after controller close: %+v", m)
 	}
 }

@@ -1,0 +1,103 @@
+package controlplane
+
+import (
+	"sort"
+	"sync"
+)
+
+// defaultRetainPerChecker keeps enough recent digests for reactive
+// control logic and tests without letting a report storm grow the
+// controller's memory with the packet count — history belongs to the
+// report bus's aggregates, not to this sample.
+const defaultRetainPerChecker = 4096
+
+// retention is the bounded per-checker report store: one ring per
+// checker (the per-checker index), each entry stamped with a global
+// sequence number so cross-checker snapshots can be merged back into
+// arrival order.
+type retention struct {
+	mu         sync.Mutex
+	perChecker int
+	seq        uint64
+	byChecker  map[string]*reportRing
+}
+
+type reportRing struct {
+	buf     []seqReport
+	start   int // index of the oldest entry once the ring is full
+	evicted uint64
+}
+
+type seqReport struct {
+	seq uint64
+	r   Report
+}
+
+func (t *retention) add(r Report) {
+	if t.perChecker < 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.seq++
+	rr := t.byChecker[r.Checker]
+	if rr == nil {
+		rr = &reportRing{}
+		t.byChecker[r.Checker] = rr
+	}
+	if len(rr.buf) < t.perChecker {
+		rr.buf = append(rr.buf, seqReport{seq: t.seq, r: r})
+		return
+	}
+	rr.buf[rr.start] = seqReport{seq: t.seq, r: r}
+	rr.start = (rr.start + 1) % len(rr.buf)
+	rr.evicted++
+}
+
+// snapshot copies one ring oldest-first.
+func (rr *reportRing) snapshot(out []seqReport) []seqReport {
+	n := len(rr.buf)
+	for i := 0; i < n; i++ {
+		out = append(out, rr.buf[(rr.start+i)%n])
+	}
+	return out
+}
+
+func (t *retention) forChecker(name string) []Report {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	rr := t.byChecker[name]
+	if rr == nil {
+		return nil
+	}
+	srs := rr.snapshot(make([]seqReport, 0, len(rr.buf)))
+	out := make([]Report, len(srs))
+	for i, sr := range srs {
+		out[i] = sr.r
+	}
+	return out
+}
+
+func (t *retention) all() []Report {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var srs []seqReport
+	for _, rr := range t.byChecker {
+		srs = rr.snapshot(srs)
+	}
+	sort.Slice(srs, func(i, j int) bool { return srs[i].seq < srs[j].seq })
+	out := make([]Report, len(srs))
+	for i, sr := range srs {
+		out[i] = sr.r
+	}
+	return out
+}
+
+func (t *retention) evicted(name string) uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if rr := t.byChecker[name]; rr != nil {
+		return rr.evicted
+	}
+	return 0
+}

@@ -40,6 +40,7 @@ import (
 	"repro/internal/compiler"
 	"repro/internal/dataplane"
 	"repro/internal/pipeline"
+	"repro/internal/reportbus"
 )
 
 // Checker is one compiled program the engine executes per packet.
@@ -122,6 +123,11 @@ type Config struct {
 	// Off, only counts are kept — the right choice for replay
 	// benchmarks where reports would accumulate unboundedly.
 	KeepReports bool
+	// ReportBus, when set, receives every raised digest: each shard owns
+	// one ring producer on the bus, so the hot path enqueues without a
+	// shared lock and a full ring drops (with accounting) instead of
+	// blocking the worker. Composable with KeepReports.
+	ReportBus *reportbus.Bus
 }
 
 // Engine executes checkers over submitted packets on sharded workers.
@@ -349,6 +355,9 @@ type shard struct {
 	counts      Counts
 	perChecker  []CheckerCounts
 	reports     []Report
+	// prod is this shard's ring producer on Config.ReportBus (nil when
+	// no bus is attached).
+	prod *reportbus.Producer
 }
 
 func newShard(id int, cfg *Config) *shard {
@@ -364,6 +373,9 @@ func newShard(id int, cfg *Config) *shard {
 	}
 	for i := range s.states {
 		s.states[i] = map[uint32]*pipeline.State{}
+	}
+	if cfg.ReportBus != nil {
+		s.prod = cfg.ReportBus.RingProducer(fmt.Sprintf("engine-shard:%d", id))
 	}
 	for i, c := range cfg.Checkers {
 		bindings := c.RT.Bindings()
@@ -472,6 +484,12 @@ func (s *shard) process(p *Packet) {
 				s.counts.Reports += uint64(n)
 				s.perChecker[i].Reports += uint64(n)
 				nReports += int32(n)
+				if s.prod != nil {
+					at := s.cfg.ReportBus.Now()
+					for _, rep := range hr.Reports {
+						s.prod.Publish(reportbus.DigestFrom(c.Name, hop.SwitchID, at, rep))
+					}
+				}
 				if s.cfg.KeepReports {
 					for _, rep := range hr.Reports {
 						args := make([]uint64, len(rep.Args))

@@ -9,6 +9,7 @@ import (
 	"repro/internal/dataplane"
 	"repro/internal/engine"
 	"repro/internal/experiments"
+	"repro/internal/reportbus"
 )
 
 // TestEngineMatchesSequential is the tentpole invariant: for the campus
@@ -363,5 +364,79 @@ func TestConcurrentInstallDuringRun(t *testing.T) {
 	if counts.Forwarded != counts.Packets {
 		t.Fatalf("concurrent installs changed verdicts: forwarded %d of %d; per-checker: %+v",
 			counts.Forwarded, counts.Packets, counts.PerChecker)
+	}
+}
+
+// TestEngineReportBusDeterministicAggregation wires the engine's shard
+// producers to a report bus and requires the aggregated view to be
+// shard-count independent: at 1, 4 and 8 shards, the per-key digest
+// counts are identical and every raised digest is accounted. The clock
+// is frozen so the whole run is one window (Close force-emits it) and
+// the rings are sized so nothing drops — under those conditions
+// aggregation is deterministic regardless of drain interleaving.
+func TestEngineReportBusDeterministicAggregation(t *testing.T) {
+	const n = 900
+	pkts := violationWorkload(n)
+
+	run := func(shards int) (engine.Counts, map[reportbus.Key]uint64, reportbus.Metrics) {
+		chks, err := experiments.CorpusCheckers()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sink := &reportbus.CollectExporter{}
+		bus := reportbus.New(reportbus.Config{
+			RingSize:  1 << 16,
+			MaxKeys:   1 << 16,
+			Clock:     func() int64 { return 0 },
+			Exporters: []reportbus.Exporter{sink},
+		})
+		eng := engine.New(engine.Config{Shards: shards, Checkers: chks, BatchSize: 16, ReportBus: bus})
+		if err := experiments.ConfigureReplayEngine(eng.Install, nil); err != nil {
+			t.Fatal(err)
+		}
+		for i := range pkts {
+			eng.Submit(pkts[i])
+		}
+		counts := eng.Drain()
+		bus.Close()
+		return counts, sink.CountsByKey(), bus.Metrics()
+	}
+
+	wantCounts, wantKeys, wantM := run(1)
+	if wantCounts.Reports == 0 {
+		t.Fatal("violation workload raised no reports")
+	}
+	if wantM.Dropped != 0 {
+		t.Fatalf("rings dropped %d digests despite oversizing", wantM.Dropped)
+	}
+	if wantM.Published != wantCounts.Reports {
+		t.Fatalf("bus published %d digests, engine raised %d", wantM.Published, wantCounts.Reports)
+	}
+	if wantM.Unaccounted() != 0 {
+		t.Fatalf("unaccounted digests: %d", wantM.Unaccounted())
+	}
+	var exported uint64
+	for _, c := range wantKeys {
+		exported += c
+	}
+	if exported != wantCounts.Reports {
+		t.Fatalf("aggregates sum to %d digests, engine raised %d", exported, wantCounts.Reports)
+	}
+
+	for _, shards := range []int{4, 8} {
+		gotCounts, gotKeys, gotM := run(shards)
+		if !reflect.DeepEqual(gotCounts, wantCounts) {
+			t.Errorf("shards=%d: engine counts diverge\n got %+v\nwant %+v", shards, gotCounts, wantCounts)
+		}
+		if gotM.Dropped != 0 || gotM.Unaccounted() != 0 {
+			t.Errorf("shards=%d: dropped=%d unaccounted=%d", shards, gotM.Dropped, gotM.Unaccounted())
+		}
+		if len(gotM.Producers) != shards {
+			t.Errorf("shards=%d: %d ring producers registered", shards, len(gotM.Producers))
+		}
+		if !reflect.DeepEqual(gotKeys, wantKeys) {
+			t.Errorf("shards=%d: per-key aggregate counts diverge from single-shard run (%d vs %d keys)",
+				shards, len(gotKeys), len(wantKeys))
+		}
 	}
 }

@@ -288,6 +288,10 @@ func (sw *Switch) inject(pkt *dataplane.Decoded, meta *PacketMeta, inPort int) {
 			SlotHeaders: at.bindPlan().bind(pkt, meta, inPort, -1),
 			PacketLen:   pktLen,
 			ReuseBlob:   true,
+			// Reports are delivered to OnReport below, before the next
+			// RunBlocks — the event loop is single-threaded, so the
+			// zero-alloc arena path is safe.
+			EphemeralReports: true,
 		}
 		// slot[:0] as the incoming blob: DecodeTele zero-fills on an
 		// empty blob, and ReuseBlob encodes back into the slot.
@@ -340,6 +344,8 @@ func (sw *Switch) egress(pkt *dataplane.Decoded, frame []byte, shape wireShape, 
 				// The split slots are disjoint capped subslices of the
 				// blob, so each checker may encode into its own slot.
 				ReuseBlob: inPlace,
+				// Reports are consumed synchronously below.
+				EphemeralReports: true,
 			}
 			hr, err := at.Runtime.RunBlocks(parts[i], env, compiler.BlockSet{
 				Telemetry: true,

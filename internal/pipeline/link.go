@@ -44,6 +44,29 @@ type LCtx struct {
 	// wide is the reusable key buffer for applies of tables with more
 	// than MaxPackedKeys columns.
 	wide []uint64
+
+	// Ephemeral-report mode (BeginEphemeralReports): reports and their
+	// Args are carved from context-owned buffers that survive release
+	// instead of being heap-allocated per report.
+	ephemeral  bool
+	ephReports []Report
+	argArena   []Value
+}
+
+// BeginEphemeralReports arms arena-backed report storage for the
+// current execution: every report raised until the context is released
+// reuses the context's own report and argument buffers, so a reporting
+// hop costs zero allocations at steady state. The caller gives up the
+// escape guarantee in exchange: it must fully consume (or copy) the
+// returned Reports — including the Args inside — before the next
+// execution acquired from this Linked's pool, from any goroutine.
+// Single-threaded embedders that deliver reports synchronously (the
+// netsim event loop) qualify; anything that retains reports must not
+// use this.
+func (c *LCtx) BeginEphemeralReports() {
+	c.ephemeral = true
+	c.Reports = c.ephReports[:0]
+	c.argArena = c.argArena[:0]
 }
 
 // applyCache memoizes TCAM lookups for one ApplyOp site, keyed by the
@@ -247,24 +270,33 @@ func (lk *Linked) BindHeaderMap(phv []Value, headers map[string]Value) {
 }
 
 // AcquireCtx returns a cleared execution context from the pool.
+// ReleaseCtx's invariant guarantees counters are zero and the report
+// buffer is nil on every pooled context, so only the PHV needs
+// clearing here.
 func (lk *Linked) AcquireCtx() *LCtx {
 	c := lk.ctxPool.Get().(*LCtx)
-	if c.OpsExecuted != 0 || c.TableApplies != 0 || len(c.Reports) != 0 {
-		c.OpsExecuted, c.TableApplies = 0, 0
-		c.Reports = c.Reports[:0]
-	}
 	clear(c.PHV)
 	return c
 }
 
-// ReleaseCtx returns a context to the pool. If the context's reports
-// escaped into a HopResult, the slice is dropped so the next user
-// cannot clobber them.
+// ReleaseCtx resets a context and returns it to the pool. The report
+// slice — and the Args slices inside each Report — escape into the
+// HopResult the caller is still reading, so Reports is detached
+// unconditionally: a pooled context never retains digest storage from
+// a previous packet, and a reused context can never clobber an escaped
+// digest. (Reports only ever gains capacity when a report is raised,
+// so for the common report-free packet this nil store is free.)
+// Ephemeral mode (BeginEphemeralReports) keeps the backing arrays for
+// the next ephemeral execution instead — that caller has promised the
+// reports do not outlive this release.
 func (lk *Linked) ReleaseCtx(c *LCtx) {
 	c.State = nil
-	if len(c.Reports) > 0 {
-		c.Reports = nil
+	c.OpsExecuted, c.TableApplies = 0, 0
+	if c.ephemeral {
+		c.ephemeral = false
+		c.ephReports = c.Reports[:0]
 	}
+	c.Reports = nil
 	lk.ctxPool.Put(c)
 }
 
@@ -538,9 +570,21 @@ func (lk *Linked) compileOps(ops []Op, arrays map[string]int) ([]linkedOp, error
 			}
 			out = append(out, func(c *LCtx) {
 				c.OpsExecuted++
-				vals := make([]Value, len(args))
-				for i, a := range args {
-					vals[i] = a(c.PHV)
+				var vals []Value
+				if c.ephemeral {
+					// Arena growth may move earlier reports' Args to a
+					// stale array — their values stay intact, so reads
+					// remain correct; the arena converges after warmup.
+					off := len(c.argArena)
+					for _, a := range args {
+						c.argArena = append(c.argArena, a(c.PHV))
+					}
+					vals = c.argArena[off:len(c.argArena):len(c.argArena)]
+				} else {
+					vals = make([]Value, len(args))
+					for i, a := range args {
+						vals[i] = a(c.PHV)
+					}
 				}
 				c.Reports = append(c.Reports, Report{Args: vals})
 			})

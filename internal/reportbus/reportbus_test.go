@@ -1,0 +1,407 @@
+package reportbus
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/pipeline"
+)
+
+// manualClock is a test clock: a plain atomic nanosecond counter, safe
+// for collector-goroutine reads.
+type manualClock struct{ now atomic.Int64 }
+
+func (c *manualClock) read() int64      { return c.now.Load() }
+func (c *manualClock) set(t int64)      { c.now.Store(t) }
+func (c *manualClock) fn() func() int64 { return c.read }
+
+func rep(args ...uint64) pipeline.Report {
+	vals := make([]pipeline.Value, len(args))
+	for i, a := range args {
+		vals[i] = pipeline.B(64, a)
+	}
+	return pipeline.Report{Args: vals}
+}
+
+func TestRingPushDrain(t *testing.T) {
+	r := newRing(5) // rounds up to 8
+	if got := len(r.buf); got != 8 {
+		t.Fatalf("ring size = %d, want 8 (rounded up)", got)
+	}
+	for i := 0; i < 8; i++ {
+		if !r.push(Digest{At: int64(i)}) {
+			t.Fatalf("push %d rejected before full", i)
+		}
+	}
+	if r.push(Digest{At: 99}) {
+		t.Fatal("push accepted on a full ring")
+	}
+	if d := r.depth(); d != 8 {
+		t.Fatalf("depth = %d, want 8", d)
+	}
+	out := r.drainInto(nil)
+	if len(out) != 8 {
+		t.Fatalf("drained %d, want 8", len(out))
+	}
+	for i, d := range out {
+		if d.At != int64(i) {
+			t.Fatalf("drain order broken: out[%d].At = %d", i, d.At)
+		}
+	}
+	if d := r.depth(); d != 0 {
+		t.Fatalf("depth after drain = %d, want 0", d)
+	}
+	// The ring is reusable after a full wrap.
+	for i := 0; i < 12; i++ {
+		if !r.push(Digest{At: int64(100 + i)}) {
+			out = r.drainInto(out[:0])
+			if !r.push(Digest{At: int64(100 + i)}) {
+				t.Fatal("push rejected right after drain")
+			}
+		}
+	}
+}
+
+func TestDigestFromTruncation(t *testing.T) {
+	short := DigestFrom("c", 1, 7, rep(1, 2, 3))
+	if short.NArgs != 3 || short.Truncated {
+		t.Fatalf("short digest: NArgs=%d Truncated=%v", short.NArgs, short.Truncated)
+	}
+	if short.Args[0] != 1 || short.Args[2] != 3 {
+		t.Fatalf("short digest args = %v", short.Args)
+	}
+	longA := DigestFrom("c", 1, 7, rep(1, 2, 3, 4, 5, 6, 7))
+	longB := DigestFrom("c", 1, 7, rep(1, 2, 3, 4, 5, 6, 8))
+	if longA.NArgs != MaxArgs || !longA.Truncated {
+		t.Fatalf("long digest: NArgs=%d Truncated=%v", longA.NArgs, longA.Truncated)
+	}
+	// The stored args are identical, but the hash covers the truncated
+	// tail, so the two digests must aggregate separately.
+	if longA.Args != longB.Args {
+		t.Fatalf("stored args differ: %v vs %v", longA.Args, longB.Args)
+	}
+	if longA.ArgsHash == longB.ArgsHash {
+		t.Fatal("hash ignores truncated tail words")
+	}
+	same := DigestFrom("c", 1, 9, rep(1, 2, 3))
+	if same.ArgsHash != short.ArgsHash {
+		t.Fatal("hash not stable for identical args")
+	}
+}
+
+func TestInlineAggregationWindows(t *testing.T) {
+	clk := &manualClock{}
+	sink := &CollectExporter{}
+	b := New(Config{Window: 100, Clock: clk.fn(), Exporters: []Exporter{sink}})
+	p := b.InlineProducer("sim")
+
+	// Three digests for key A and one for key B inside the first window.
+	for i := 0; i < 3; i++ {
+		p.Publish(DigestFrom("loop", 1, int64(10+i), rep(0xA)))
+	}
+	p.Publish(DigestFrom("loop", 1, 20, rep(0xB)))
+	if got := sink.Aggregates(); len(got) != 0 {
+		t.Fatalf("window emitted early: %d aggregates", len(got))
+	}
+	// A digest past the window boundary closes it; the closer itself is
+	// folded first, so it rides along in the emitted batch.
+	p.Publish(DigestFrom("loop", 2, 150, rep(0xA)))
+
+	aggs := sink.Aggregates()
+	if len(aggs) != 3 {
+		t.Fatalf("emitted %d aggregates, want 3", len(aggs))
+	}
+	byKey := map[Key]Aggregate{}
+	for _, a := range aggs {
+		byKey[Key{Checker: a.Checker, SwitchID: a.SwitchID, ArgsHash: a.ArgsHash}] = a
+	}
+	keyA := Key{Checker: "loop", SwitchID: 1, ArgsHash: DigestFrom("loop", 1, 0, rep(0xA)).ArgsHash}
+	a := byKey[keyA]
+	if a.Count != 3 || a.FirstAt != 10 || a.LastAt != 12 {
+		t.Fatalf("key A aggregate = %+v, want count 3 span [10,12]", a)
+	}
+	if a.Args[0] != 0xA {
+		t.Fatalf("key A args = %v", a.Args)
+	}
+
+	m := b.Metrics()
+	if m.Published != 5 || m.Delivered != 5 || m.Dropped != 0 {
+		t.Fatalf("metrics = %+v", m)
+	}
+	if m.Unaccounted() != 0 {
+		t.Fatalf("unaccounted = %d", m.Unaccounted())
+	}
+	b.Close()
+	if m := b.Metrics(); m.EmittedDigests != 5 || m.LiveDigests != 0 || m.Unaccounted() != 0 {
+		t.Fatalf("post-close metrics = %+v", m)
+	}
+}
+
+func TestStormControlDefersWithoutLoss(t *testing.T) {
+	clk := &manualClock{}
+	sink := &CollectExporter{}
+	// Burst 1, effectively no refill: each non-forced window close may
+	// emit one aggregate per checker; the rest carry forward.
+	b := New(Config{Window: 100, Clock: clk.fn(), Rate: 1e-9, Burst: 1, Exporters: []Exporter{sink}})
+	p := b.InlineProducer("sim")
+
+	p.Publish(DigestFrom("storm", 1, 1, rep(0xA)))
+	p.Publish(DigestFrom("storm", 1, 2, rep(0xB)))
+	p.Publish(DigestFrom("storm", 1, 3, rep(0xC)))
+	clk.set(150)
+	b.sweep(false) // non-forced close: token budget applies
+
+	first := sink.Aggregates()
+	if len(first) != 1 {
+		t.Fatalf("storm window emitted %d aggregates, want 1", len(first))
+	}
+	m := b.Metrics()
+	if st := m.Checkers["storm"]; st.Suppressed != 2 {
+		t.Fatalf("suppressed = %d, want 2", st.Suppressed)
+	}
+	if m.LiveDigests != 2 || m.Unaccounted() != 0 {
+		t.Fatalf("deferral lost digests: %+v", m)
+	}
+
+	// New digests for a deferred key merge into the carried aggregate.
+	deferredKey := Key{Checker: "storm", SwitchID: 1}
+	p.Publish(DigestFrom("storm", 1, 160, rep(0xB)))
+	b.Close() // force-flushes the carryover
+
+	counts := sink.CountsByKey()
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	if total != 4 {
+		t.Fatalf("total emitted digests = %d, want 4", total)
+	}
+	var sawDeferred bool
+	for _, a := range sink.Aggregates() {
+		if a.Deferred > 0 {
+			sawDeferred = true
+			if a.Checker != deferredKey.Checker {
+				t.Fatalf("deferred aggregate from %q", a.Checker)
+			}
+		}
+	}
+	if !sawDeferred {
+		t.Fatal("no aggregate carries a Deferred count")
+	}
+	if m := b.Metrics(); m.Unaccounted() != 0 {
+		t.Fatalf("post-close unaccounted = %d", m.Unaccounted())
+	}
+}
+
+func TestMaxKeysOverflowBuckets(t *testing.T) {
+	clk := &manualClock{}
+	sink := &CollectExporter{}
+	b := New(Config{Window: 1000, Clock: clk.fn(), MaxKeys: 2, Exporters: []Exporter{sink}})
+	p := b.InlineProducer("sim")
+
+	// Keys A and B claim the two live slots; C, D, E (same checker and
+	// switch) fold into one overflow bucket with exact counts.
+	for i, arg := range []uint64{0xA, 0xB, 0xC, 0xD, 0xE, 0xC} {
+		p.Publish(DigestFrom("ovf", 1, int64(i), rep(arg)))
+	}
+	m := b.Metrics()
+	if m.LiveAggregates != 3 { // 2 live keys + 1 overflow bucket
+		t.Fatalf("live aggregates = %d, want 3", m.LiveAggregates)
+	}
+	if st := m.Checkers["ovf"]; st.OverflowDigests != 4 {
+		t.Fatalf("overflow digests = %d, want 4", st.OverflowDigests)
+	}
+	b.Close()
+
+	var ovfAgg *Aggregate
+	for _, a := range sink.Aggregates() {
+		if a.Overflow {
+			if ovfAgg != nil {
+				t.Fatal("more than one overflow bucket for one (checker, switch)")
+			}
+			c := a
+			ovfAgg = &c
+		}
+	}
+	if ovfAgg == nil {
+		t.Fatal("no overflow aggregate emitted")
+	}
+	if ovfAgg.Count != 4 || len(ovfAgg.Args) != 0 {
+		t.Fatalf("overflow aggregate = %+v, want count 4 and no args", ovfAgg)
+	}
+	if ovfAgg.FirstAt != 2 || ovfAgg.LastAt != 5 {
+		t.Fatalf("overflow span = [%d,%d], want [2,5]", ovfAgg.FirstAt, ovfAgg.LastAt)
+	}
+	if m := b.Metrics(); m.EmittedDigests != 6 || m.Unaccounted() != 0 {
+		t.Fatalf("post-close metrics = %+v", m)
+	}
+}
+
+func TestRingDropAccounting(t *testing.T) {
+	clk := &manualClock{}
+	b := New(Config{Window: 100, Clock: clk.fn(), RingSize: 4})
+	p := b.RingProducer("shard:0")
+
+	accepted := 0
+	for i := 0; i < 10; i++ {
+		if p.Publish(DigestFrom("noisy", 1, int64(i), rep(uint64(i)))) {
+			accepted++
+		}
+	}
+	if accepted != 4 {
+		t.Fatalf("accepted %d, want 4 (ring capacity)", accepted)
+	}
+	m := b.Metrics()
+	if m.Published != 10 || m.Dropped != 6 {
+		t.Fatalf("published=%d dropped=%d, want 10/6", m.Published, m.Dropped)
+	}
+	if st := m.Checkers["noisy"]; st.Dropped != 6 {
+		t.Fatalf("per-checker dropped = %d, want 6", st.Dropped)
+	}
+	b.Close()
+	m = b.Metrics()
+	if m.EmittedDigests != 4 || m.Unaccounted() != 0 {
+		t.Fatalf("post-close metrics: emitted=%d unaccounted=%d", m.EmittedDigests, m.Unaccounted())
+	}
+	if d := m.Producers[0].QueueDepth; d != 0 {
+		t.Fatalf("queue depth after close = %d", d)
+	}
+}
+
+func TestInlineTapRunsBeforePublishReturns(t *testing.T) {
+	clk := &manualClock{}
+	b := New(Config{Window: 1000, Clock: clk.fn()})
+	var tapped []Digest
+	b.Tap(func(d Digest) { tapped = append(tapped, d) })
+	p := b.InlineProducer("sim")
+	d := DigestFrom("c", 3, 42, rep(7, 8))
+	p.Publish(d)
+	if len(tapped) != 1 || tapped[0] != d {
+		t.Fatalf("tap saw %v, want exactly [%v]", tapped, d)
+	}
+}
+
+func TestJSONLExporterRoundTrip(t *testing.T) {
+	clk := &manualClock{}
+	var buf bytes.Buffer
+	jl := NewJSONL(&buf)
+	b := New(Config{Window: 100, Clock: clk.fn(), Exporters: []Exporter{jl}})
+	p := b.InlineProducer("sim")
+	p.Publish(DigestFrom("a", 1, 5, rep(1, 2)))
+	p.Publish(DigestFrom("a", 1, 6, rep(1, 2)))
+	p.Publish(DigestFrom("b", 2, 7, rep(3)))
+	b.Close()
+
+	if err := jl.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if jl.Lines() != 2 {
+		t.Fatalf("lines = %d, want 2", jl.Lines())
+	}
+	var total uint64
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var a Aggregate
+		if err := json.Unmarshal(sc.Bytes(), &a); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+		}
+		total += a.Count
+	}
+	if total != 3 {
+		t.Fatalf("JSONL digest total = %d, want 3", total)
+	}
+}
+
+// TestConcurrentProducersExactAccounting is the race-detector stress
+// test: many ring producers against a live collector goroutine, with a
+// concurrent metrics poller, must conserve every digest — published
+// equals dropped plus emitted, exactly.
+func TestConcurrentProducersExactAccounting(t *testing.T) {
+	const (
+		producers = 4
+		perProd   = 20_000
+	)
+	sink := &CollectExporter{}
+	b := New(Config{
+		Window:    500 * time.Microsecond,
+		RingSize:  256, // small enough to force real drops under load
+		Exporters: []Exporter{sink},
+	})
+	b.Start()
+
+	var wg sync.WaitGroup
+	for pi := 0; pi < producers; pi++ {
+		p := b.RingProducer("shard")
+		wg.Add(1)
+		go func(pi int, p *Producer) {
+			defer wg.Done()
+			for i := 0; i < perProd; i++ {
+				p.Publish(DigestFrom("stress", uint32(pi), int64(i), rep(uint64(i%17))))
+			}
+		}(pi, p)
+	}
+	pollDone := make(chan struct{})
+	go func() {
+		defer close(pollDone)
+		for i := 0; i < 100; i++ {
+			m := b.Metrics()
+			if m.Unaccounted() < 0 {
+				t.Errorf("mid-run unaccounted went negative: %d", m.Unaccounted())
+				return
+			}
+			time.Sleep(50 * time.Microsecond)
+		}
+	}()
+	wg.Wait()
+	<-pollDone
+	b.Close()
+
+	m := b.Metrics()
+	if m.Published != producers*perProd {
+		t.Fatalf("published = %d, want %d", m.Published, producers*perProd)
+	}
+	if m.Unaccounted() != 0 || m.LiveDigests != 0 {
+		t.Fatalf("post-close accounting: unaccounted=%d live=%d (dropped=%d emitted=%d)",
+			m.Unaccounted(), m.LiveDigests, m.Dropped, m.EmittedDigests)
+	}
+	var exported uint64
+	for _, c := range sink.CountsByKey() {
+		exported += c
+	}
+	if exported != m.EmittedDigests {
+		t.Fatalf("exporter saw %d digests, metrics say %d", exported, m.EmittedDigests)
+	}
+}
+
+// TestCloseIsIdempotentAndFlushKeepsBusUsable covers the lifecycle
+// edges: Flush mid-run, publish after Flush, double Close.
+func TestCloseIsIdempotentAndFlushKeepsBusUsable(t *testing.T) {
+	clk := &manualClock{}
+	sink := &CollectExporter{}
+	b := New(Config{Window: 100, Clock: clk.fn(), Exporters: []Exporter{sink}})
+	p := b.InlineProducer("sim")
+	p.Publish(DigestFrom("c", 1, 1, rep(1)))
+	b.Flush()
+	if n := len(sink.Aggregates()); n != 1 {
+		t.Fatalf("flush emitted %d aggregates, want 1", n)
+	}
+	p.Publish(DigestFrom("c", 1, 2, rep(1)))
+	b.Close()
+	b.Close()
+	counts := sink.CountsByKey()
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	if total != 2 {
+		t.Fatalf("digest total = %d, want 2", total)
+	}
+	if m := b.Metrics(); m.Unaccounted() != 0 {
+		t.Fatalf("unaccounted = %d", m.Unaccounted())
+	}
+}
