@@ -9,6 +9,7 @@
 //	hydra-bench -engine -shards 1,4,8      # sharded checker-engine replay
 //	hydra-bench -wire                      # end-to-end wire-path replay
 //	hydra-bench -storm                     # report-storm replay on the bus
+//	hydra-bench -chaos -seed 1 -faultrate 0.02   # fault-injection detection matrix
 //	hydra-bench -all                       # everything
 //
 // Figure 12's duration/background scale with -duration and -bps; see
@@ -26,6 +27,7 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/faults"
 	"repro/internal/netsim"
 )
 
@@ -38,6 +40,7 @@ func main() {
 		engineRun  = flag.Bool("engine", false, "run the sharded checker-engine replay")
 		wireRun    = flag.Bool("wire", false, "run the end-to-end wire-path replay")
 		stormRun   = flag.Bool("storm", false, "run the report-storm replay (baseline vs always-violating probe on the report bus)")
+		chaosRun   = flag.Bool("chaos", false, "run the fault-injection campaign and print the checker detection matrix")
 		all        = flag.Bool("all", false, "run everything")
 
 		durationS = flag.Float64("duration", 5, "figure 12: seconds of simulated time per configuration")
@@ -45,6 +48,9 @@ func main() {
 		pingMs    = flag.Float64("ping-ms", 10, "figure 12: ping interval (ms)")
 		packets   = flag.Int("packets", 50000, "throughput: packets to replay")
 		shards    = flag.String("shards", "1,4,8", "engine: comma-separated worker counts (0 = GOMAXPROCS)")
+		seed      = flag.Int64("seed", 1, "chaos: campaign seed (traffic + every fault injector)")
+		faultRate = flag.Float64("faultrate", 0.02, "chaos: per-packet/per-frame fault probability")
+		chaosJSON = flag.String("chaosjson", "", "chaos: write the byte-reproducible detection matrix as JSON to this file (- for stdout)")
 
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -72,9 +78,9 @@ func main() {
 	}
 
 	if *all {
-		*table1, *fig12a, *fig12b, *throughput, *engineRun, *wireRun, *stormRun = true, true, true, true, true, true, true
+		*table1, *fig12a, *fig12b, *throughput, *engineRun, *wireRun, *stormRun, *chaosRun = true, true, true, true, true, true, true, true
 	}
-	if !*table1 && !*fig12a && !*fig12b && !*throughput && !*engineRun && !*wireRun && !*stormRun {
+	if !*table1 && !*fig12a && !*fig12b && !*throughput && !*engineRun && !*wireRun && !*stormRun && !*chaosRun {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -139,6 +145,27 @@ func main() {
 		must(err)
 		stormResult = &r
 		fmt.Println(experiments.FormatStorm(r))
+	}
+
+	if *chaosRun {
+		fmt.Fprintf(os.Stderr, "running chaos campaign (seed=%d rate=%g, baseline + %d fault classes)...\n",
+			*seed, *faultRate, len(faults.Classes()))
+		r, err := experiments.RunChaos(experiments.ChaosConfig{
+			Packets: *packets, Seed: *seed, FaultRate: *faultRate,
+		})
+		must(err)
+		fmt.Println(experiments.FormatChaos(r))
+		if *chaosJSON != "" {
+			data, err := r.Matrix.JSON()
+			must(err)
+			data = append(data, '\n')
+			if *chaosJSON == "-" {
+				_, err = os.Stdout.Write(data)
+				must(err)
+			} else {
+				must(os.WriteFile(*chaosJSON, data, 0o644))
+			}
+		}
 	}
 
 	if *benchJSON != "" {

@@ -304,6 +304,25 @@ func (c *Controller) AddSet(name string, switchID uint32, varName string, key ..
 	}, varName)
 }
 
+// WipeSwitch resets every checker attachment on the given switch to
+// factory state — the register wipe of a switch crash/restart: all
+// installed table entries and register values are lost and must be
+// reinstalled. Returns how many attachments were wiped. Call it only
+// from the simulator thread (it swaps the state the switch reads per
+// packet).
+func (c *Controller) WipeSwitch(switchID uint32) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for name, m := range c.atts {
+		if att, ok := m[switchID]; ok {
+			att.State = c.runtimes[name].Prog.NewState()
+			n++
+		}
+	}
+	return n
+}
+
 // Rejected sums the rejected-packet counters of one checker across
 // switches.
 func (c *Controller) Rejected(name string) uint64 {

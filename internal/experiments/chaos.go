@@ -1,0 +1,536 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/checkers"
+	"repro/internal/controlplane"
+	"repro/internal/faults"
+	"repro/internal/netsim"
+	"repro/internal/pipeline"
+	"repro/internal/reportbus"
+	"repro/internal/trafficgen"
+)
+
+// The chaos experiment replays the campus workload once per fault
+// class (plus a healthy baseline) and scores every corpus checker as a
+// detector: which checkers raise digests under which faults. The whole
+// run is a pure function of (seed, config) — virtual-time bus, seeded
+// injectors, single-threaded simulator — so the detection matrix is
+// byte-reproducible (TestChaosDeterministic) and CI can assert on it
+// (TestChaosDetectionMatrix).
+
+// ChaosConfig parameterizes the chaos replay.
+type ChaosConfig struct {
+	// Packets per scenario pass (default 20,000).
+	Packets int
+	// Seed drives the traffic generator and, via faults.SubSeed, every
+	// fault injector (default 1).
+	Seed int64
+	// FaultRate is the per-packet/per-frame probability for the
+	// probabilistic fault classes (default 0.02).
+	FaultRate float64
+	// Window is the bus aggregation window in virtual nanoseconds
+	// (default 1ms of simulated time).
+	Window time.Duration
+	// Classes selects which fault classes to run (default all).
+	Classes []faults.Class
+}
+
+func (c ChaosConfig) withDefaults() ChaosConfig {
+	if c.Packets == 0 {
+		c.Packets = 20_000
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.FaultRate == 0 {
+		c.FaultRate = 0.02
+	}
+	if c.Window <= 0 {
+		c.Window = time.Duration(netsim.Millisecond)
+	}
+	if c.Classes == nil {
+		c.Classes = faults.Classes()
+	}
+	return c
+}
+
+// ExpectedDetectors maps each fault class to the corpus checkers that
+// must detect it (raise at least one digest) in the chaos replay. The
+// wire-level classes — drop, duplicate, reorder, flap — are honestly
+// absent: Hydra's per-packet path checkers verify properties of packets
+// that arrive, so pure loss, duplication of a valid packet, and
+// reordering are invisible to them (detecting absence needs the flow
+// checkers of §4.4, future work). Corrupt is seed-dependent — which
+// checker fires depends on which bits flip — so it carries no required
+// detectors either; its firings are recorded as collateral.
+var ExpectedDetectors = map[faults.Class][]string{
+	faults.Misroute:       {"loop-freedom", "routing-validity"},
+	faults.TeleRewrite:    {"routing-validity", "waypointing"},
+	faults.Crash:          {"egress-validity", "stateful-firewall", "vlan-isolation"},
+	faults.StaleTable:     {"vlan-isolation"},
+	faults.PartialInstall: {"stateful-firewall"},
+	faults.DelayedInstall: {"stateful-firewall"},
+}
+
+// ScenarioResult is one scenario's row of the detection matrix. Every
+// field is virtual-time deterministic; wall-clock throughput lives
+// outside the matrix (ChaosResult.WallPPS).
+type ScenarioResult struct {
+	// Class is the fault class, or "baseline" for the healthy run.
+	Class string `json:"class"`
+	// Injected counts the fault events actually applied, by kind
+	// (e.g. "drops", "misroutes", "withheld_pairs").
+	Injected map[string]uint64 `json:"injected,omitempty"`
+	// Delivered is the sink host's received packet count.
+	Delivered uint64 `json:"delivered"`
+	// ParseErrors sums the switches' undecodable-frame and
+	// checker-execution-error counters (corruption shows up here).
+	ParseErrors uint64 `json:"parse_errors,omitempty"`
+	// Digests counts raised digests per checker (bus tap).
+	Digests map[string]uint64 `json:"digests,omitempty"`
+	// Rejected counts checker-rejected packets per checker — recorded
+	// for the reject-only checkers, though detection is scored on
+	// digests.
+	Rejected map[string]uint64 `json:"rejected,omitempty"`
+	// Detected/Missed partition the class's expected detectors by
+	// whether they raised a digest; Collateral lists unexpected
+	// checkers that fired (legitimate cross-detections, not false
+	// positives — a real fault was active).
+	Detected   []string `json:"detected,omitempty"`
+	Missed     []string `json:"missed,omitempty"`
+	Collateral []string `json:"collateral,omitempty"`
+}
+
+// CheckerSummary aggregates one checker's detection record across the
+// whole campaign.
+type CheckerSummary struct {
+	// TP counts fault scenarios where the checker was an expected
+	// detector and raised a digest.
+	TP int `json:"tp"`
+	// FP counts digests the checker raised on the healthy baseline —
+	// must be zero for every checker.
+	FP uint64 `json:"fp"`
+	// Missed counts fault scenarios where the checker was expected but
+	// silent.
+	Missed int `json:"missed"`
+	// Collateral counts fault scenarios where the checker fired without
+	// being the class's expected detector.
+	Collateral int `json:"collateral"`
+}
+
+// ChaosMatrix is the serializable detection matrix: byte-identical
+// across runs with the same seed and config (json.Marshal sorts map
+// keys; slices are sorted explicitly; no wall-clock anywhere).
+type ChaosMatrix struct {
+	Seed      int64                     `json:"seed"`
+	Packets   int                       `json:"packets"`
+	FaultRate float64                   `json:"fault_rate"`
+	Baseline  ScenarioResult            `json:"baseline"`
+	Scenarios []ScenarioResult          `json:"scenarios"`
+	Checkers  map[string]CheckerSummary `json:"checkers"`
+}
+
+// JSON renders the canonical byte-reproducible form of the matrix.
+func (m ChaosMatrix) JSON() ([]byte, error) { return json.MarshalIndent(m, "", "  ") }
+
+// ChaosResult pairs the matrix with the wall-clock throughput of each
+// scenario (kept out of the matrix so reproducibility is exact).
+type ChaosResult struct {
+	Config  ChaosConfig
+	Matrix  ChaosMatrix
+	WallPPS map[string]float64
+}
+
+// RunChaos replays the campus workload under every configured fault
+// class and scores the corpus checkers.
+func RunChaos(cfg ChaosConfig) (ChaosResult, error) {
+	cfg = cfg.withDefaults()
+	out := ChaosResult{Config: cfg, WallPPS: map[string]float64{}}
+
+	base, pps, err := runChaosScenario(cfg, "")
+	if err != nil {
+		return out, fmt.Errorf("experiments: chaos baseline: %w", err)
+	}
+	out.WallPPS[base.Class] = pps
+
+	m := ChaosMatrix{
+		Seed:      cfg.Seed,
+		Packets:   cfg.Packets,
+		FaultRate: cfg.FaultRate,
+		Baseline:  base,
+		Checkers:  map[string]CheckerSummary{},
+	}
+	for _, class := range cfg.Classes {
+		sc, pps, err := runChaosScenario(cfg, class)
+		if err != nil {
+			return out, fmt.Errorf("experiments: chaos %s: %w", class, err)
+		}
+		out.WallPPS[sc.Class] = pps
+		m.Scenarios = append(m.Scenarios, sc)
+	}
+
+	in := func(list []string, name string) bool {
+		for _, s := range list {
+			if s == name {
+				return true
+			}
+		}
+		return false
+	}
+	for _, p := range checkers.All {
+		s := CheckerSummary{FP: base.Digests[p.Key]}
+		for _, sc := range m.Scenarios {
+			if in(sc.Detected, p.Key) {
+				s.TP++
+			}
+			if in(sc.Missed, p.Key) {
+				s.Missed++
+			}
+			if in(sc.Collateral, p.Key) {
+				s.Collateral++
+			}
+		}
+		m.Checkers[p.Key] = s
+	}
+	out.Matrix = m
+	return out, nil
+}
+
+// runChaosScenario runs one replay pass with the given fault class
+// injected ("" = healthy baseline) and scores the digests raised
+// against the class's expected detectors.
+func runChaosScenario(cfg ChaosConfig, class faults.Class) (ScenarioResult, float64, error) {
+	res := ScenarioResult{
+		Class:    string(class),
+		Injected: map[string]uint64{},
+		Digests:  map[string]uint64{},
+		Rejected: map[string]uint64{},
+	}
+	if class == "" {
+		res.Class = "baseline"
+	}
+
+	sim := netsim.NewSimulator()
+	ls := netsim.BuildLeafSpine(sim, netsim.LeafSpineConfig{
+		Leaves: 2, Spines: 2, HostsPerLeaf: 2,
+		LinkBps: 100_000_000_000,
+	})
+	replayHost, sink := ls.Host(0, 0), ls.Host(1, 0)
+	for l, leaf := range ls.Leaves {
+		p := &netsim.L3Program{}
+		if l == 0 {
+			p.AddRoute(0, 0, 1, 2)
+		} else {
+			p.AddRoute(0, 0, 3)
+		}
+		leaf.Forwarding = p
+	}
+	for _, spine := range ls.Spines {
+		p := &netsim.L3Program{}
+		p.AddRoute(0, 0, 2)
+		spine.Forwarding = p
+	}
+
+	// Virtual-time bus; the tap counts every raised digest per checker.
+	bus := reportbus.New(reportbus.Config{
+		Window: cfg.Window,
+		Clock:  func() int64 { return int64(sim.Now()) },
+	})
+	bus.Tap(func(d reportbus.Digest) { res.Digests[d.Checker]++ })
+	ctl := controlplane.NewControllerWith(controlplane.Config{Bus: bus, RetainPerChecker: -1})
+
+	all := ls.AllSwitches()
+	for _, p := range checkers.All {
+		info, err := p.Parse()
+		if err != nil {
+			return res, 0, err
+		}
+		if err := ctl.Deploy(p.Key, info, all...); err != nil {
+			return res, 0, err
+		}
+	}
+	sws := make([]SwitchInfo, len(all))
+	for i, sw := range all {
+		sws[i] = SwitchInfo{ID: sw.ID, IsLeaf: i < len(ls.Leaves)}
+	}
+	err := ConfigureBenign(sws, func(checker string, swIdx int, fn func(*pipeline.State) error) error {
+		att, err := ctl.Attachment(checker, sws[swIdx].ID)
+		if err != nil {
+			return err
+		}
+		return fn(att.State)
+	})
+	if err != nil {
+		return res, 0, err
+	}
+
+	gen := trafficgen.NewCampus(trafficgen.CampusConfig{Seed: cfg.Seed})
+	pkts := make([]trafficgen.Packet, cfg.Packets)
+	seen := map[[2]uint32]bool{}
+	var pairs [][2]uint32
+	var span netsim.Time
+	for i := range pkts {
+		pkts[i] = gen.Next()
+		span += pkts[i].Gap
+		key := [2]uint32{uint32(pkts[i].Src), uint32(pkts[i].Dst)}
+		if !seen[key] {
+			seen[key] = true
+			pairs = append(pairs, key)
+		}
+	}
+
+	// deferredErr carries failures out of fault callbacks that fire
+	// mid-simulation.
+	var deferredErr error
+	fail := func(err error) {
+		if err != nil && deferredErr == nil {
+			deferredErr = err
+		}
+	}
+
+	// Firewall seeding is itself a fault site: the partial-install class
+	// withholds a deterministic subset of pairs, the delayed-install
+	// class installs everything only at mid-replay.
+	seedSwitches := func(pairs [][2]uint32) error {
+		seed := FirewallSeed(pairs)
+		for _, sw := range all {
+			att, err := ctl.Attachment("stateful-firewall", sw.ID)
+			if err != nil {
+				return err
+			}
+			if err := seed(att.State); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	switch class {
+	case faults.PartialInstall:
+		withheld := faults.Withhold(faults.SubSeed(cfg.Seed, "partial-install"), len(pairs), cfg.FaultRate)
+		any := false
+		for _, w := range withheld {
+			any = any || w
+		}
+		if !any && len(withheld) > 0 {
+			// A tiny rate may select nothing; the scenario must not be
+			// vacuous, so deterministically withhold the first pair.
+			withheld[0] = true
+		}
+		kept := pairs[:0:0]
+		for i, p := range pairs {
+			if withheld[i] {
+				res.Injected["withheld_pairs"]++
+				continue
+			}
+			kept = append(kept, p)
+		}
+		if err := seedSwitches(kept); err != nil {
+			return res, 0, err
+		}
+	case faults.DelayedInstall:
+		res.Injected["delayed_pairs"] = uint64(len(pairs))
+		sim.At(span/2, func() { fail(seedSwitches(pairs)) })
+	default:
+		if err := seedSwitches(pairs); err != nil {
+			return res, 0, err
+		}
+	}
+
+	// Fault placement. Link faults sit on both of leaf-1's uplinks (ECMP
+	// splits flows across the spines, the fault must see them all); node
+	// faults target spine 1 (mid-path misbehavior) except crash, which
+	// takes down leaf 2 — the last hop, where the checker block runs.
+	var lf *faults.LinkFaults
+	var nf *faults.NodeFaults
+	var linkCfg faults.LinkFaultConfig
+	switch class {
+	case faults.Drop:
+		linkCfg.DropRate = cfg.FaultRate
+	case faults.Corrupt:
+		linkCfg.CorruptRate = cfg.FaultRate
+	case faults.Duplicate:
+		linkCfg.DupRate = cfg.FaultRate
+		linkCfg.DupDelay = 10 * netsim.Microsecond
+	case faults.Reorder:
+		linkCfg.ReorderRate = cfg.FaultRate
+		linkCfg.ReorderJitter = 20 * netsim.Microsecond
+	case faults.Flap:
+		// The link is down for the first 1/80 of every span/8 — eight
+		// outages of 10% duty over the replay.
+		linkCfg.FlapPeriod = span / 8
+		linkCfg.FlapDown = span / 80
+	}
+	switch class {
+	case faults.Drop, faults.Corrupt, faults.Duplicate, faults.Reorder, faults.Flap:
+		lf = faults.NewLinkFaults(faults.SubSeed(cfg.Seed, "link:"+string(class)), linkCfg)
+		ls.Up[0][0].Fault = lf
+		ls.Up[0][1].Fault = lf
+	case faults.Misroute:
+		// Spine 1 bounces packets back out port 1 toward leaf 1: the
+		// revisit shows up in the path telemetry.
+		nf = faults.WrapNode(ls.Spines[0], faults.SubSeed(cfg.Seed, "node:misroute"), faults.NodeFaultConfig{
+			MisrouteRate: cfg.FaultRate,
+			MisroutePort: 1,
+		})
+	case faults.TeleRewrite:
+		nf = faults.WrapNode(ls.Spines[0], faults.SubSeed(cfg.Seed, "node:tele-rewrite"), faults.NodeFaultConfig{
+			TeleRewriteRate: cfg.FaultRate,
+		})
+	case faults.Crash:
+		// Leaf 2 is down for [30%, 50%) of the replay (blackhole), then
+		// restarts with every checker's registers and tables wiped — the
+		// control plane does not reinstall, so every post-restart packet
+		// is checked against factory state.
+		crashAt, crashUntil := span*3/10, span/2
+		nf = faults.WrapNode(ls.Leaves[1], 0, faults.NodeFaultConfig{
+			CrashAt: crashAt, CrashUntil: crashUntil,
+		})
+		id := ls.Leaves[1].ID
+		sim.At(crashUntil, func() {
+			res.Injected["wiped_attachments"] = uint64(ctl.WipeSwitch(id))
+		})
+	case faults.StaleTable:
+		// Spine 1's VLAN membership table loses its entries at 40% of the
+		// replay — the stale state a crashed controller connection leaves
+		// behind.
+		id := ls.Spines[0].ID
+		sim.At(span*2/5, func() {
+			att, err := ctl.Attachment("vlan-isolation", id)
+			if err != nil {
+				fail(err)
+				return
+			}
+			tbl := att.State.Tables["vlan_members"]
+			res.Injected["stale_cleared_entries"] = uint64(tbl.Len())
+			tbl.Clear()
+		})
+	}
+
+	var at netsim.Time
+	for i := range pkts {
+		p := pkts[i]
+		at += p.Gap
+		sim.At(at, func() { replayHost.SendPacket(p.Decode()) })
+	}
+
+	start := time.Now()
+	sim.RunAll()
+	wall := time.Since(start)
+	ctl.Close()
+	if deferredErr != nil {
+		return res, 0, deferredErr
+	}
+
+	res.Delivered = sink.RxUDP + sink.RxTCP
+	for _, sw := range all {
+		res.ParseErrors += sw.ParseErrors
+	}
+	if lf != nil {
+		inj := map[string]uint64{
+			"drops": lf.Dropped, "corrupted": lf.Corrupted,
+			"duplicated": lf.Duplicated, "reordered": lf.Reordered,
+			"flap_drops": lf.FlapDropped,
+		}
+		for k, v := range inj {
+			if v > 0 {
+				res.Injected[k] = v
+			}
+		}
+	}
+	if nf != nil {
+		inj := map[string]uint64{
+			"misroutes": nf.Misrouted, "tele_rewrites": nf.Rewritten,
+			"crash_drops": nf.CrashDropped,
+		}
+		for k, v := range inj {
+			if v > 0 {
+				res.Injected[k] = v
+			}
+		}
+	}
+	for _, p := range checkers.All {
+		if n := ctl.Rejected(p.Key); n > 0 {
+			res.Rejected[p.Key] = n
+		}
+	}
+
+	expected := ExpectedDetectors[class]
+	expSet := map[string]bool{}
+	for _, e := range expected {
+		expSet[e] = true
+		if res.Digests[e] > 0 {
+			res.Detected = append(res.Detected, e)
+		} else {
+			res.Missed = append(res.Missed, e)
+		}
+	}
+	for name := range res.Digests {
+		if !expSet[name] {
+			res.Collateral = append(res.Collateral, name)
+		}
+	}
+	sort.Strings(res.Detected)
+	sort.Strings(res.Missed)
+	sort.Strings(res.Collateral)
+
+	pps := 0.0
+	if wall > 0 {
+		pps = float64(cfg.Packets) / wall.Seconds()
+	}
+	return res, pps, nil
+}
+
+// FormatChaos renders the chaos campaign for hydra-bench output.
+func FormatChaos(r ChaosResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Chaos: campus replay under seeded faults (seed=%d rate=%g packets=%d)\n",
+		r.Matrix.Seed, r.Matrix.FaultRate, r.Matrix.Packets)
+	fmt.Fprintf(&b, "%-16s %9s %10s %8s %12s  %s\n",
+		"class", "injected", "delivered", "digests", "pps", "detected (missed) [collateral]")
+	row := func(sc ScenarioResult) {
+		var injected, digests uint64
+		for _, v := range sc.Injected {
+			injected += v
+		}
+		for _, v := range sc.Digests {
+			digests += v
+		}
+		var tail []string
+		if len(sc.Detected) > 0 {
+			tail = append(tail, strings.Join(sc.Detected, ","))
+		}
+		if len(sc.Missed) > 0 {
+			tail = append(tail, "("+strings.Join(sc.Missed, ",")+")")
+		}
+		if len(sc.Collateral) > 0 {
+			tail = append(tail, "["+strings.Join(sc.Collateral, ",")+"]")
+		}
+		if len(tail) == 0 {
+			tail = append(tail, "-")
+		}
+		fmt.Fprintf(&b, "%-16s %9d %10d %8d %12.0f  %s\n",
+			sc.Class, injected, sc.Delivered, digests, r.WallPPS[sc.Class], strings.Join(tail, " "))
+	}
+	row(r.Matrix.Baseline)
+	for _, sc := range r.Matrix.Scenarios {
+		row(sc)
+	}
+
+	b.WriteString("per-checker: tp/fp/missed/collateral\n")
+	names := make([]string, 0, len(r.Matrix.Checkers))
+	for name := range r.Matrix.Checkers {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		s := r.Matrix.Checkers[name]
+		fmt.Fprintf(&b, "  %-18s %d/%d/%d/%d\n", name, s.TP, s.FP, s.Missed, s.Collateral)
+	}
+	return b.String()
+}

@@ -1,0 +1,28 @@
+package faults
+
+import (
+	"testing"
+
+	"repro/internal/checkers"
+	"repro/internal/compiler"
+	"repro/internal/pipeline"
+)
+
+// mustCompileChecker compiles one corpus checker into a runtime.
+func mustCompileChecker(t *testing.T, key string) *compiler.Runtime {
+	t.Helper()
+	info := checkers.MustParse(key)
+	prog, err := compiler.Compile(info, compiler.Options{Name: key})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &compiler.Runtime{Prog: prog}
+}
+
+// pipelineEntryKey0 is a vlan_members-shaped entry: key 0 -> member.
+func pipelineEntryKey0() pipeline.Entry {
+	return pipeline.Entry{
+		Keys:   []pipeline.KeyMatch{pipeline.ExactKey(0)},
+		Action: []pipeline.Value{pipeline.B(1, 1)},
+	}
+}

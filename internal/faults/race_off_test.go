@@ -1,0 +1,5 @@
+//go:build !race
+
+package faults
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package faults
+
+// raceEnabled reports whether the race detector is instrumenting this
+// build; allocation-count tests skip themselves under it because the
+// detector's shadow allocations break testing.AllocsPerRun.
+const raceEnabled = true

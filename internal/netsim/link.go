@@ -43,6 +43,34 @@ type direction struct {
 	busyUntil Time
 }
 
+// FaultAction is a link fault's verdict for one transmitted frame.
+// The zero value means "deliver normally".
+type FaultAction struct {
+	// Drop loses the frame on the wire (after serialization: the sender
+	// still paid the transmission time, as with real physical loss).
+	Drop bool
+	// ExtraDelay is added to the frame's arrival time; a jittered delay
+	// reorders the frame relative to later traffic.
+	ExtraDelay Time
+	// Duplicate delivers a second copy of the frame DupDelay after the
+	// original arrival.
+	Duplicate bool
+	DupDelay  Time
+}
+
+// LinkFault intercepts frames on the wire — the hook the deterministic
+// fault-injection layer (internal/faults) attaches to. Apply runs once
+// per transmitted frame, after the link has copied it into a pooled
+// buffer: the fault may corrupt buf in place, and the returned action
+// drops, delays, or duplicates the delivery. fromA reports the
+// direction (true for frames sent by the link's a-side endpoint).
+//
+// The hook is a single nil check when unset: links without faults keep
+// the zero-allocation wire path untouched.
+type LinkFault interface {
+	Apply(now Time, fromA bool, buf []byte) FaultAction
+}
+
 // Link is a full-duplex point-to-point link with serialization delay
 // (bandwidth), propagation delay, and a drop-tail queue bounded in
 // bytes.
@@ -66,9 +94,16 @@ type Link struct {
 	// Drops counts frames lost to queue overflow, per direction a->b
 	// and b->a.
 	DropsAB, DropsBA uint64
+	// FaultDrops counts frames lost to an attached LinkFault (wire loss,
+	// distinct from queue overflow), per direction.
+	FaultDropsAB, FaultDropsBA uint64
 	// Frames and Bytes count delivered traffic in both directions.
 	Frames uint64
 	Bytes  uint64
+
+	// Fault, when non-nil, intercepts every transmitted frame (see
+	// LinkFault). nil — the default — costs one pointer test per send.
+	Fault LinkFault
 
 	// taps are capture hooks invoked on every delivered frame.
 	taps []func(at Time, node string, port int, frame []byte)
@@ -98,13 +133,14 @@ func Connect(sim *Simulator, a Node, aPort int, b Node, bPort int, bitsPerSec in
 // ownership of frame and may reuse it as soon as Send returns.
 func (l *Link) Send(from Node, frame []byte) {
 	var dir *direction
-	var drops *uint64
+	var drops, faultDrops *uint64
 	var sink *linkSink
+	fromA := false
 	switch from {
 	case l.a.node:
-		dir, drops, sink = &l.ab, &l.DropsAB, &l.toB
+		dir, drops, faultDrops, sink, fromA = &l.ab, &l.DropsAB, &l.FaultDropsAB, &l.toB, true
 	case l.b.node:
-		dir, drops, sink = &l.ba, &l.DropsBA, &l.toA
+		dir, drops, faultDrops, sink = &l.ba, &l.DropsBA, &l.FaultDropsBA, &l.toA
 	default:
 		panic("netsim: Send from a node not on this link")
 	}
@@ -134,6 +170,20 @@ func (l *Link) Send(from Node, frame []byte) {
 	arrive := dir.busyUntil + l.PropDelay
 	buf := l.sim.AcquireFrame(len(frame))
 	copy(buf, frame)
+	if l.Fault != nil {
+		act := l.Fault.Apply(l.sim.Now(), fromA, buf)
+		if act.Drop {
+			*faultDrops++
+			l.sim.ReleaseFrame(buf)
+			return
+		}
+		if act.Duplicate {
+			dup := l.sim.AcquireFrame(len(buf))
+			copy(dup, buf)
+			l.sim.atFrame(arrive+act.DupDelay, sink, dup, sink.to.port)
+		}
+		arrive += act.ExtraDelay
+	}
 	l.sim.atFrame(arrive, sink, buf, sink.to.port)
 }
 
