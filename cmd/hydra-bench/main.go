@@ -10,6 +10,7 @@
 //	hydra-bench -wire                      # end-to-end wire-path replay
 //	hydra-bench -storm                     # report-storm replay on the bus
 //	hydra-bench -chaos -seed 1 -faultrate 0.02   # fault-injection detection matrix
+//	hydra-bench -symcheck                  # symbolic backend-equivalence proof
 //	hydra-bench -all                       # everything
 //
 // Figure 12's duration/background scale with -duration and -bps; see
@@ -41,6 +42,7 @@ func main() {
 		wireRun    = flag.Bool("wire", false, "run the end-to-end wire-path replay")
 		stormRun   = flag.Bool("storm", false, "run the report-storm replay (baseline vs always-violating probe on the report bus)")
 		chaosRun   = flag.Bool("chaos", false, "run the fault-injection campaign and print the checker detection matrix")
+		symRun     = flag.Bool("symcheck", false, "prove interpreter/map/linked backend equivalence over the modeled space (E13)")
 		all        = flag.Bool("all", false, "run everything")
 
 		durationS = flag.Float64("duration", 5, "figure 12: seconds of simulated time per configuration")
@@ -51,6 +53,10 @@ func main() {
 		seed      = flag.Int64("seed", 1, "chaos: campaign seed (traffic + every fault injector)")
 		faultRate = flag.Float64("faultrate", 0.02, "chaos: per-packet/per-frame fault probability")
 		chaosJSON = flag.String("chaosjson", "", "chaos: write the byte-reproducible detection matrix as JSON to this file (- for stdout)")
+
+		symJSON     = flag.String("symjson", "", "symcheck: write the full report as JSON to this file (- for stdout)")
+		frontierOut = flag.String("frontierout", "", "symcheck: regenerate the frontier seed corpus into this directory")
+		fuzzSeedOut = flag.String("fuzzseedout", "", "symcheck: write FuzzParse seeds for the frontier packets into this directory")
 
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -78,9 +84,9 @@ func main() {
 	}
 
 	if *all {
-		*table1, *fig12a, *fig12b, *throughput, *engineRun, *wireRun, *stormRun, *chaosRun = true, true, true, true, true, true, true, true
+		*table1, *fig12a, *fig12b, *throughput, *engineRun, *wireRun, *stormRun, *chaosRun, *symRun = true, true, true, true, true, true, true, true, true
 	}
-	if !*table1 && !*fig12a && !*fig12b && !*throughput && !*engineRun && !*wireRun && !*stormRun && !*chaosRun {
+	if !*table1 && !*fig12a && !*fig12b && !*throughput && !*engineRun && !*wireRun && !*stormRun && !*chaosRun && !*symRun {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -165,6 +171,31 @@ func main() {
 			} else {
 				must(os.WriteFile(*chaosJSON, data, 0o644))
 			}
+		}
+	}
+
+	if *symRun {
+		fmt.Fprintln(os.Stderr, "running symbolic backend-equivalence suite over the checker corpus...")
+		r, err := experiments.RunSymcheck(experiments.SymcheckConfig{
+			FrontierDir: *frontierOut,
+			FuzzSeedDir: *fuzzSeedOut,
+		})
+		must(err)
+		fmt.Println(experiments.FormatSymcheck(r))
+		if *symJSON != "" {
+			data, err := json.MarshalIndent(r, "", "  ")
+			must(err)
+			data = append(data, '\n')
+			if *symJSON == "-" {
+				_, err = os.Stdout.Write(data)
+				must(err)
+			} else {
+				must(os.WriteFile(*symJSON, data, 0o644))
+			}
+		}
+		if !r.Passed {
+			fmt.Fprintln(os.Stderr, "hydra-bench: symcheck failed")
+			os.Exit(1)
 		}
 	}
 

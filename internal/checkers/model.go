@@ -1,0 +1,146 @@
+package checkers
+
+// SymModel bounds a checker for symbolic exploration: a canonical
+// control-plane configuration, the switch IDs traces may visit, and the
+// maximum trace length. The installs are chosen so that both verdicts
+// (conform and violate) are reachable within the bounds — the symbolic
+// equivalence claim is "equal over this modeled space", and the frontier
+// corpus requires at least one verdict flip inside it.
+type SymModel struct {
+	// MaxHops bounds trace length; every switch sequence of length
+	// 1..MaxHops over Switches is explored.
+	MaxHops int
+	// Switches are the switch IDs of the model topology.
+	Switches []uint32
+	// Installs is the canonical control-plane state.
+	Installs []SymInstall
+}
+
+// SymInstall is one control-plane entry of the model.
+type SymInstall struct {
+	// Name is the Indus control variable.
+	Name string
+	// Switch restricts the install to one switch ID; zero installs on
+	// every model switch (the common switch-agnostic case).
+	Switch uint32
+	// Key holds the dict/set key columns; nil for scalar controls.
+	Key []uint64
+	// Val is the dict value or scalar value; ignored for sets.
+	Val uint64
+	// Set marks a set-membership install (no value).
+	Set bool
+}
+
+// symModels holds the per-checker models. Checkers absent here get
+// DefaultSymModel. Switch-dependent installs (routing-validity's leaf
+// flags, valley-free's spine flag) pin a small leaf-spine-leaf topology;
+// everything else is switch-agnostic, so the switch set only has to be
+// large enough to exercise path-shape conditions (revisits, waypoint
+// presence, chain order).
+var symModels = map[string]SymModel{
+	"multi-tenancy": {
+		MaxHops:  2,
+		Switches: []uint32{1, 2},
+		Installs: []SymInstall{
+			{Name: "tenants", Key: []uint64{1}, Val: 10},
+			{Name: "tenants", Key: []uint64{2}, Val: 10},
+			{Name: "tenants", Key: []uint64{3}, Val: 20},
+		},
+	},
+	"load-balance": {
+		MaxHops:  2,
+		Switches: []uint32{1},
+		Installs: []SymInstall{
+			{Name: "left_port", Val: 1},
+			{Name: "right_port", Val: 2},
+			{Name: "thresh", Val: 1000},
+			{Name: "is_uplink", Key: []uint64{1}, Val: 1},
+			{Name: "is_uplink", Key: []uint64{2}, Val: 1},
+		},
+	},
+	"stateful-firewall": {
+		MaxHops:  2,
+		Switches: []uint32{1},
+		Installs: []SymInstall{
+			{Name: "allowed", Key: []uint64{100, 200}, Val: 1},
+			{Name: "allowed", Key: []uint64{200, 100}, Val: 1},
+		},
+	},
+	"app-filtering": {
+		MaxHops:  2,
+		Switches: []uint32{1},
+		Installs: []SymInstall{
+			{Name: "filtering_actions", Key: []uint64{10, 6, 20, 80}, Val: 1},
+			{Name: "filtering_actions", Key: []uint64{11, 6, 21, 443}, Val: 2},
+		},
+	},
+	"vlan-isolation": {
+		MaxHops:  2,
+		Switches: []uint32{1},
+		Installs: []SymInstall{
+			{Name: "vlan_members", Key: []uint64{5}, Val: 1},
+			{Name: "vlan_members", Key: []uint64{7}, Val: 1},
+		},
+	},
+	"egress-validity": {
+		MaxHops:  2,
+		Switches: []uint32{1},
+		Installs: []SymInstall{
+			{Name: "allowed_eg_ports", Key: []uint64{1}, Set: true},
+			{Name: "allowed_eg_ports", Key: []uint64{2}, Set: true},
+		},
+	},
+	"routing-validity": {
+		MaxHops:  3,
+		Switches: []uint32{1, 2, 3},
+		Installs: []SymInstall{
+			{Name: "is_leaf", Switch: 1, Val: 1},
+			{Name: "is_leaf", Switch: 2, Val: 0},
+			{Name: "is_leaf", Switch: 3, Val: 1},
+		},
+	},
+	"loop-freedom": {
+		MaxHops:  3,
+		Switches: []uint32{1, 2, 3},
+	},
+	"waypointing": {
+		MaxHops:  2,
+		Switches: []uint32{1, 2},
+		Installs: []SymInstall{
+			{Name: "waypoint_id", Val: 2},
+		},
+	},
+	"service-chain": {
+		MaxHops:  3,
+		Switches: []uint32{1, 2, 3},
+		Installs: []SymInstall{
+			{Name: "src_switch", Val: 1},
+			{Name: "dst_switch", Val: 3},
+			{Name: "chain_len", Val: 1},
+			{Name: "chain_index", Key: []uint64{2}, Val: 1},
+		},
+	},
+	"source-routing": {
+		MaxHops:  2,
+		Switches: []uint32{1, 2},
+	},
+	"valley-free": {
+		MaxHops:  2,
+		Switches: []uint32{1, 2},
+		Installs: []SymInstall{
+			{Name: "is_spine_switch", Switch: 1, Val: 0},
+			{Name: "is_spine_switch", Switch: 2, Val: 1},
+		},
+	},
+}
+
+// DefaultSymModel is used for checkers without an explicit model.
+var DefaultSymModel = SymModel{MaxHops: 3, Switches: []uint32{1, 2, 3}}
+
+// SymModelFor returns the checker's exploration model.
+func SymModelFor(key string) SymModel {
+	if m, ok := symModels[key]; ok {
+		return m
+	}
+	return DefaultSymModel
+}

@@ -1,0 +1,140 @@
+package difftest_test
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/checkers"
+	"repro/internal/compiler"
+	"repro/internal/difftest"
+	"repro/internal/indus/ast"
+	"repro/internal/pipeline"
+	"repro/internal/symexec"
+)
+
+// TestLinkedScratchAliasing runs every corpus checker through the
+// linked backend twice: once on a pristine runtime, and once on a
+// runtime whose pooled contexts have been deliberately dirtied between
+// packets — PHV slots scribbled with all-ones garbage, stale reports
+// attached, ephemeral report arenas churned, and unrelated dirt traces
+// executed so table-apply caches hold another packet's entries. The
+// outcomes must be byte-identical: any scratch value leaking from one
+// packet into the next shows up as a verdict, report, or blob diff.
+func TestLinkedScratchAliasing(t *testing.T) {
+	for _, gt := range goldenTraces {
+		gt := gt
+		t.Run(gt.key, func(t *testing.T) {
+			comp, err := difftest.CompileCorpus(gt.key)
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			model := checkers.SymModelFor(gt.key)
+
+			envs := func(trace []difftest.HopSpec, states map[uint32]*pipeline.State, dirt bool) []compiler.HopEnv {
+				out := make([]compiler.HopEnv, len(trace))
+				for i, hs := range trace {
+					pktLen := hs.PktLen
+					if pktLen == 0 {
+						pktLen = 100
+					}
+					headers := map[string]pipeline.Value{}
+					for name, v := range hs.Headers {
+						w := 1
+						if bt, ok := comp.Info.Decls[name].Type.(ast.BitType); ok {
+							w = bt.Width
+						}
+						if dirt {
+							v = ^v // different flow, same shape
+						}
+						headers[comp.Prog.HeaderBindings[name]] = pipeline.B(w, v)
+					}
+					out[i] = compiler.HopEnv{
+						State:            states[hs.SW],
+						SwitchID:         hs.SW,
+						Headers:          headers,
+						PacketLen:        pktLen,
+						EphemeralReports: dirt,
+					}
+				}
+				return out
+			}
+
+			run := func(rt *compiler.Runtime, trace []difftest.HopSpec) compiler.TraceResult {
+				states, err := symexec.BuildStates(comp.Prog, model)
+				if err != nil {
+					t.Fatalf("build states: %v", err)
+				}
+				res, err := rt.RunTrace(envs(trace, states, false))
+				if err != nil {
+					t.Fatalf("run: %v", err)
+				}
+				return res
+			}
+
+			// scribble poisons pooled contexts: all slots set to 64-bit
+			// all-ones, counters bumped, stale report digests attached.
+			// Acquiring several at once poisons multiple pool entries.
+			scribble := func(lk *pipeline.Linked) {
+				ctxs := make([]*pipeline.LCtx, 4)
+				for i := range ctxs {
+					c := lk.AcquireCtx()
+					for s := range c.PHV {
+						c.PHV[s] = pipeline.B(64, ^uint64(0))
+					}
+					c.Reports = append(c.Reports, pipeline.Report{
+						Args: []pipeline.Value{pipeline.B(64, 0xbadbadbadbad)},
+					})
+					c.OpsExecuted += 997
+					c.TableApplies += 31
+					ctxs[i] = c
+				}
+				for _, c := range ctxs {
+					lk.ReleaseCtx(c)
+				}
+			}
+			// dirtTrace pushes a real foreign packet through the same
+			// runtime (ephemeral reports on, different header values, its
+			// own states) so caches and arenas carry another flow.
+			dirtTrace := func(rt *compiler.Runtime, trace []difftest.HopSpec) {
+				states, err := symexec.BuildStates(comp.Prog, model)
+				if err != nil {
+					t.Fatalf("build states: %v", err)
+				}
+				if _, err := rt.RunTrace(envs(trace, states, true)); err != nil {
+					t.Fatalf("dirt trace: %v", err)
+				}
+			}
+
+			clean := &compiler.Runtime{Prog: comp.Prog}
+			dirty := &compiler.Runtime{Prog: comp.Prog}
+			lk := dirty.Linked()
+			if lk == nil {
+				t.Fatal("program failed to link")
+			}
+
+			for _, tc := range []struct {
+				label string
+				trace []difftest.HopSpec
+			}{{"conform", gt.conform}, {"violate", gt.violate}} {
+				want := run(clean, tc.trace)
+				scribble(lk)
+				dirtTrace(dirty, gt.violate)
+				scribble(lk)
+				dirtTrace(dirty, gt.conform)
+				scribble(lk)
+				got := run(dirty, tc.trace)
+
+				if got.Reject != want.Reject {
+					t.Errorf("%s: reject %v on dirty runtime, %v on clean", tc.label, got.Reject, want.Reject)
+				}
+				if !bytes.Equal(got.FinalBlob, want.FinalBlob) {
+					t.Errorf("%s: final blob %x on dirty runtime, %x on clean", tc.label, got.FinalBlob, want.FinalBlob)
+				}
+				if !reflect.DeepEqual(got.Reports, want.Reports) {
+					t.Errorf("%s: reports %+v on dirty runtime, %+v on clean", tc.label, got.Reports, want.Reports)
+				}
+			}
+		})
+	}
+}

@@ -5,65 +5,34 @@
 // switch state, and fails the test on any divergence in verdicts,
 // report payloads, or (between the two pipeline executors) the
 // byte-exact telemetry blob. The conformance suite in this package
-// sweeps the whole checker corpus through randomized traces; other
-// packages import the harness for targeted scenarios.
+// sweeps the whole checker corpus through randomized traces; the
+// symbolic suite (internal/symexec) replays its witnesses and frontier
+// corpus through the same Runner core; other packages import the
+// harness for targeted scenarios.
 package difftest
 
 import (
-	"bytes"
 	"testing"
 
 	"repro/internal/checkers"
-	"repro/internal/compiler"
-	"repro/internal/indus/ast"
-	"repro/internal/indus/eval"
-	"repro/internal/indus/parser"
 	"repro/internal/indus/types"
-	"repro/internal/pipeline"
 )
 
-// Harness holds one program compiled for both backends plus mirrored
-// per-switch state.
+// Harness wraps a Runner with testing.TB failure plumbing: any backend
+// divergence or install error fails the test immediately.
 type Harness struct {
-	tb   testing.TB
-	info *types.Info
-	m    *eval.Machine
-	// rt executes through the linked (slot-resolved) path; rtRef pins
-	// the map-based interpreter. Each needs its own per-switch state —
-	// register writes would otherwise cross-contaminate the backends.
-	rt    *compiler.Runtime
-	rtRef *compiler.Runtime
-
-	evalSw    map[uint32]*eval.SwitchState
-	pipeSw    map[uint32]*pipeline.State
-	pipeSwRef map[uint32]*pipeline.State
+	tb testing.TB
+	r  *Runner
 }
 
 // NewHarness parses, checks and compiles src for both backends.
 func NewHarness(tb testing.TB, src string) *Harness {
 	tb.Helper()
-	prog, err := parser.Parse("test.indus", src)
+	c, err := CompileSource(src)
 	if err != nil {
-		tb.Fatalf("parse: %v", err)
+		tb.Fatalf("%v", err)
 	}
-	info, err := types.Check(prog)
-	if err != nil {
-		tb.Fatalf("types: %v", err)
-	}
-	compiled, err := compiler.Compile(info, compiler.Options{Name: "test"})
-	if err != nil {
-		tb.Fatalf("compile: %v", err)
-	}
-	return &Harness{
-		tb:        tb,
-		info:      info,
-		m:         eval.New(info),
-		rt:        &compiler.Runtime{Prog: compiled},
-		rtRef:     &compiler.Runtime{Prog: compiled, NoLink: true},
-		evalSw:    map[uint32]*eval.SwitchState{},
-		pipeSw:    map[uint32]*pipeline.State{},
-		pipeSwRef: map[uint32]*pipeline.State{},
-	}
+	return &Harness{tb: tb, r: c.NewRunner()}
 }
 
 // CorpusHarness builds a harness for a checker from the corpus.
@@ -77,236 +46,41 @@ func CorpusHarness(tb testing.TB, key string) *Harness {
 }
 
 // Info exposes the type-checked program (decl table etc.).
-func (h *Harness) Info() *types.Info { return h.info }
-
-func (h *Harness) sw(id uint32) (*eval.SwitchState, *pipeline.State) {
-	if _, ok := h.evalSw[id]; !ok {
-		h.evalSw[id] = eval.NewSwitchState(id)
-		h.pipeSw[id] = h.rt.Prog.NewState()
-		h.pipeSwRef[id] = h.rt.Prog.NewState()
-	}
-	return h.evalSw[id], h.pipeSw[id]
-}
-
-// insert mirrors a table install into both pipeline backends' states.
-func (h *Harness) insert(id uint32, name string, e pipeline.Entry) {
-	h.tb.Helper()
-	if err := h.pipeSw[id].Tables[name].Insert(e); err != nil {
-		h.tb.Fatalf("install %s: %v", name, err)
-	}
-	if err := h.pipeSwRef[id].Tables[name].Insert(e); err != nil {
-		h.tb.Fatalf("install %s (ref): %v", name, err)
-	}
-}
-
-// valueFor builds an eval value of the declared scalar type.
-func valueFor(t ast.Type, v uint64) eval.Value {
-	switch t := t.(type) {
-	case ast.BitType:
-		return eval.NewBit(t.Width, v)
-	case ast.BoolType:
-		return eval.Bool(v != 0)
-	}
-	panic("valueFor: non-scalar")
-}
-
-func keyValues(keyType ast.Type, vals []uint64) eval.Value {
-	if tt, ok := keyType.(ast.TupleType); ok {
-		elems := make([]eval.Value, len(tt.Elems))
-		for i, et := range tt.Elems {
-			elems[i] = valueFor(et, vals[i])
-		}
-		return eval.Tuple{Elems: elems}
-	}
-	return valueFor(keyType, vals[0])
-}
+func (h *Harness) Info() *types.Info { return h.r.c.Info }
 
 // InstallDict installs key->val into dict `name` on switch id, on all
 // backends.
 func (h *Harness) InstallDict(id uint32, name string, key []uint64, val uint64) {
-	es, _ := h.sw(id)
-	d := h.info.Decls[name]
-	dt := d.Type.(ast.DictType)
-
-	cv, ok := es.Controls[name]
-	if !ok {
-		cv = eval.NewControlDict()
-		es.Controls[name] = cv
+	h.tb.Helper()
+	if err := h.r.InstallDict(id, name, key, val); err != nil {
+		h.tb.Fatalf("%v", err)
 	}
-	cv.Put(keyValues(dt.Key, key), valueFor(dt.Val, val))
-
-	keys := make([]pipeline.KeyMatch, len(key))
-	for i, k := range key {
-		keys[i] = pipeline.ExactKey(k)
-	}
-	w := 1
-	if bt, ok := dt.Val.(ast.BitType); ok {
-		w = bt.Width
-	}
-	h.insert(id, name, pipeline.Entry{Keys: keys, Action: []pipeline.Value{pipeline.B(w, val)}})
 }
 
 // InstallScalar sets scalar control `name` on switch id on all backends.
 func (h *Harness) InstallScalar(id uint32, name string, val uint64) {
-	es, _ := h.sw(id)
-	d := h.info.Decls[name]
-	es.Controls[name] = eval.NewControlScalar(valueFor(d.Type, val))
-	w := 1
-	if bt, ok := d.Type.(ast.BitType); ok {
-		w = bt.Width
+	h.tb.Helper()
+	if err := h.r.InstallScalar(id, name, val); err != nil {
+		h.tb.Fatalf("%v", err)
 	}
-	h.insert(id, name, pipeline.Entry{Action: []pipeline.Value{pipeline.B(w, val)}})
 }
 
 // InstallSet adds a member to control set `name` on switch id.
 func (h *Harness) InstallSet(id uint32, name string, key ...uint64) {
-	es, _ := h.sw(id)
-	d := h.info.Decls[name]
-	st := d.Type.(ast.SetType)
-
-	cv, ok := es.Controls[name]
-	if !ok {
-		cv = eval.NewControlSet()
-		es.Controls[name] = cv
+	h.tb.Helper()
+	if err := h.r.InstallSet(id, name, key...); err != nil {
+		h.tb.Fatalf("%v", err)
 	}
-	cv.Add(keyValues(st.Elem, key))
-
-	keys := make([]pipeline.KeyMatch, len(key))
-	for i, k := range key {
-		keys[i] = pipeline.ExactKey(k)
-	}
-	h.insert(id, name, pipeline.Entry{Keys: keys})
 }
 
-// HopSpec is one hop of a differential trace: the switch it crosses and
-// the header-variable values (by Indus declaration name) bound there.
-type HopSpec struct {
-	SW      uint32
-	Headers map[string]uint64
-	PktLen  uint32
-}
-
-// flattenEvalArgs flattens tuples in report args to scalars, matching
-// the pipeline's digest layout.
-func flattenEvalArgs(args []eval.Value) []uint64 {
-	var out []uint64
-	var flat func(v eval.Value)
-	flat = func(v eval.Value) {
-		switch v := v.(type) {
-		case eval.Bit:
-			out = append(out, v.V)
-		case eval.Bool:
-			if v {
-				out = append(out, 1)
-			} else {
-				out = append(out, 0)
-			}
-		case eval.Tuple:
-			for _, e := range v.Elems {
-				flat(e)
-			}
-		default:
-			panic("unexpected report arg type")
-		}
-	}
-	for _, a := range args {
-		flat(a)
-	}
-	return out
-}
-
-// RunBoth executes the trace on every backend — the eval interpreter,
-// the map-based pipeline, and the linked pipeline — and compares
-// verdicts and report payloads across all three, plus byte-exact final
-// telemetry blobs between the two pipeline executors; it returns
-// (rejected, reports).
+// RunBoth executes the trace on every backend and compares verdicts,
+// report payloads, and (between the two pipeline executors) the final
+// telemetry blob; it returns (rejected, reports).
 func (h *Harness) RunBoth(trace []HopSpec) (bool, [][]uint64) {
 	h.tb.Helper()
-
-	evalHops := make([]eval.Hop, len(trace))
-	pipeEnvs := make([]compiler.HopEnv, len(trace))
-	refEnvs := make([]compiler.HopEnv, len(trace))
-	for i, hs := range trace {
-		es, ps := h.sw(hs.SW)
-		pktLen := hs.PktLen
-		if pktLen == 0 {
-			pktLen = 100
-		}
-		headers := map[string]eval.Value{}
-		pipeHeaders := map[string]pipeline.Value{}
-		for name, v := range hs.Headers {
-			d := h.info.Decls[name]
-			headers[name] = valueFor(d.Type, v)
-			w := 1
-			if bt, ok := d.Type.(ast.BitType); ok {
-				w = bt.Width
-			}
-			pipeHeaders[h.rt.Prog.HeaderBindings[name]] = pipeline.B(w, v)
-		}
-		evalHops[i] = eval.Hop{Switch: es, Headers: headers, PacketLen: pktLen}
-		pipeEnvs[i] = compiler.HopEnv{State: ps, SwitchID: hs.SW, Headers: pipeHeaders, PacketLen: pktLen}
-		refEnvs[i] = compiler.HopEnv{State: h.pipeSwRef[hs.SW], SwitchID: hs.SW, Headers: pipeHeaders, PacketLen: pktLen}
-	}
-
-	want, err := h.m.RunTrace(evalHops)
+	out, err := h.r.RunTrace(trace)
 	if err != nil {
-		h.tb.Fatalf("interpreter: %v", err)
+		h.tb.Fatalf("%v", err)
 	}
-	got, err := h.rt.RunTrace(pipeEnvs)
-	if err != nil {
-		h.tb.Fatalf("linked pipeline: %v", err)
-	}
-	ref, err := h.rtRef.RunTrace(refEnvs)
-	if err != nil {
-		h.tb.Fatalf("map pipeline: %v", err)
-	}
-
-	// Linked vs map-based pipeline: bit-identical, including the wire
-	// blob that left the last hop.
-	if got.Reject != ref.Reject {
-		h.tb.Fatalf("verdict mismatch: linked reject=%v, map-based reject=%v", got.Reject, ref.Reject)
-	}
-	if !bytes.Equal(got.FinalBlob, ref.FinalBlob) {
-		h.tb.Fatalf("final blob mismatch:\n linked    %x\n map-based %x", got.FinalBlob, ref.FinalBlob)
-	}
-	if len(got.Reports) != len(ref.Reports) {
-		h.tb.Fatalf("report count mismatch: linked %d, map-based %d", len(got.Reports), len(ref.Reports))
-	}
-	for i := range got.Reports {
-		ga, ra := got.Reports[i].Args, ref.Reports[i].Args
-		if len(ga) != len(ra) {
-			h.tb.Fatalf("report %d arity mismatch: linked %v, map-based %v", i, ga, ra)
-		}
-		for j := range ga {
-			if ga[j] != ra[j] {
-				h.tb.Fatalf("report %d arg %d: linked %v, map-based %v", i, j, ga[j], ra[j])
-			}
-		}
-	}
-
-	// Pipeline vs the reference interpreter.
-	if got.Reject != (want.Verdict == eval.VerdictReject) {
-		h.tb.Fatalf("verdict mismatch: pipeline reject=%v, interpreter %s", got.Reject, want.Verdict)
-	}
-	if len(got.Reports) != len(want.Reports) {
-		h.tb.Fatalf("report count mismatch: pipeline %d, interpreter %d", len(got.Reports), len(want.Reports))
-	}
-	var reports [][]uint64
-	for i := range got.Reports {
-		wantArgs := flattenEvalArgs(want.Reports[i].Args)
-		gotArgs := make([]uint64, len(got.Reports[i].Args))
-		for j, v := range got.Reports[i].Args {
-			gotArgs[j] = v.V
-		}
-		if len(gotArgs) != len(wantArgs) {
-			h.tb.Fatalf("report %d arity mismatch: %v vs %v", i, gotArgs, wantArgs)
-		}
-		for j := range gotArgs {
-			if gotArgs[j] != wantArgs[j] {
-				h.tb.Fatalf("report %d arg %d: pipeline %d, interpreter %d", i, j, gotArgs[j], wantArgs[j])
-			}
-		}
-		reports = append(reports, gotArgs)
-	}
-	return got.Reject, reports
+	return out.Reject, out.Reports
 }

@@ -1,0 +1,76 @@
+package difftest
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/symexec"
+)
+
+// FrontierFile is one checker's committed violation frontier: the
+// verdict-flipping trace pairs the symbolic explorer found, pinned with
+// the verdicts all three backends must reproduce.
+type FrontierFile struct {
+	Checker string                 `json:"checker"`
+	Pairs   []symexec.FrontierPair `json:"pairs"`
+}
+
+// FrontierSeedDir is the in-repo frontier corpus location, relative to
+// this package.
+const FrontierSeedDir = "testdata/frontier"
+
+// LoadFrontierDir reads every frontier seed file in dir, sorted by
+// checker key.
+func LoadFrontierDir(dir string) ([]FrontierFile, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []FrontierFile
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		var f FrontierFile
+		if err := json.Unmarshal(data, &f); err != nil {
+			return nil, fmt.Errorf("frontier seed %s: %w", e.Name(), err)
+		}
+		if f.Checker == "" || len(f.Pairs) == 0 {
+			return nil, fmt.Errorf("frontier seed %s: empty", e.Name())
+		}
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Checker < out[j].Checker })
+	return out, nil
+}
+
+// WriteFrontierFile writes one checker's frontier seeds into dir as
+// <checker>.json (pretty-printed, trailing newline, stable ordering —
+// the file is committed).
+func WriteFrontierFile(dir string, f FrontierFile) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, f.Checker+".json"), append(data, '\n'), 0o644)
+}
+
+// HopSpecs converts a symbolic witness trace to difftest hops.
+func HopSpecs(tr symexec.Trace) []HopSpec {
+	hops := make([]HopSpec, len(tr.Hops))
+	for i, h := range tr.Hops {
+		hops[i] = HopSpec{SW: h.Switch, Headers: h.Headers, PktLen: h.PktLen}
+	}
+	return hops
+}

@@ -1,0 +1,78 @@
+package difftest_test
+
+import (
+	"testing"
+
+	"repro/internal/checkers"
+	"repro/internal/difftest"
+)
+
+// TestFrontierConformance replays every committed frontier seed through
+// all three backends. Each pair must keep its pinned verdicts — the
+// conforming side clean, the violating side flagged — so any future
+// compiler or runtime change that moves a checker's decision boundary
+// fails here with the exact packet pair that crossed it.
+//
+// Regenerate the corpus with:
+//
+//	go run ./cmd/hydra-bench -symcheck -frontierout internal/difftest/testdata/frontier
+func TestFrontierConformance(t *testing.T) {
+	files, err := difftest.LoadFrontierDir(difftest.FrontierSeedDir)
+	if err != nil {
+		t.Fatalf("loading frontier corpus: %v", err)
+	}
+	byChecker := make(map[string]difftest.FrontierFile, len(files))
+	for _, f := range files {
+		byChecker[f.Checker] = f
+	}
+	for _, p := range checkers.All {
+		f, ok := byChecker[p.Key]
+		if !ok {
+			t.Errorf("%s: no committed frontier seeds", p.Key)
+			continue
+		}
+		delete(byChecker, p.Key)
+		t.Run(p.Key, func(t *testing.T) {
+			if len(f.Pairs) == 0 {
+				t.Fatal("empty frontier file")
+			}
+			comp, err := difftest.CompileCorpus(p.Key)
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			model := checkers.SymModelFor(p.Key)
+			for i, pair := range f.Pairs {
+				for _, side := range []struct {
+					label   string
+					tr      []difftest.HopSpec
+					reject  bool
+					reports int
+					violate bool
+				}{
+					{"conform", difftest.HopSpecs(pair.Conform), pair.ConformVerdict.Reject, pair.ConformVerdict.Reports, false},
+					{"violate", difftest.HopSpecs(pair.Violate), pair.ViolateVerdict.Reject, pair.ViolateVerdict.Reports, true},
+				} {
+					r := comp.NewRunner()
+					if err := r.ApplyModel(model); err != nil {
+						t.Fatalf("pair %d %s: install model: %v", i, side.label, err)
+					}
+					out, err := r.RunTrace(side.tr)
+					if err != nil {
+						t.Fatalf("pair %d %s (%s): %v", i, side.label, pair.Cond, err)
+					}
+					if out.Reject != side.reject || len(out.Reports) != side.reports {
+						t.Errorf("pair %d %s (%s): pinned reject=%v reports=%d, backends reject=%v reports=%d",
+							i, side.label, pair.Cond, side.reject, side.reports, out.Reject, len(out.Reports))
+					}
+					if out.Violation() != side.violate {
+						t.Errorf("pair %d %s (%s): violation=%v, want %v",
+							i, side.label, pair.Cond, out.Violation(), side.violate)
+					}
+				}
+			}
+		})
+	}
+	for key := range byChecker {
+		t.Errorf("frontier seed %s.json has no matching corpus checker", key)
+	}
+}

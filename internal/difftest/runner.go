@@ -1,0 +1,390 @@
+package difftest
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/checkers"
+	"repro/internal/compiler"
+	"repro/internal/indus/ast"
+	"repro/internal/indus/eval"
+	"repro/internal/indus/parser"
+	"repro/internal/indus/types"
+	"repro/internal/pipeline"
+)
+
+// Compiled is one Indus program prepared for three-way differential
+// execution. It is immutable and shared: the eval machine and the two
+// runtimes carry no per-switch state, so many Runners (one per
+// independent trace) can be built from one Compiled cheaply.
+type Compiled struct {
+	Info *types.Info
+	Prog *pipeline.Program
+
+	m *eval.Machine
+	// rt executes through the linked (slot-resolved) path; rtRef pins
+	// the map-based interpreter.
+	rt    *compiler.Runtime
+	rtRef *compiler.Runtime
+}
+
+// CompileSource parses, checks, and compiles src for all backends.
+func CompileSource(src string) (*Compiled, error) {
+	prog, err := parser.Parse("test.indus", src)
+	if err != nil {
+		return nil, fmt.Errorf("parse: %w", err)
+	}
+	info, err := types.Check(prog)
+	if err != nil {
+		return nil, fmt.Errorf("types: %w", err)
+	}
+	compiled, err := compiler.Compile(info, compiler.Options{Name: "test"})
+	if err != nil {
+		return nil, fmt.Errorf("compile: %w", err)
+	}
+	return &Compiled{
+		Info:  info,
+		Prog:  compiled,
+		m:     eval.New(info),
+		rt:    &compiler.Runtime{Prog: compiled},
+		rtRef: &compiler.Runtime{Prog: compiled, NoLink: true},
+	}, nil
+}
+
+// CompileCorpus compiles a checker from the corpus by key.
+func CompileCorpus(key string) (*Compiled, error) {
+	p, ok := checkers.ByKey(key)
+	if !ok {
+		return nil, fmt.Errorf("unknown corpus key %q", key)
+	}
+	return CompileSource(p.Source)
+}
+
+// Runner executes traces against all three backends with mirrored
+// per-switch state. A Runner is single-use per state history: every
+// trace it runs mutates its registers and firewall-style dict state.
+type Runner struct {
+	c *Compiled
+
+	evalSw    map[uint32]*eval.SwitchState
+	pipeSw    map[uint32]*pipeline.State
+	pipeSwRef map[uint32]*pipeline.State
+}
+
+// NewRunner builds a fresh mirrored state set over the compiled program.
+func (c *Compiled) NewRunner() *Runner {
+	return &Runner{
+		c:         c,
+		evalSw:    map[uint32]*eval.SwitchState{},
+		pipeSw:    map[uint32]*pipeline.State{},
+		pipeSwRef: map[uint32]*pipeline.State{},
+	}
+}
+
+func (r *Runner) sw(id uint32) (*eval.SwitchState, *pipeline.State) {
+	if _, ok := r.evalSw[id]; !ok {
+		r.evalSw[id] = eval.NewSwitchState(id)
+		r.pipeSw[id] = r.c.Prog.NewState()
+		r.pipeSwRef[id] = r.c.Prog.NewState()
+	}
+	return r.evalSw[id], r.pipeSw[id]
+}
+
+// insert mirrors a table install into both pipeline backends' states.
+func (r *Runner) insert(id uint32, name string, e pipeline.Entry) error {
+	r.sw(id)
+	if err := r.pipeSw[id].Tables[name].Insert(e); err != nil {
+		return fmt.Errorf("install %s: %w", name, err)
+	}
+	if err := r.pipeSwRef[id].Tables[name].Insert(e); err != nil {
+		return fmt.Errorf("install %s (ref): %w", name, err)
+	}
+	return nil
+}
+
+// InstallDict installs key->val into dict `name` on switch id, on all
+// backends.
+func (r *Runner) InstallDict(id uint32, name string, key []uint64, val uint64) error {
+	es, _ := r.sw(id)
+	d, ok := r.c.Info.Decls[name]
+	if !ok {
+		return fmt.Errorf("install %s: undeclared", name)
+	}
+	dt, ok := d.Type.(ast.DictType)
+	if !ok {
+		return fmt.Errorf("install %s: not a dict", name)
+	}
+
+	cv, ok := es.Controls[name]
+	if !ok {
+		cv = eval.NewControlDict()
+		es.Controls[name] = cv
+	}
+	cv.Put(keyValues(dt.Key, key), valueFor(dt.Val, val))
+
+	keys := make([]pipeline.KeyMatch, len(key))
+	for i, k := range key {
+		keys[i] = pipeline.ExactKey(k)
+	}
+	w := 1
+	if bt, ok := dt.Val.(ast.BitType); ok {
+		w = bt.Width
+	}
+	return r.insert(id, name, pipeline.Entry{Keys: keys, Action: []pipeline.Value{pipeline.B(w, val)}})
+}
+
+// InstallScalar sets scalar control `name` on switch id on all backends.
+func (r *Runner) InstallScalar(id uint32, name string, val uint64) error {
+	es, _ := r.sw(id)
+	d, ok := r.c.Info.Decls[name]
+	if !ok {
+		return fmt.Errorf("install %s: undeclared", name)
+	}
+	es.Controls[name] = eval.NewControlScalar(valueFor(d.Type, val))
+	w := 1
+	if bt, ok := d.Type.(ast.BitType); ok {
+		w = bt.Width
+	}
+	return r.insert(id, name, pipeline.Entry{Action: []pipeline.Value{pipeline.B(w, val)}})
+}
+
+// InstallSet adds a member to control set `name` on switch id.
+func (r *Runner) InstallSet(id uint32, name string, key ...uint64) error {
+	es, _ := r.sw(id)
+	d, ok := r.c.Info.Decls[name]
+	if !ok {
+		return fmt.Errorf("install %s: undeclared", name)
+	}
+	st, ok := d.Type.(ast.SetType)
+	if !ok {
+		return fmt.Errorf("install %s: not a set", name)
+	}
+
+	cv, ok := es.Controls[name]
+	if !ok {
+		cv = eval.NewControlSet()
+		es.Controls[name] = cv
+	}
+	cv.Add(keyValues(st.Elem, key))
+
+	keys := make([]pipeline.KeyMatch, len(key))
+	for i, k := range key {
+		keys[i] = pipeline.ExactKey(k)
+	}
+	return r.insert(id, name, pipeline.Entry{Keys: keys})
+}
+
+// ApplyModel installs a checker's canonical symbolic-model state on
+// every model switch, dispatching on the declared control type.
+func (r *Runner) ApplyModel(m checkers.SymModel) error {
+	for _, in := range m.Installs {
+		targets := m.Switches
+		if in.Switch != 0 {
+			targets = []uint32{in.Switch}
+		}
+		for _, id := range targets {
+			d, ok := r.c.Info.Decls[in.Name]
+			if !ok {
+				return fmt.Errorf("model install %s: undeclared", in.Name)
+			}
+			var err error
+			switch {
+			case in.Set:
+				err = r.InstallSet(id, in.Name, in.Key...)
+			case in.Key != nil:
+				err = r.InstallDict(id, in.Name, in.Key, in.Val)
+			default:
+				if _, isDict := d.Type.(ast.DictType); isDict {
+					return fmt.Errorf("model install %s: dict install without key", in.Name)
+				}
+				err = r.InstallScalar(id, in.Name, in.Val)
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Outcome is the agreed result of a trace across all backends.
+type Outcome struct {
+	Reject    bool
+	Reports   [][]uint64
+	FinalBlob []byte
+}
+
+// Violation reports whether the trace trips the property under the
+// repo-wide convention: an explicit reject or any report digest.
+func (o Outcome) Violation() bool { return o.Reject || len(o.Reports) > 0 }
+
+// Divergence is a backend disagreement: the counterexample the symbolic
+// suite exists to surface. It carries which pair of backends split and
+// a human-readable detail of the first mismatching artifact.
+type Divergence struct {
+	Backends string // e.g. "linked vs map-based"
+	Detail   string
+}
+
+func (d *Divergence) Error() string {
+	return fmt.Sprintf("backend divergence (%s): %s", d.Backends, d.Detail)
+}
+
+// HopSpec is one hop of a differential trace: the switch it crosses and
+// the header-variable values (by Indus declaration name) bound there.
+// A zero PktLen means the default 100-byte packet.
+type HopSpec struct {
+	SW      uint32
+	Headers map[string]uint64
+	PktLen  uint32
+}
+
+// RunTrace executes the trace on every backend — the eval interpreter,
+// the map-based pipeline, and the linked pipeline — and compares
+// verdicts and report payloads across all three, plus byte-exact final
+// telemetry blobs between the two pipeline executors. A disagreement
+// returns a *Divergence error.
+func (r *Runner) RunTrace(trace []HopSpec) (Outcome, error) {
+	evalHops := make([]eval.Hop, len(trace))
+	pipeEnvs := make([]compiler.HopEnv, len(trace))
+	refEnvs := make([]compiler.HopEnv, len(trace))
+	for i, hs := range trace {
+		es, ps := r.sw(hs.SW)
+		pktLen := hs.PktLen
+		if pktLen == 0 {
+			pktLen = 100
+		}
+		headers := map[string]eval.Value{}
+		pipeHeaders := map[string]pipeline.Value{}
+		for name, v := range hs.Headers {
+			d, ok := r.c.Info.Decls[name]
+			if !ok {
+				return Outcome{}, fmt.Errorf("hop %d: undeclared header %q", i, name)
+			}
+			headers[name] = valueFor(d.Type, v)
+			w := 1
+			if bt, ok := d.Type.(ast.BitType); ok {
+				w = bt.Width
+			}
+			pipeHeaders[r.c.Prog.HeaderBindings[name]] = pipeline.B(w, v)
+		}
+		evalHops[i] = eval.Hop{Switch: es, Headers: headers, PacketLen: pktLen}
+		pipeEnvs[i] = compiler.HopEnv{State: ps, SwitchID: hs.SW, Headers: pipeHeaders, PacketLen: pktLen}
+		refEnvs[i] = compiler.HopEnv{State: r.pipeSwRef[hs.SW], SwitchID: hs.SW, Headers: pipeHeaders, PacketLen: pktLen}
+	}
+
+	want, err := r.c.m.RunTrace(evalHops)
+	if err != nil {
+		return Outcome{}, fmt.Errorf("interpreter: %w", err)
+	}
+	got, err := r.c.rt.RunTrace(pipeEnvs)
+	if err != nil {
+		return Outcome{}, fmt.Errorf("linked pipeline: %w", err)
+	}
+	ref, err := r.c.rtRef.RunTrace(refEnvs)
+	if err != nil {
+		return Outcome{}, fmt.Errorf("map pipeline: %w", err)
+	}
+
+	// Linked vs map-based pipeline: bit-identical, including the wire
+	// blob that left the last hop.
+	pair := "linked vs map-based"
+	if got.Reject != ref.Reject {
+		return Outcome{}, &Divergence{pair, fmt.Sprintf("linked reject=%v, map-based reject=%v", got.Reject, ref.Reject)}
+	}
+	if !bytes.Equal(got.FinalBlob, ref.FinalBlob) {
+		return Outcome{}, &Divergence{pair, fmt.Sprintf("final blob mismatch: linked %x, map-based %x", got.FinalBlob, ref.FinalBlob)}
+	}
+	if len(got.Reports) != len(ref.Reports) {
+		return Outcome{}, &Divergence{pair, fmt.Sprintf("report count: linked %d, map-based %d", len(got.Reports), len(ref.Reports))}
+	}
+	for i := range got.Reports {
+		ga, ra := got.Reports[i].Args, ref.Reports[i].Args
+		if len(ga) != len(ra) {
+			return Outcome{}, &Divergence{pair, fmt.Sprintf("report %d arity: linked %v, map-based %v", i, ga, ra)}
+		}
+		for j := range ga {
+			if ga[j] != ra[j] {
+				return Outcome{}, &Divergence{pair, fmt.Sprintf("report %d arg %d: linked %v, map-based %v", i, j, ga[j], ra[j])}
+			}
+		}
+	}
+
+	// Pipeline vs the reference interpreter.
+	pair = "pipeline vs interpreter"
+	if got.Reject != (want.Verdict == eval.VerdictReject) {
+		return Outcome{}, &Divergence{pair, fmt.Sprintf("pipeline reject=%v, interpreter %v", got.Reject, want.Verdict)}
+	}
+	if len(got.Reports) != len(want.Reports) {
+		return Outcome{}, &Divergence{pair, fmt.Sprintf("report count: pipeline %d, interpreter %d", len(got.Reports), len(want.Reports))}
+	}
+	var reports [][]uint64
+	for i := range got.Reports {
+		wantArgs := flattenEvalArgs(want.Reports[i].Args)
+		gotArgs := make([]uint64, len(got.Reports[i].Args))
+		for j, v := range got.Reports[i].Args {
+			gotArgs[j] = v.V
+		}
+		if len(gotArgs) != len(wantArgs) {
+			return Outcome{}, &Divergence{pair, fmt.Sprintf("report %d arity: %v vs %v", i, gotArgs, wantArgs)}
+		}
+		for j := range gotArgs {
+			if gotArgs[j] != wantArgs[j] {
+				return Outcome{}, &Divergence{pair, fmt.Sprintf("report %d arg %d: pipeline %d, interpreter %d", i, j, gotArgs[j], wantArgs[j])}
+			}
+		}
+		reports = append(reports, gotArgs)
+	}
+	return Outcome{Reject: got.Reject, Reports: reports, FinalBlob: got.FinalBlob}, nil
+}
+
+// valueFor builds an eval value of the declared scalar type.
+func valueFor(t ast.Type, v uint64) eval.Value {
+	switch t := t.(type) {
+	case ast.BitType:
+		return eval.NewBit(t.Width, v)
+	case ast.BoolType:
+		return eval.Bool(v != 0)
+	}
+	panic("valueFor: non-scalar")
+}
+
+func keyValues(keyType ast.Type, vals []uint64) eval.Value {
+	if tt, ok := keyType.(ast.TupleType); ok {
+		elems := make([]eval.Value, len(tt.Elems))
+		for i, et := range tt.Elems {
+			elems[i] = valueFor(et, vals[i])
+		}
+		return eval.Tuple{Elems: elems}
+	}
+	return valueFor(keyType, vals[0])
+}
+
+// flattenEvalArgs flattens tuples in report args to scalars, matching
+// the pipeline's digest layout.
+func flattenEvalArgs(args []eval.Value) []uint64 {
+	var out []uint64
+	var flat func(v eval.Value)
+	flat = func(v eval.Value) {
+		switch v := v.(type) {
+		case eval.Bit:
+			out = append(out, v.V)
+		case eval.Bool:
+			if v {
+				out = append(out, 1)
+			} else {
+				out = append(out, 0)
+			}
+		case eval.Tuple:
+			for _, e := range v.Elems {
+				flat(e)
+			}
+		default:
+			panic("unexpected report arg type")
+		}
+	}
+	for _, a := range args {
+		flat(a)
+	}
+	return out
+}

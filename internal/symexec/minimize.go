@@ -1,0 +1,69 @@
+package symexec
+
+import "sort"
+
+// Minimize shrinks a trace while pred keeps holding (pred is "still
+// diverges" for counterexamples, "still violates" for frontier
+// witnesses). The reduction is deterministic: drop hops back to front,
+// then per hop walk header fields in name order pulling each value
+// toward zero (zero first, then repeated halving), and finally pull
+// packet lengths back to the 100-byte default. If pred does not hold on
+// the input the trace is returned unchanged.
+func Minimize(tr Trace, pred func(Trace) bool) Trace {
+	cur := tr.Clone()
+	if !pred(cur) {
+		return cur
+	}
+	for changed := true; changed; {
+		changed = false
+		// Drop hops, back to front, keeping at least one.
+		for i := len(cur.Hops) - 1; i >= 0 && len(cur.Hops) > 1; i-- {
+			cand := cur.Clone()
+			cand.Hops = append(cand.Hops[:i], cand.Hops[i+1:]...)
+			if pred(cand) {
+				cur = cand
+				changed = true
+			}
+		}
+		// Shrink header values toward zero.
+		for i := range cur.Hops {
+			names := make([]string, 0, len(cur.Hops[i].Headers))
+			for name := range cur.Hops[i].Headers {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			for _, name := range names {
+				for cur.Hops[i].Headers[name] != 0 {
+					v := cur.Hops[i].Headers[name]
+					cand := cur.Clone()
+					cand.Hops[i].Headers[name] = 0
+					if pred(cand) {
+						cur = cand
+						changed = true
+						break
+					}
+					cand = cur.Clone()
+					cand.Hops[i].Headers[name] = v / 2
+					if !pred(cand) {
+						break
+					}
+					cur = cand
+					changed = true
+				}
+			}
+		}
+		// Pull packet lengths back to the default.
+		for i := range cur.Hops {
+			if cur.Hops[i].PktLen == 100 {
+				continue
+			}
+			cand := cur.Clone()
+			cand.Hops[i].PktLen = 100
+			if pred(cand) {
+				cur = cand
+				changed = true
+			}
+		}
+	}
+	return cur
+}

@@ -1,0 +1,144 @@
+package symexec
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestMinimize drives the counterexample minimizer over synthetic
+// divergence predicates that mimic real backend-divergence shapes: the
+// predicate marks which traces still "reproduce", and the minimizer
+// must shrink to the smallest fixture that does.
+func TestMinimize(t *testing.T) {
+	mkTrace := func(hops ...Hop) Trace { return Trace{Hops: hops} }
+	cases := []struct {
+		name string
+		in   Trace
+		pred func(Trace) bool
+		want Trace
+	}{
+		{
+			// Divergence triggered by a single header threshold on any
+			// hop: hops without it drop, the field shrinks to the
+			// smallest reproducing value via halving.
+			name: "threshold header",
+			in: mkTrace(
+				Hop{Switch: 1, PktLen: 900, Headers: map[string]uint64{"x": 4096, "y": 77}},
+				Hop{Switch: 2, PktLen: 64, Headers: map[string]uint64{"x": 3, "y": 5}},
+			),
+			pred: func(tr Trace) bool {
+				for _, h := range tr.Hops {
+					if h.Headers["x"] >= 1000 {
+						return true
+					}
+				}
+				return false
+			},
+			want: mkTrace(Hop{Switch: 1, PktLen: 100, Headers: map[string]uint64{"x": 1024, "y": 0}}),
+		},
+		{
+			// Divergence needs two specific hops (a stateful pattern:
+			// set on switch 1, trip on switch 2); middle hop is noise.
+			name: "two-hop stateful",
+			in: mkTrace(
+				Hop{Switch: 1, PktLen: 100, Headers: map[string]uint64{"k": 9}},
+				Hop{Switch: 3, PktLen: 1500, Headers: map[string]uint64{"k": 1}},
+				Hop{Switch: 2, PktLen: 100, Headers: map[string]uint64{"k": 9}},
+			),
+			pred: func(tr Trace) bool {
+				seen := false
+				for _, h := range tr.Hops {
+					if h.Switch == 1 && h.Headers["k"] == 9 {
+						seen = true
+					}
+					if h.Switch == 2 && seen && h.Headers["k"] == 9 {
+						return true
+					}
+				}
+				return false
+			},
+			want: mkTrace(
+				Hop{Switch: 1, PktLen: 100, Headers: map[string]uint64{"k": 9}},
+				Hop{Switch: 2, PktLen: 100, Headers: map[string]uint64{"k": 9}},
+			),
+		},
+		{
+			// Divergence independent of everything: collapses to one
+			// hop with all fields zeroed and the default packet length.
+			name: "always diverges",
+			in: mkTrace(
+				Hop{Switch: 7, PktLen: 1500, Headers: map[string]uint64{"a": 1, "b": 2}},
+				Hop{Switch: 8, PktLen: 1500, Headers: map[string]uint64{"a": 3, "b": 4}},
+			),
+			pred: func(Trace) bool { return true },
+			want: mkTrace(Hop{Switch: 7, PktLen: 100, Headers: map[string]uint64{"a": 0, "b": 0}}),
+		},
+		{
+			// Predicate never fires: the input must come back unchanged
+			// (a minimizer must not invent a counterexample).
+			name: "no divergence",
+			in:   mkTrace(Hop{Switch: 1, PktLen: 333, Headers: map[string]uint64{"z": 42}}),
+			pred: func(Trace) bool { return false },
+			want: mkTrace(Hop{Switch: 1, PktLen: 333, Headers: map[string]uint64{"z": 42}}),
+		},
+		{
+			// Packet-length-driven divergence: hops drop but the length
+			// cannot be reset to the default.
+			name: "pktlen sensitive",
+			in: mkTrace(
+				Hop{Switch: 1, PktLen: 1499, Headers: map[string]uint64{"q": 6}},
+				Hop{Switch: 2, PktLen: 64, Headers: map[string]uint64{"q": 6}},
+			),
+			pred: func(tr Trace) bool {
+				for _, h := range tr.Hops {
+					if h.PktLen > 1400 {
+						return true
+					}
+				}
+				return false
+			},
+			want: mkTrace(Hop{Switch: 1, PktLen: 1499, Headers: map[string]uint64{"q": 0}}),
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			got := Minimize(tc.in, tc.pred)
+			if !tc.pred(got) && tc.pred(tc.in) {
+				t.Fatalf("minimized trace no longer reproduces: %+v", got)
+			}
+			if !reflect.DeepEqual(got, tc.want) {
+				t.Fatalf("got %+v\nwant %+v", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestMinimizeInvariants checks the contract the symcheck replay path
+// relies on: the result always reproduces (when the input does), never
+// grows, and minimization is idempotent.
+func TestMinimizeInvariants(t *testing.T) {
+	in := Trace{Hops: []Hop{
+		{Switch: 1, PktLen: 800, Headers: map[string]uint64{"a": 500, "b": 12}},
+		{Switch: 2, PktLen: 800, Headers: map[string]uint64{"a": 600, "b": 0}},
+		{Switch: 1, PktLen: 800, Headers: map[string]uint64{"a": 700, "b": 9}},
+	}}
+	pred := func(tr Trace) bool {
+		var sum uint64
+		for _, h := range tr.Hops {
+			sum += h.Headers["a"]
+		}
+		return sum >= 550
+	}
+	got := Minimize(in, pred)
+	if !pred(got) {
+		t.Fatalf("result does not reproduce: %+v", got)
+	}
+	if len(got.Hops) > len(in.Hops) {
+		t.Fatalf("minimizer grew the trace")
+	}
+	again := Minimize(got, pred)
+	if !reflect.DeepEqual(got, again) {
+		t.Fatalf("not idempotent:\n first %+v\n again %+v", got, again)
+	}
+}

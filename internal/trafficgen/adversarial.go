@@ -1,0 +1,108 @@
+package trafficgen
+
+import (
+	"sort"
+
+	"repro/internal/dataplane"
+	"repro/internal/netsim"
+)
+
+// AdversarialHop is one frontier-witness hop with its header bindings
+// resolved to annotation paths (the symbolic explorer keys headers by
+// Indus declaration name; callers translate via the compiled program's
+// HeaderBindings before handing hops to this package).
+type AdversarialHop struct {
+	Headers map[string]uint64
+	PktLen  uint32
+}
+
+// adversarialMTU caps the rendered frame size. Frontier witnesses probe
+// the full 32-bit packet_length domain (the checker reads the length
+// from the trace record, not the frame), so the wire rendering clamps
+// to a standard MTU instead of materializing multi-gigabyte payloads.
+const adversarialMTU = 1500
+
+// AdversarialPacket renders a frontier hop as a wire-level trace
+// record. Bindings onto the standard 5-tuple map directly; everything
+// else (switch-local metadata, tunnel-inner fields) is folded into the
+// source port so distinct frontier packets stay distinct flows on the
+// wire.
+func AdversarialPacket(h AdversarialHop) Packet {
+	p := Packet{
+		Src:   dataplane.MustIP4("172.16.0.1"),
+		Dst:   dataplane.MustIP4("172.17.0.1"),
+		Proto: dataplane.ProtoTCP,
+		Sport: 1024,
+		Dport: 80,
+		Size:  int(h.PktLen),
+	}
+	paths := make([]string, 0, len(h.Headers))
+	for path := range h.Headers {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	var fold uint64
+	for _, path := range paths {
+		v := h.Headers[path]
+		switch path {
+		case "hdr.ipv4.src_addr":
+			p.Src = dataplane.IP4(v)
+		case "hdr.ipv4.dst_addr":
+			p.Dst = dataplane.IP4(v)
+		case "hdr.ipv4.protocol":
+			p.Proto = uint8(v)
+		case "hdr.tcp.sport", "hdr.udp.sport":
+			p.Sport = uint16(v)
+		case "hdr.tcp.dport", "hdr.udp.dport":
+			p.Dport = uint16(v)
+		default:
+			// FNV-style fold keeps the mapping deterministic.
+			fold = fold*1099511628211 + v + 1
+		}
+	}
+	p.Sport ^= uint16(fold) ^ uint16(fold>>16) ^ uint16(fold>>32) ^ uint16(fold>>48)
+	if p.Size < dataplane.EthernetLen+dataplane.IPv4Len {
+		p.Size = dataplane.EthernetLen + dataplane.IPv4Len
+	}
+	if p.Size > adversarialMTU {
+		p.Size = adversarialMTU
+	}
+	return p
+}
+
+// Adversarial is a deterministic corpus source that cycles through the
+// violation-frontier packets, at a fixed inter-arrival gap — the
+// adversarial counterpart to the Campus generator for engine replays
+// and fuzz seeding.
+type Adversarial struct {
+	pkts []Packet
+	gap  netsim.Time
+	i    int
+}
+
+// NewAdversarial builds a source over the frontier hops. pps sizes the
+// constant inter-arrival gap; zero means the campus default 350 Kpps.
+func NewAdversarial(hops []AdversarialHop, pps int) *Adversarial {
+	if pps == 0 {
+		pps = 350_000
+	}
+	a := &Adversarial{
+		pkts: make([]Packet, 0, len(hops)),
+		gap:  netsim.Second / netsim.Time(pps),
+	}
+	for _, h := range hops {
+		a.pkts = append(a.pkts, AdversarialPacket(h))
+	}
+	return a
+}
+
+// Len returns the corpus size.
+func (a *Adversarial) Len() int { return len(a.pkts) }
+
+// Next returns the next corpus packet, cycling.
+func (a *Adversarial) Next() Packet {
+	p := a.pkts[a.i%len(a.pkts)]
+	p.Gap = a.gap
+	a.i++
+	return p
+}
