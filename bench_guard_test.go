@@ -14,13 +14,20 @@ import (
 // BENCH_baseline.json. PHV usage is a deterministic compile-time
 // metric, so it is guarded tightly; packets-per-second is wall-clock
 // and machine-dependent, so the guard only fails when throughput drops
-// below EnginePPS×PPSMinFactor — a generous factor chosen to catch
-// order-of-magnitude regressions (an accidental O(n²), a lock on the
-// per-packet path) without flaking on slower hardware.
+// below EnginePPS×PPSMinFactor. The factor is 0.5: tight enough that
+// losing the bytecode-VM batched path (or an accidental O(n²), or a
+// lock on the per-packet path) fails the guard, loose enough not to
+// flake on slower hardware. See README for the baseline update
+// workflow.
 type benchBaseline struct {
 	Note         string  `json:"note"`
 	EnginePPS    float64 `json:"engine_pps"`
 	PPSMinFactor float64 `json:"pps_min_factor"`
+	// BatchPPS is the steady-state batched bytecode-VM checking rate
+	// (Sequential.ProcessBatch, single shard, no dispatch queues) — the
+	// hot path the BenchmarkEngineBatch* benchmarks track. Guarded by
+	// the same min factor.
+	BatchPPS float64 `json:"batch_pps"`
 	// WirePPS is the end-to-end wire-path replay rate (netsim fabric,
 	// all checkers), guarded by the same min factor as the engine rate.
 	WirePPS float64 `json:"wire_pps"`
@@ -49,6 +56,19 @@ func measureEnginePPS(t testing.TB) float64 {
 	}
 	if res.Counts.Forwarded != res.Counts.Packets || res.Counts.Errors != 0 {
 		t.Fatalf("benign replay must forward everything: %+v", res.Counts)
+	}
+	return res.WallPktsPerSec
+}
+
+func measureBatchPPS(t testing.TB) float64 {
+	res, err := experiments.RunBatchReplay(experiments.EngineReplayConfig{
+		Packets: 20_000, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counts.Forwarded != res.Counts.Packets || res.Counts.Errors != 0 {
+		t.Fatalf("benign batch replay must forward everything: %+v", res.Counts)
 	}
 	return res.WallPktsPerSec
 }
@@ -149,7 +169,8 @@ func TestBenchRegressionGuard(t *testing.T) {
 		base := benchBaseline{
 			Note:           "regenerate with: BENCH_BASELINE_UPDATE=1 go test -run TestBenchRegressionGuard",
 			EnginePPS:      measureEnginePPS(t),
-			PPSMinFactor:   0.35,
+			PPSMinFactor:   0.5,
+			BatchPPS:       measureBatchPPS(t),
 			WirePPS:        measureWirePPS(t),
 			StormPPS:       measureStormPPS(t),
 			ParseIntoNs:    parseNs,
@@ -205,6 +226,13 @@ func TestBenchRegressionGuard(t *testing.T) {
 	if pps := measureEnginePPS(t); pps < floor {
 		t.Errorf("engine replay ran at %.0f pps, below the guard floor %.0f (baseline %.0f × %.2f)",
 			pps, floor, base.EnginePPS, base.PPSMinFactor)
+	}
+	if base.BatchPPS > 0 {
+		batchFloor := base.BatchPPS * base.PPSMinFactor
+		if pps := measureBatchPPS(t); pps < batchFloor {
+			t.Errorf("batched replay ran at %.0f pps, below the guard floor %.0f (baseline %.0f × %.2f)",
+				pps, batchFloor, base.BatchPPS, base.PPSMinFactor)
+		}
 	}
 	if base.WirePPS > 0 {
 		wireFloor := base.WirePPS * base.PPSMinFactor

@@ -50,6 +50,7 @@ func main() {
 		pingMs    = flag.Float64("ping-ms", 10, "figure 12: ping interval (ms)")
 		packets   = flag.Int("packets", 50000, "throughput: packets to replay")
 		shards    = flag.String("shards", "1,4,8", "engine: comma-separated worker counts (0 = GOMAXPROCS)")
+		noBatch   = flag.Bool("nobatch", false, "engine: disable the bytecode-VM batched path (per-packet linked executor, the pre-batching baseline)")
 		seed      = flag.Int64("seed", 1, "chaos: campaign seed (traffic + every fault injector)")
 		faultRate = flag.Float64("faultrate", 0.02, "chaos: per-packet/per-frame fault probability")
 		chaosJSON = flag.String("chaosjson", "", "chaos: write the byte-reproducible detection matrix as JSON to this file (- for stdout)")
@@ -121,6 +122,7 @@ func main() {
 	}
 
 	var engineResults []experiments.EngineReplayResult
+	var batchResult *experiments.EngineReplayResult
 	var wireResult *experiments.WireReplayResult
 	if *engineRun {
 		counts, err := parseShards(*shards)
@@ -128,12 +130,20 @@ func main() {
 		for _, n := range counts {
 			fmt.Fprintf(os.Stderr, "running engine replay with %d shard(s)...\n", n)
 			r, err := experiments.RunEngineReplay(experiments.EngineReplayConfig{
-				Packets: *packets, Shards: n,
+				Packets: *packets, Shards: n, NoBatch: *noBatch,
 			})
 			must(err)
 			engineResults = append(engineResults, r)
 		}
 		fmt.Println(experiments.FormatEngineReplay(engineResults))
+		if !*noBatch {
+			fmt.Fprintln(os.Stderr, "running batched single-shard replay (no dispatch queues)...")
+			r, err := experiments.RunBatchReplay(experiments.EngineReplayConfig{Packets: *packets})
+			must(err)
+			batchResult = &r
+			fmt.Printf("Batch:  steady-state batched checking, 1 shard: %.0f pkts/s (%.0f ns/pkt)\n\n",
+				r.WallPktsPerSec, 1e9/r.WallPktsPerSec)
+		}
 	}
 
 	if *wireRun {
@@ -204,13 +214,13 @@ func main() {
 			fmt.Fprintln(os.Stderr, "hydra-bench: -benchjson requires -engine, -wire or -storm (or -all)")
 			os.Exit(2)
 		}
-		must(writeBenchJSON(*benchJSON, engineResults, wireResult, stormResult))
+		must(writeBenchJSON(*benchJSON, engineResults, batchResult, wireResult, stormResult))
 	}
 }
 
 // writeBenchJSON emits the replay results in a flat, machine-readable
 // form for dashboards and regression tooling.
-func writeBenchJSON(path string, engine []experiments.EngineReplayResult, wire *experiments.WireReplayResult, storm *experiments.StormResult) error {
+func writeBenchJSON(path string, engine []experiments.EngineReplayResult, batch *experiments.EngineReplayResult, wire *experiments.WireReplayResult, storm *experiments.StormResult) error {
 	type engineRow struct {
 		Shards    int     `json:"shards"`
 		Packets   uint64  `json:"packets"`
@@ -219,6 +229,10 @@ func writeBenchJSON(path string, engine []experiments.EngineReplayResult, wire *
 		Reports   uint64  `json:"reports"`
 		Errors    uint64  `json:"errors"`
 		PPS       float64 `json:"pps"`
+	}
+	type batchRow struct {
+		BatchPPS float64 `json:"batch_pps"`
+		NsPerPkt float64 `json:"ns_per_pkt"`
 	}
 	type wireRow struct {
 		PPS       float64 `json:"pps"`
@@ -243,9 +257,16 @@ func writeBenchJSON(path string, engine []experiments.EngineReplayResult, wire *
 	}
 	out := struct {
 		Engine []engineRow `json:"engine,omitempty"`
+		Batch  *batchRow   `json:"batch,omitempty"`
 		Wire   *wireRow    `json:"wire,omitempty"`
 		Storm  *stormRow   `json:"storm,omitempty"`
 	}{}
+	if batch != nil {
+		out.Batch = &batchRow{
+			BatchPPS: batch.WallPktsPerSec,
+			NsPerPkt: 1e9 / batch.WallPktsPerSec,
+		}
+	}
 	for _, r := range engine {
 		out.Engine = append(out.Engine, engineRow{
 			Shards:    r.Shards,

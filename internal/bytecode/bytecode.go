@@ -1,0 +1,1127 @@
+// Package bytecode compiles the pipeline IR into flat bytecode and
+// executes it in a register-machine VM: one contiguous []Instr per
+// block with slot-indexed operands, dispatched by a single
+// `for { switch op }` loop — no per-op closures, no interface values,
+// no allocation on the per-packet path.
+//
+// The compile pass is a second backend over the same IR the linking
+// pass (pipeline.Link) consumes, and it must stay bit-identical to the
+// map interpreter and the linked closures on every input — the difftest
+// conformance suite replays the corpus, the frontier counterexamples,
+// and randomized programs across all four backends and demands
+// byte-exact verdicts, report payloads, and telemetry blobs.
+//
+// Layout decisions that make the VM fast:
+//
+//   - Telemetry slots come first, in wire order, so a whole-trace
+//     (resident-PHV) execution can skip the per-hop blob encode/decode
+//     entirely: tele state simply stays in the slots between hops,
+//     which is equivalent because every write into a tele slot is
+//     already masked to its declared wire width (encode∘decode is the
+//     identity). Per-hop scratch reset is then one copy of the
+//     non-tele template region.
+//   - Every slot's "unwritten" value is precomputed into a template:
+//     slot widths are mined from the program's Field reads, so a read
+//     of a never-written field sees Value{W: declared} exactly as the
+//     interpreters' width-defaulting read would produce. Expression
+//     code can therefore reference field slots directly, with no
+//     per-read width fixup instruction.
+//   - Constants are materialized into read-only template slots;
+//     loading a constant costs zero instructions.
+//   - Expressions flatten to three-address code over temp slots. This
+//     evaluates both sides of &&/||/mux eagerly, which is sound
+//     because pipeline expressions are pure and total (no state reads,
+//     no traps: division by zero yields zero, oversized shifts yield
+//     zero).
+package bytecode
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/pipeline"
+)
+
+// OpKind is the VM opcode.
+type OpKind uint8
+
+// Opcodes. Operand meaning per op is documented on the dispatch loop.
+// Ops marked [ir] correspond 1:1 to an IR op and bump Ctx.OpsExecuted,
+// keeping the performance-model counters identical to the other
+// executors.
+const (
+	opNop   OpKind = iota
+	opLoadF        // A=dst, B=src, W: width-defaulting field read
+	opAssign       // A=dst, B=src, W: dst = B(W, src.V) [ir]
+	opJmp          // A=target
+	opJz           // A=cond, B=target: jump if cond is false [ir: IfOp]
+
+	opNot  // A=dst, B=src
+	opBNot //
+	opNeg  //
+	opAbs  //
+
+	opBoolAnd // A=dst, B, C: BoolV(B && C)
+	opBoolOr  //
+	opSelect  // A=dst, B=cond, C=then, D=else
+
+	opAdd // A=dst, B, C (binary arithmetic at reconciled width)
+	opSub
+	opMul
+	opDiv
+	opMod
+	opBAnd
+	opBOr
+	opBXor
+	opShl
+	opShr
+	opMax
+	opMin
+
+	opEq // A=dst, B, C (comparisons produce BoolV)
+	opNe
+	opLt
+	opLe
+	opGt
+	opGe
+
+	// Fused conditional branches: an IfOp whose condition is a single
+	// comparison (or !x, or x&&y / x||y) collapses the compare and the
+	// opJz into one instruction — tele blocks are branch-heavy, so this
+	// trims both dispatches and temp traffic. The six comparison forms
+	// must stay in opEq..opGe order. Operands B, C; jump target D; the
+	// jump is taken when the condition is FALSE (same sense as opJz).
+	// [ir: IfOp]
+	opJzEq
+	opJzNe
+	opJzLt
+	opJzLe
+	opJzGt
+	opJzGe
+	opJzAnd // taken unless B and C are both truthy
+	opJzOr  // taken unless B or C is truthy
+	opJnz   // A=cond, B=target: fused !x — taken when cond is TRUE [ir: IfOp]
+
+	opApply    // A=apply-site [ir]
+	opRegRead  // A=dst, B=reg-site, C=idx slot, W=width [ir]
+	opRegWrite // A=reg-site, B=idx slot, C=src slot [ir]
+	opPush     // A=array-site, B=src slot [ir]
+	opSetSlot  // A=array-site, B=idx slot, C=src slot [ir]
+	opReport   // A=report-site [ir]
+)
+
+// Instr is one VM instruction. Operands are PHV slot indices, jump
+// targets, or side-table indices depending on the opcode; W carries a
+// bit width where one is needed.
+type Instr struct {
+	Op OpKind
+	W  int32
+	A  int32
+	B  int32
+	C  int32
+	D  int32
+}
+
+// tempBase is the virtual slot index space for expression temporaries
+// during compilation; a relocation pass rebases them past the last
+// field/const slot once the full slot count is known. Real slot
+// indices and jump targets stay far below it.
+const tempBase int32 = 1 << 24
+
+// teleStep is one field of the telemetry wire layout: slot, width, and
+// static bit offset (mirrors the linked executor's layout exactly).
+type teleStep struct {
+	slot  int32
+	width int32
+	off   int32
+}
+
+// applySite is the side table for one ApplyOp.
+type applySite struct {
+	table int // declaration index
+	name  string
+	keys  []int32
+	outs  []int32
+	hit   int32
+	wide  bool  // more key columns than PackedKey holds
+	cache int32 // TCAM cache index; -1 for exact/wide sites
+}
+
+// regSite resolves one register access.
+type regSite struct {
+	idx  int
+	name string
+}
+
+// arraySite is the side table for header-stack ops.
+type arraySite struct {
+	start int32
+	cnt   int32
+	capN  int32
+	ew    int32
+}
+
+// reportSite is the side table for one ReportOp.
+type reportSite struct {
+	args []int32
+}
+
+// Prog is the compiled bytecode form of a pipeline Program. One Prog is
+// built per program at install time and is safe for concurrent use; all
+// mutable execution state lives in Ctx.
+type Prog struct {
+	P *pipeline.Program
+
+	nSlots int // PHV length: fields + consts + temps
+	nTele  int // telemetry region is slots [0, nTele)
+
+	init, tele, check []Instr
+
+	teleSteps []teleStep
+	teleBits  int
+
+	// template is the trace-start PHV image: decode-empty telemetry
+	// values, width-defaulted field slots, and constant values. The
+	// scratch (non-tele) region doubles as the per-hop reset image.
+	template []pipeline.Value
+
+	applies []applySite
+	regs    []regSite
+	arrays  []arraySite
+	reports []reportSite
+
+	slots     map[pipeline.FieldRef]int32
+	bindings  []string
+	bindSlots []int32
+
+	slotHops, slotReject, slotSwitch, slotPktLen, slotLast, slotFirst int32
+
+	nTCAM   int
+	ctxPool sync.Pool
+
+	// resetRuns are the [lo, hi) scratch slot ranges BeginHop restores
+	// from the template — the statically writable slots plus bind
+	// slots; see computeResetRuns.
+	resetRuns [][2]int32
+
+	// dirtySlots is every PHV slot some execution can write: telemetry,
+	// instruction destinations, binds, per-hop metadata, and expression
+	// temporaries. Constants and read-only field slots are absent — the
+	// VM never writes them, so a pooled context can never carry dirt
+	// there. The arena-aliasing suite poisons exactly this set.
+	dirtySlots []int32
+
+	// rejectOutsideChecker is true when the init or telemetry block can
+	// write the reject flag — those blocks run at every hop, so a
+	// batched (checker-major) executor could not reproduce the
+	// hop-major reject-halt and must fall back to per-packet order.
+	rejectOutsideChecker bool
+}
+
+// comp is the transient compilation state.
+type comp struct {
+	p    *Prog
+	prog *pipeline.Program
+
+	// widths holds the Field read width per ref (-1 on conflicting
+	// widths, which forces an explicit opLoadF at each read site).
+	widths map[pipeline.FieldRef]int
+	consts map[pipeline.Value]int32
+	arrays map[string]int32 // base -> first element slot
+
+	tempNext, tempMax int32
+}
+
+// Compile builds the bytecode form of prog. Like pipeline.Link it fails
+// only on programs the map interpreter would also reject at execution
+// time (ops referencing undeclared tables or registers).
+func Compile(prog *pipeline.Program) (*Prog, error) {
+	p := &Prog{P: prog, slots: make(map[pipeline.FieldRef]int32, 64)}
+	cp := &comp{
+		p:      p,
+		prog:   prog,
+		widths: map[pipeline.FieldRef]int{},
+		consts: map[pipeline.Value]int32{},
+		arrays: map[string]int32{},
+	}
+
+	cp.scanWidths()
+	if err := cp.layout(); err != nil {
+		return nil, err
+	}
+
+	var err error
+	if p.init, err = cp.block(prog.Init); err != nil {
+		return nil, err
+	}
+	if p.tele, err = cp.block(prog.Telemetry); err != nil {
+		return nil, err
+	}
+	if p.check, err = cp.block(prog.Checker); err != nil {
+		return nil, err
+	}
+
+	cp.relocate()
+	p.rejectOutsideChecker = writesReject(prog, prog.Init) || writesReject(prog, prog.Telemetry)
+
+	p.ctxPool.New = func() any {
+		return &Ctx{
+			PHV:    make([]pipeline.Value, p.nSlots),
+			caches: make([]tcamCache, p.nTCAM),
+		}
+	}
+	return p, nil
+}
+
+// MustCompile compiles prog, panicking on error; for programs already
+// validated by the compiler.
+func MustCompile(prog *pipeline.Program) *Prog {
+	p, err := Compile(prog)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// scanWidths mines every Field read's width so slot templates can bake
+// the width-defaulting semantics of an unwritten field.
+func (cp *comp) scanWidths() {
+	note := func(e pipeline.Expr) {
+		walkExpr(e, func(x pipeline.Expr) {
+			if f, ok := x.(pipeline.Field); ok {
+				if w, seen := cp.widths[f.Ref]; seen && w != f.Width {
+					cp.widths[f.Ref] = -1
+				} else if !seen {
+					cp.widths[f.Ref] = f.Width
+				}
+			}
+		})
+	}
+	for _, blk := range [][]pipeline.Op{cp.prog.Init, cp.prog.Telemetry, cp.prog.Checker} {
+		pipeline.WalkOps(blk, func(op pipeline.Op) {
+			switch op := op.(type) {
+			case pipeline.AssignOp:
+				note(op.Src)
+			case pipeline.ApplyOp:
+				for _, k := range op.Keys {
+					note(k)
+				}
+			case pipeline.RegReadOp:
+				note(op.Index)
+			case pipeline.RegWriteOp:
+				note(op.Index)
+				note(op.Src)
+			case pipeline.IfOp:
+				note(op.Cond)
+			case pipeline.PushOp:
+				note(op.Src)
+			case pipeline.SetSlotOp:
+				note(op.Index)
+				note(op.Src)
+			case pipeline.ReportOp:
+				for _, a := range op.Args {
+					note(a)
+				}
+			}
+		})
+	}
+}
+
+func walkExpr(e pipeline.Expr, visit func(pipeline.Expr)) {
+	visit(e)
+	switch e := e.(type) {
+	case pipeline.Unary:
+		walkExpr(e.X, visit)
+	case pipeline.Bin:
+		walkExpr(e.X, visit)
+		walkExpr(e.Y, visit)
+	case pipeline.Mux:
+		walkExpr(e.Cond, visit)
+		walkExpr(e.X, visit)
+		walkExpr(e.Y, visit)
+	}
+}
+
+// layout assigns the telemetry region (wire order, slot 0 = hop
+// counter), the builtin metadata slots, array blocks, and header
+// binding slots, and seeds the PHV template.
+func (cp *comp) layout() error {
+	p := cp.p
+
+	// Telemetry region first, mirroring the sequential wire layout of
+	// Program.EncodeTele (and pipeline.Linked.layoutTele).
+	off := int32(0)
+	addTele := func(slot int32, width int) {
+		p.teleSteps = append(p.teleSteps, teleStep{slot: slot, width: int32(width), off: off})
+		p.template[slot] = pipeline.Value{W: width}
+		off += int32(width)
+	}
+	align := func() {
+		if p.P.AlignedTele {
+			off = (off + 7) &^ 7
+		}
+	}
+	p.slotHops = cp.intern(pipeline.FieldHops)
+	addTele(p.slotHops, 8)
+	for _, f := range p.P.Tele {
+		if f.IsArray {
+			addTele(cp.intern(pipeline.ArrayCount(f.Name)), 8)
+			start := int32(len(p.template))
+			for i := 0; i < f.Cap; i++ {
+				if s := cp.intern(pipeline.ArraySlot(f.Name, i)); s != start+int32(i) {
+					return fmt.Errorf("bytecode: tele array %s slots not contiguous", f.Name)
+				}
+				addTele(start+int32(i), f.Width)
+				align()
+			}
+			cp.arrays[f.Name] = start
+			continue
+		}
+		addTele(cp.intern(pipeline.FieldRef(f.Name)), f.Width)
+		align()
+	}
+	p.teleBits = int(off)
+	p.nTele = len(p.template)
+
+	// Builtin metadata slots (hops already sits in the tele region).
+	p.slotReject = cp.intern(pipeline.FieldReject)
+	p.slotSwitch = cp.intern(pipeline.FieldSwitch)
+	p.slotPktLen = cp.intern(pipeline.FieldPktLen)
+	p.slotLast = cp.intern(pipeline.FieldLastHop)
+	p.slotFirst = cp.intern(pipeline.FieldFirst)
+
+	// Non-telemetry arrays referenced by header-stack ops get
+	// contiguous blocks too.
+	caps := map[string]int{}
+	for _, blk := range [][]pipeline.Op{p.P.Init, p.P.Telemetry, p.P.Checker} {
+		pipeline.WalkOps(blk, func(op pipeline.Op) {
+			switch op := op.(type) {
+			case pipeline.PushOp:
+				if op.Cap > caps[op.Base] {
+					caps[op.Base] = op.Cap
+				}
+			case pipeline.SetSlotOp:
+				if op.Cap > caps[op.Base] {
+					caps[op.Base] = op.Cap
+				}
+			}
+		})
+	}
+	bases := make([]string, 0, len(caps))
+	for b := range caps {
+		if _, done := cp.arrays[b]; !done {
+			bases = append(bases, b)
+		}
+	}
+	sort.Strings(bases)
+	for _, b := range bases {
+		cp.intern(pipeline.ArrayCount(b))
+		start := int32(len(p.template))
+		for i := 0; i < caps[b]; i++ {
+			if s := cp.intern(pipeline.ArraySlot(b, i)); s != start+int32(i) {
+				return fmt.Errorf("bytecode: array %s slots not contiguous", b)
+			}
+		}
+		cp.arrays[b] = start
+	}
+
+	// Header bindings, in the sorted path order shared with the other
+	// executors (the HopEnv.SlotHeaders contract).
+	seen := map[string]bool{}
+	for _, path := range p.P.HeaderBindings {
+		if !seen[path] {
+			seen[path] = true
+			p.bindings = append(p.bindings, path)
+		}
+	}
+	sort.Strings(p.bindings)
+	p.bindSlots = make([]int32, len(p.bindings))
+	for i, path := range p.bindings {
+		p.bindSlots[i] = cp.intern(pipeline.FieldRef(path))
+	}
+	return nil
+}
+
+// intern assigns (or returns) the slot of a field, seeding its template
+// value with the mined read width so unwritten reads width-default
+// without an instruction.
+func (cp *comp) intern(f pipeline.FieldRef) int32 {
+	p := cp.p
+	if s, ok := p.slots[f]; ok {
+		return s
+	}
+	s := int32(len(p.template))
+	p.slots[f] = s
+	var tv pipeline.Value
+	if w := cp.widths[f]; w > 0 {
+		tv = pipeline.Value{W: w}
+	}
+	p.template = append(p.template, tv)
+	return s
+}
+
+// constSlot materializes a constant into a read-only template slot.
+func (cp *comp) constSlot(v pipeline.Value) int32 {
+	if s, ok := cp.consts[v]; ok {
+		return s
+	}
+	s := int32(len(cp.p.template))
+	cp.p.template = append(cp.p.template, v)
+	cp.consts[v] = s
+	return s
+}
+
+func (cp *comp) temp() int32 {
+	t := cp.tempNext
+	cp.tempNext++
+	if cp.tempNext > cp.tempMax {
+		cp.tempMax = cp.tempNext
+	}
+	return tempBase + t
+}
+
+// expr emits code computing e and returns the slot holding the result.
+// Fields and constants cost zero instructions: they are slot
+// references into the templated PHV.
+func (cp *comp) expr(e pipeline.Expr, code *[]Instr) (int32, error) {
+	switch e := e.(type) {
+	case pipeline.Field:
+		s := cp.intern(e.Ref)
+		if cp.widths[e.Ref] == -1 {
+			// Conflicting read widths: the template cannot bake a
+			// single default, so width-default explicitly.
+			t := cp.temp()
+			*code = append(*code, Instr{Op: opLoadF, A: t, B: s, W: int32(e.Width)})
+			return t, nil
+		}
+		return s, nil
+
+	case pipeline.Const:
+		return cp.constSlot(e.Val), nil
+
+	case pipeline.Unary:
+		x, err := cp.expr(e.X, code)
+		if err != nil {
+			return 0, err
+		}
+		var op OpKind
+		switch e.Op {
+		case pipeline.OpNot:
+			op = opNot
+		case pipeline.OpBNot:
+			op = opBNot
+		case pipeline.OpNeg:
+			op = opNeg
+		case pipeline.OpAbs:
+			op = opAbs
+		default:
+			return 0, fmt.Errorf("bytecode: bad unary opcode %s", e.Op)
+		}
+		t := cp.temp()
+		*code = append(*code, Instr{Op: op, A: t, B: x})
+		return t, nil
+
+	case pipeline.Bin:
+		x, err := cp.expr(e.X, code)
+		if err != nil {
+			return 0, err
+		}
+		y, err := cp.expr(e.Y, code)
+		if err != nil {
+			return 0, err
+		}
+		op, ok := binOp[e.Op]
+		if !ok {
+			return 0, fmt.Errorf("bytecode: bad binary opcode %s", e.Op)
+		}
+		t := cp.temp()
+		*code = append(*code, Instr{Op: op, A: t, B: x, C: y})
+		return t, nil
+
+	case pipeline.Mux:
+		cond, err := cp.expr(e.Cond, code)
+		if err != nil {
+			return 0, err
+		}
+		x, err := cp.expr(e.X, code)
+		if err != nil {
+			return 0, err
+		}
+		y, err := cp.expr(e.Y, code)
+		if err != nil {
+			return 0, err
+		}
+		t := cp.temp()
+		*code = append(*code, Instr{Op: opSelect, A: t, B: cond, C: x, D: y})
+		return t, nil
+	}
+	return 0, fmt.Errorf("bytecode: unknown expr %T", e)
+}
+
+// binOp maps IR binary opcodes to VM opcodes. Logical and/or compile
+// to their eager boolean forms (sound on pure, total expressions).
+var binOp = map[pipeline.OpCode]OpKind{
+	pipeline.OpAdd: opAdd, pipeline.OpSub: opSub, pipeline.OpMul: opMul,
+	pipeline.OpDiv: opDiv, pipeline.OpMod: opMod,
+	pipeline.OpBAnd: opBAnd, pipeline.OpBOr: opBOr, pipeline.OpBXor: opBXor,
+	pipeline.OpShl: opShl, pipeline.OpShr: opShr,
+	pipeline.OpEq: opEq, pipeline.OpNe: opNe,
+	pipeline.OpLt: opLt, pipeline.OpLe: opLe, pipeline.OpGt: opGt, pipeline.OpGe: opGe,
+	pipeline.OpLAnd: opBoolAnd, pipeline.OpLOr: opBoolOr,
+	pipeline.OpMax: opMax, pipeline.OpMin: opMin,
+}
+
+// block compiles a list of IR ops into straight-line bytecode with
+// conditional jumps for IfOp.
+func (cp *comp) block(ops []pipeline.Op) ([]Instr, error) {
+	var code []Instr
+	if err := cp.emitOps(ops, &code); err != nil {
+		return nil, err
+	}
+	return code, nil
+}
+
+func (cp *comp) emitOps(ops []pipeline.Op, code *[]Instr) error {
+	p := cp.p
+	for _, op := range ops {
+		// Temps are statement-scoped: nothing outlives the IR op that
+		// computed it, so every op reuses the same temp slots.
+		cp.tempNext = 0
+		switch op := op.(type) {
+		case pipeline.AssignOp:
+			src, err := cp.expr(op.Src, code)
+			if err != nil {
+				return err
+			}
+			*code = append(*code, Instr{Op: opAssign, A: cp.intern(op.Dst), B: src, W: int32(op.DstWidth)})
+
+		case pipeline.ApplyOp:
+			if err := cp.emitApply(op, code); err != nil {
+				return err
+			}
+
+		case pipeline.RegReadOp:
+			ri, err := regIndex(p.P, op.Reg)
+			if err != nil {
+				return err
+			}
+			idx, err := cp.expr(op.Index, code)
+			if err != nil {
+				return err
+			}
+			site := int32(len(p.regs))
+			p.regs = append(p.regs, regSite{idx: ri, name: op.Reg})
+			*code = append(*code, Instr{Op: opRegRead, A: cp.intern(op.Dst), B: site, C: idx, W: int32(op.Width)})
+
+		case pipeline.RegWriteOp:
+			ri, err := regIndex(p.P, op.Reg)
+			if err != nil {
+				return err
+			}
+			idx, err := cp.expr(op.Index, code)
+			if err != nil {
+				return err
+			}
+			src, err := cp.expr(op.Src, code)
+			if err != nil {
+				return err
+			}
+			site := int32(len(p.regs))
+			p.regs = append(p.regs, regSite{idx: ri, name: op.Reg})
+			*code = append(*code, Instr{Op: opRegWrite, A: site, B: idx, C: src})
+
+		case pipeline.IfOp:
+			cond, err := cp.expr(op.Cond, code)
+			if err != nil {
+				return err
+			}
+			jz := emitBranch(code, cond)
+			if err := cp.emitOps(op.Then, code); err != nil {
+				return err
+			}
+			if len(op.Else) > 0 {
+				jmp := len(*code)
+				*code = append(*code, Instr{Op: opJmp})
+				setBranchTarget(code, jz, len(*code))
+				if err := cp.emitOps(op.Else, code); err != nil {
+					return err
+				}
+				(*code)[jmp].A = int32(len(*code))
+			} else {
+				setBranchTarget(code, jz, len(*code))
+			}
+
+		case pipeline.PushOp:
+			src, err := cp.expr(op.Src, code)
+			if err != nil {
+				return err
+			}
+			site := int32(len(p.arrays))
+			p.arrays = append(p.arrays, arraySite{
+				start: cp.arrays[op.Base],
+				cnt:   cp.intern(pipeline.ArrayCount(op.Base)),
+				capN:  int32(op.Cap),
+				ew:    int32(op.ElemWidth),
+			})
+			*code = append(*code, Instr{Op: opPush, A: site, B: src})
+
+		case pipeline.SetSlotOp:
+			idx, err := cp.expr(op.Index, code)
+			if err != nil {
+				return err
+			}
+			src, err := cp.expr(op.Src, code)
+			if err != nil {
+				return err
+			}
+			site := int32(len(p.arrays))
+			p.arrays = append(p.arrays, arraySite{
+				start: cp.arrays[op.Base],
+				cnt:   cp.intern(pipeline.ArrayCount(op.Base)),
+				capN:  int32(op.Cap),
+				ew:    int32(op.ElemWidth),
+			})
+			*code = append(*code, Instr{Op: opSetSlot, A: site, B: idx, C: src})
+
+		case pipeline.ReportOp:
+			args := make([]int32, len(op.Args))
+			for i, a := range op.Args {
+				s, err := cp.expr(a, code)
+				if err != nil {
+					return err
+				}
+				args[i] = s
+			}
+			site := int32(len(p.reports))
+			p.reports = append(p.reports, reportSite{args: args})
+			*code = append(*code, Instr{Op: opReport, A: site})
+
+		default:
+			return fmt.Errorf("bytecode: unknown op %T", op)
+		}
+	}
+	return nil
+}
+
+func (cp *comp) emitApply(op pipeline.ApplyOp, code *[]Instr) error {
+	p := cp.p
+	ti, spec, err := tableIndex(p.P, op.Table)
+	if err != nil {
+		return err
+	}
+	keys := make([]int32, len(op.Keys))
+	for i, k := range op.Keys {
+		s, err := cp.expr(k, code)
+		if err != nil {
+			return err
+		}
+		keys[i] = s
+	}
+	outs := make([]int32, len(spec.Outputs))
+	for i, o := range spec.Outputs {
+		outs[i] = cp.intern(o)
+	}
+	site := applySite{
+		table: ti,
+		name:  op.Table,
+		keys:  keys,
+		outs:  outs,
+		hit:   cp.intern(pipeline.FieldRef(spec.Name + ".$hit")),
+		cache: -1,
+	}
+	allExact := true
+	for _, k := range spec.Keys {
+		if k.Kind != pipeline.MatchExact {
+			allExact = false
+		}
+	}
+	if len(op.Keys) > pipeline.MaxPackedKeys || len(spec.Keys) > pipeline.MaxPackedKeys {
+		site.wide = true
+	} else if !allExact {
+		// TCAM sites get a per-context memo cache; exact sites read
+		// the table's lock-free snapshot directly.
+		site.cache = int32(p.nTCAM)
+		p.nTCAM++
+	}
+	idx := int32(len(p.applies))
+	p.applies = append(p.applies, site)
+	*code = append(*code, Instr{Op: opApply, A: idx})
+	return nil
+}
+
+func tableIndex(prog *pipeline.Program, name string) (int, *pipeline.TableSpec, error) {
+	for i := range prog.Tables {
+		if prog.Tables[i].Name == name {
+			return i, &prog.Tables[i], nil
+		}
+	}
+	return 0, nil, fmt.Errorf("pipeline: apply of undeclared table %q", name)
+}
+
+func regIndex(prog *pipeline.Program, name string) (int, error) {
+	for i := range prog.Registers {
+		if prog.Registers[i].Name == name {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("pipeline: access to undeclared register %q", name)
+}
+
+// emitBranch emits the jump-if-false for an IfOp condition, fusing the
+// condition's final comparison / not / bool-combine instruction into
+// the branch when the condition slot is a temp produced by the
+// immediately preceding instruction (it can have no other reader: expr
+// temps are single-use by construction). Returns the branch's index for
+// setBranchTarget. The fused instruction counts one OpsExecuted at run
+// time, exactly like the opJz it replaces; the popped comparison was an
+// uncounted expression instruction.
+func emitBranch(code *[]Instr, cond int32) int {
+	if n := len(*code); n > 0 && cond >= tempBase {
+		last := (*code)[n-1]
+		if last.A == cond {
+			switch last.Op {
+			case opEq, opNe, opLt, opLe, opGt, opGe:
+				*code = append((*code)[:n-1],
+					Instr{Op: opJzEq + (last.Op - opEq), B: last.B, C: last.C})
+				return n - 1
+			case opBoolAnd:
+				*code = append((*code)[:n-1], Instr{Op: opJzAnd, B: last.B, C: last.C})
+				return n - 1
+			case opBoolOr:
+				*code = append((*code)[:n-1], Instr{Op: opJzOr, B: last.B, C: last.C})
+				return n - 1
+			case opNot:
+				*code = append((*code)[:n-1], Instr{Op: opJnz, A: last.B})
+				return n - 1
+			}
+		}
+	}
+	*code = append(*code, Instr{Op: opJz, A: cond})
+	return len(*code) - 1
+}
+
+// setBranchTarget patches the jump target of a branch emitted by
+// emitBranch: fused comparisons carry it in D, opJz/opJnz in B.
+func setBranchTarget(code *[]Instr, idx, target int) {
+	in := &(*code)[idx]
+	if in.Op >= opJzEq && in.Op <= opJzOr {
+		in.D = int32(target)
+	} else {
+		in.B = int32(target)
+	}
+}
+
+// relocate rebases virtual temp slots past the last field/const slot
+// and finalizes the PHV size. Jump targets, side-table indices, and
+// widths all sit far below tempBase, so any operand at or above it is
+// a temp by construction.
+func (cp *comp) relocate() {
+	p := cp.p
+	base := int32(len(p.template))
+	fix := func(v int32) int32 {
+		if v >= tempBase {
+			return base + (v - tempBase)
+		}
+		return v
+	}
+	for _, code := range [][]Instr{p.init, p.tele, p.check} {
+		for i := range code {
+			code[i].A = fix(code[i].A)
+			code[i].B = fix(code[i].B)
+			code[i].C = fix(code[i].C)
+			code[i].D = fix(code[i].D)
+		}
+	}
+	for i := range p.applies {
+		for j := range p.applies[i].keys {
+			p.applies[i].keys[j] = fix(p.applies[i].keys[j])
+		}
+	}
+	for i := range p.reports {
+		for j := range p.reports[i].args {
+			p.reports[i].args[j] = fix(p.reports[i].args[j])
+		}
+	}
+	p.nSlots = len(p.template) + int(cp.tempMax)
+	// Temps join the template as zero values so whole-template copies
+	// cover the full PHV.
+	p.template = append(p.template, make([]pipeline.Value, cp.tempMax)...)
+	p.computeResetRuns(base)
+}
+
+// computeResetRuns decides which scratch slots BeginHop must restore
+// to the template, coalesced into copy runs. Telemetry slots are
+// resident by design, constant and read-only field slots can never
+// diverge from the template, and expression temporaries are
+// statement-scoped (every read is dominated by a write in the same IR
+// op), so the candidates are only the slots some writer can dirty:
+// instruction destinations plus the header binds (a sparse binder may
+// skip absent headers, leaving the previous hop's value).
+//
+// A candidate is then dropped when every hop execution is guaranteed
+// to overwrite it before reading it — a stale value nothing can
+// observe needs no restore. A hop runs (init?) tele (check?) with tele
+// always preceding check, so a slot stays in the reset set iff it is
+// read-before-written in init, in tele, or in check without an
+// unconditional tele write covering it. The reject flag is force-kept
+// (Reject reads it from outside the bytecode after the trace), as are
+// array regions (their element stores index dynamically, which the
+// linear read/write scan does not track).
+func (p *Prog) computeResetRuns(tempStart int32) {
+	scratch := func(si int32) bool {
+		return si >= int32(p.nTele) && si < tempStart
+	}
+	writable := make(map[int32]bool)
+	add := func(si int32) {
+		if scratch(si) {
+			writable[si] = true
+		}
+	}
+	for _, code := range [][]Instr{p.init, p.tele, p.check} {
+		for i := range code {
+			switch code[i].Op {
+			case opAssign, opLoadF:
+				add(code[i].A)
+			case opRegRead:
+				add(code[i].A)
+			case opApply:
+				site := &p.applies[code[i].A]
+				for _, o := range site.outs {
+					add(o)
+				}
+				add(site.hit)
+			case opPush, opSetSlot:
+				site := &p.arrays[code[i].A]
+				for s := site.start; s < site.start+site.capN; s++ {
+					add(s)
+				}
+				add(site.cnt)
+			default:
+				// Expression ops write only statement-scoped temps.
+			}
+		}
+	}
+	for _, si := range p.bindSlots {
+		add(si)
+	}
+
+	rbwInit, _ := p.blockFlow(p.init, scratch)
+	rbwTele, mustTele := p.blockFlow(p.tele, scratch)
+	rbwCheck, _ := p.blockFlow(p.check, scratch)
+	need := make(map[int32]bool, len(writable))
+	for si := range rbwInit {
+		need[si] = true
+	}
+	for si := range rbwTele {
+		need[si] = true
+	}
+	for si := range rbwCheck {
+		if !mustTele[si] {
+			need[si] = true
+		}
+	}
+	need[p.slotReject] = true
+	for i := range p.arrays {
+		site := &p.arrays[i]
+		for s := site.start; s < site.start+site.capN; s++ {
+			need[s] = true
+		}
+		need[site.cnt] = true
+	}
+
+	for si := int32(0); si < int32(p.nTele); si++ {
+		p.dirtySlots = append(p.dirtySlots, si)
+	}
+	for si := range writable {
+		p.dirtySlots = append(p.dirtySlots, si)
+	}
+	for _, si := range []int32{p.slotSwitch, p.slotPktLen, p.slotLast, p.slotFirst} {
+		if scratch(si) && !writable[si] {
+			p.dirtySlots = append(p.dirtySlots, si)
+		}
+	}
+	for si := tempStart; si < int32(p.nSlots); si++ {
+		p.dirtySlots = append(p.dirtySlots, si)
+	}
+	sort.Slice(p.dirtySlots, func(i, j int) bool { return p.dirtySlots[i] < p.dirtySlots[j] })
+
+	slots := make([]int32, 0, len(writable))
+	for si := range writable {
+		if need[si] {
+			slots = append(slots, si)
+		}
+	}
+	sort.Slice(slots, func(i, j int) bool { return slots[i] < slots[j] })
+	// Coalesce, bridging gaps of up to 4 slots: one slightly longer
+	// copy beats two loop iterations.
+	for _, si := range slots {
+		if n := len(p.resetRuns); n > 0 && si-p.resetRuns[n-1][1] <= 4 {
+			p.resetRuns[n-1][1] = si + 1
+			continue
+		}
+		p.resetRuns = append(p.resetRuns, [2]int32{si, si + 1})
+	}
+}
+
+// blockFlow scans one block for the scratch slots it may read before
+// writing (rbw) and the slots it definitely writes (mustW). The
+// structured IR compiles to forward jumps only, so an instruction is
+// unconditionally executed iff no earlier jump can land past it; only
+// unconditional writes count as definite, while reads count wherever
+// they appear. The analysis is conservative: over-approximating rbw or
+// under-approximating mustW merely keeps a slot in the reset set.
+func (p *Prog) blockFlow(code []Instr, scratch func(int32) bool) (rbw, mustW map[int32]bool) {
+	rbw = make(map[int32]bool)
+	mustW = make(map[int32]bool)
+	condUntil := 0
+	read := func(si int32) {
+		if scratch(si) && !mustW[si] {
+			rbw[si] = true
+		}
+	}
+	for i := range code {
+		in := &code[i]
+		uncond := i >= condUntil
+		dst := int32(-1)
+		jmp := -1
+		switch in.Op {
+		case opAssign, opLoadF, opNot, opBNot, opNeg, opAbs:
+			read(in.B)
+			dst = in.A
+		case opBoolAnd, opBoolOr, opAdd, opSub, opMul, opDiv, opMod,
+			opBAnd, opBOr, opBXor, opShl, opShr, opMax, opMin,
+			opEq, opNe, opLt, opLe, opGt, opGe:
+			read(in.B)
+			read(in.C)
+			dst = in.A
+		case opSelect:
+			read(in.B)
+			read(in.C)
+			read(in.D)
+			dst = in.A
+		case opJmp:
+			jmp = int(in.A)
+		case opJz, opJnz:
+			read(in.A)
+			jmp = int(in.B)
+		case opJzEq, opJzNe, opJzLt, opJzLe, opJzGt, opJzGe, opJzAnd, opJzOr:
+			read(in.B)
+			read(in.C)
+			jmp = int(in.D)
+		case opApply:
+			site := &p.applies[in.A]
+			for _, k := range site.keys {
+				read(k)
+			}
+			if uncond {
+				for _, o := range site.outs {
+					mustW[o] = true
+				}
+				mustW[site.hit] = true
+			}
+		case opRegRead:
+			read(in.C)
+			dst = in.A
+		case opRegWrite:
+			read(in.B)
+			read(in.C)
+		case opPush:
+			site := &p.arrays[in.A]
+			read(site.cnt)
+			read(in.B)
+		case opSetSlot:
+			site := &p.arrays[in.A]
+			read(site.cnt)
+			read(in.B)
+			read(in.C)
+		case opReport:
+			site := &p.reports[in.A]
+			for _, a := range site.args {
+				read(a)
+			}
+		}
+		if jmp > condUntil {
+			condUntil = jmp
+		}
+		if dst >= 0 && uncond {
+			mustW[dst] = true
+		}
+	}
+	return rbw, mustW
+}
+
+// ---------------------------------------------------------------------------
+// Introspection
+
+// NumSlots returns the PHV vector length.
+func (p *Prog) NumSlots() int { return p.nSlots }
+
+// NumInstrs returns the total instruction count across all blocks.
+func (p *Prog) NumInstrs() int { return len(p.init) + len(p.tele) + len(p.check) }
+
+// BlockSizes renders the per-block instruction counts for diagnostics.
+func (p *Prog) BlockSizes() string {
+	return fmt.Sprintf("init=%d tele=%d check=%d", len(p.init), len(p.tele), len(p.check))
+}
+
+// Bindings returns the header-binding paths the program reads, in the
+// order HopEnv.SlotHeaders must be laid out (sorted, deduplicated).
+func (p *Prog) Bindings() []string { return p.bindings }
+
+// BindSlots returns the PHV slot for each Bindings() entry, so
+// embedders can precompute direct header scatter plans.
+func (p *Prog) BindSlots() []int32 { return p.bindSlots }
+
+// SlotOf resolves a field to its slot index, if the program references
+// it anywhere.
+func (p *Prog) SlotOf(f pipeline.FieldRef) (int, bool) {
+	s, ok := p.slots[f]
+	return int(s), ok
+}
+
+// RejectOnlyInChecker reports whether the reject flag can only be
+// written by the checker block. When true (every corpus checker), and
+// checking runs at the last hop only, a packet's reject verdict cannot
+// arise mid-trace — so checker-major batched execution is
+// verdict-identical to hop-major per-packet execution.
+func (p *Prog) RejectOnlyInChecker() bool { return !p.rejectOutsideChecker }
+
+// writesReject reports whether any op in the block (conservatively)
+// writes the reject flag.
+func writesReject(prog *pipeline.Program, ops []pipeline.Op) bool {
+	found := false
+	pipeline.WalkOps(ops, func(op pipeline.Op) {
+		switch op := op.(type) {
+		case pipeline.AssignOp:
+			if op.Dst == pipeline.FieldReject {
+				found = true
+			}
+		case pipeline.RegReadOp:
+			if op.Dst == pipeline.FieldReject {
+				found = true
+			}
+		case pipeline.ApplyOp:
+			if _, spec, err := tableIndex(prog, op.Table); err == nil {
+				for _, o := range spec.Outputs {
+					if o == pipeline.FieldReject {
+						found = true
+					}
+				}
+			}
+		}
+	})
+	return found
+}
+
+// ResetRuns exposes the per-hop restore ranges for diagnostics and
+// tests (shared backing; callers must not mutate).
+func (p *Prog) ResetRuns() [][2]int32 { return p.resetRuns }
+
+// DirtySlots returns every PHV slot index some execution can write —
+// the largest set of slots a reused context can carry stale values in
+// (shared backing; callers must not mutate). The aliasing suite
+// poisons exactly these between packets; constants and read-only field
+// slots stay pristine by construction, which is what makes skipping
+// their restore sound.
+func (p *Prog) DirtySlots() []int32 { return p.dirtySlots }

@@ -1,0 +1,5 @@
+//go:build !race
+
+package bytecode_test
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package bytecode_test
+
+// raceEnabled reports whether the race detector is instrumenting this
+// build; its shadow-memory bookkeeping allocates, which breaks
+// allocation-count assertions.
+const raceEnabled = true

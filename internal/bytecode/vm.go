@@ -1,0 +1,623 @@
+package bytecode
+
+import (
+	"fmt"
+
+	"repro/internal/pipeline"
+)
+
+// Ctx is the pooled per-execution state of a bytecode program: the flat
+// PHV, the switch state, and the per-context TCAM lookup caches. It
+// mirrors pipeline.LCtx field-for-field so embedders treat the two
+// executors interchangeably.
+type Ctx struct {
+	PHV     []pipeline.Value
+	State   *pipeline.State
+	Reports []pipeline.Report
+	// TableApplies and OpsExecuted mirror the interpreter's counters.
+	TableApplies int
+	OpsExecuted  int
+
+	caches []tcamCache
+	// wide is the reusable key buffer for applies of tables with more
+	// than MaxPackedKeys columns.
+	wide []uint64
+
+	// trustCaches suppresses the per-lookup Table.Version check after
+	// BeginBatch has validated every cache entry: for the rest of the
+	// batch, lookups trust the memoized results. Concurrent control
+	// plane installs are then observed with at most one batch of delay
+	// instead of at the next version poll — the same freshness contract
+	// batching already implies.
+	trustCaches bool
+
+	// Ephemeral-report mode (BeginEphemeralReports): reports and their
+	// Args are carved from context-owned buffers that survive release
+	// instead of being heap-allocated per report.
+	ephemeral  bool
+	ephReports []pipeline.Report
+	argArena   []pipeline.Value
+}
+
+// BeginEphemeralReports arms arena-backed report storage for the
+// current execution, with the same contract as LCtx: every report
+// raised until the context is released (or this is called again on a
+// persistent context) must be fully consumed before the next
+// execution. Calling it again on an already-ephemeral context recycles
+// the previous execution's report buffer, so persistent per-shard
+// contexts reach zero allocations per packet at steady state.
+func (c *Ctx) BeginEphemeralReports() {
+	if c.ephemeral {
+		c.ephReports = c.Reports[:0]
+	}
+	c.ephemeral = true
+	c.Reports = c.ephReports[:0]
+	c.argArena = c.argArena[:0]
+}
+
+// tcamWays is the associativity of each TCAM apply site's lookup cache.
+// A trace touches one *Table per switch it visits, so a single-entry
+// cache (the linked executor's choice) thrashes when a context runs a
+// whole multi-switch trace; four ways cover the topologies the corpus
+// replays without a per-lookup map.
+const tcamWays = 4
+
+// maxCacheEntries bounds each per-site memo map; beyond it, lookups
+// fall through uncached rather than growing the map unboundedly.
+const maxCacheEntries = 1024
+
+// tcamEnt memoizes TCAM lookups against one table, invalidated by
+// version change.
+type tcamEnt struct {
+	table   *pipeline.Table
+	version uint64
+	m       map[pipeline.PackedKey]cacheEnt
+}
+
+type cacheEnt struct {
+	action []pipeline.Value
+	hit    bool
+}
+
+// tcamCache is the per-site set of memo entries.
+type tcamCache struct {
+	ents [tcamWays]tcamEnt
+	rr   uint8
+}
+
+// ent returns the memo entry for t, revalidating (or evicting) as
+// needed. With trust set, a hit skips the version poll — BeginBatch
+// has already validated it this batch.
+func (sc *tcamCache) ent(t *pipeline.Table, trust bool) *tcamEnt {
+	for i := range sc.ents {
+		e := &sc.ents[i]
+		if e.table == t {
+			if !trust {
+				if v := t.Version(); v != e.version {
+					e.version = v
+					clear(e.m)
+				}
+			}
+			return e
+		}
+	}
+	var e *tcamEnt
+	for i := range sc.ents {
+		if sc.ents[i].table == nil {
+			e = &sc.ents[i]
+			break
+		}
+	}
+	if e == nil {
+		e = &sc.ents[sc.rr]
+		sc.rr = (sc.rr + 1) % tcamWays
+	}
+	e.table, e.version = t, t.Version()
+	if e.m == nil {
+		e.m = make(map[pipeline.PackedKey]cacheEnt, 16)
+	} else {
+		clear(e.m)
+	}
+	return e
+}
+
+// AcquireCtx returns an execution context from the pool, its PHV reset
+// to the program template (decode-empty telemetry, width-defaulted
+// fields, constants).
+func (p *Prog) AcquireCtx() *Ctx {
+	c := p.ctxPool.Get().(*Ctx)
+	copy(c.PHV, p.template)
+	return c
+}
+
+// ReleaseCtx resets a context and returns it to the pool, with the same
+// report-detachment contract as Linked.ReleaseCtx: Reports escape with
+// the caller unless the execution was ephemeral.
+func (p *Prog) ReleaseCtx(c *Ctx) {
+	c.State = nil
+	c.OpsExecuted, c.TableApplies = 0, 0
+	c.trustCaches = false
+	if c.ephemeral {
+		c.ephemeral = false
+		c.ephReports = c.Reports[:0]
+	}
+	c.Reports = nil
+	p.ctxPool.Put(c)
+}
+
+// BeginTrace resets the telemetry region to its decode-empty image —
+// the whole-trace (resident-PHV) entry point: telemetry then stays in
+// the slots across hops with no intermediate blob codec, which is
+// byte-equivalent to the per-hop roundtrip because every telemetry
+// slot write is already masked to its wire width.
+func (p *Prog) BeginTrace(c *Ctx) {
+	copy(c.PHV[:p.nTele], p.template[:p.nTele])
+}
+
+// BeginHop resets the writable scratch slots to the template (the
+// compile-time resetRuns — constants, read-only fields, and
+// statement-scoped temps can't diverge, so they are skipped) and
+// installs the per-hop builtin metadata. Telemetry slots are left
+// untouched: they carry across hops in resident mode. The PHV is owned
+// by the VM between BeginTrace and the end of the trace; external
+// writes to non-bind slots between hops are not restored.
+func (p *Prog) BeginHop(c *Ctx, st *pipeline.State, switchID uint32, pktLen int, first, last bool) {
+	c.State = st
+	phv := c.PHV
+	for _, r := range p.resetRuns {
+		copy(phv[r[0]:r[1]], p.template[r[0]:r[1]])
+	}
+	p.SetHopMeta(phv, switchID, pktLen, first, last)
+}
+
+// SetHopMeta installs the builtin per-hop metadata slots (the same
+// widths the compiler runtime feeds the other executors).
+func (p *Prog) SetHopMeta(phv []pipeline.Value, switchID uint32, pktLen int, first, last bool) {
+	phv[p.slotSwitch] = pipeline.B(32, uint64(switchID))
+	phv[p.slotPktLen] = pipeline.B(32, uint64(pktLen))
+	phv[p.slotLast] = pipeline.BoolV(last)
+	phv[p.slotFirst] = pipeline.BoolV(first)
+}
+
+// BeginBatch revalidates every TCAM cache entry once and arms
+// trust-caches mode: until the context is released or the next
+// BeginBatch, apply sites skip the per-lookup version poll.
+func (p *Prog) BeginBatch(c *Ctx) {
+	for i := range c.caches {
+		for j := range c.caches[i].ents {
+			e := &c.caches[i].ents[j]
+			if e.table == nil {
+				continue
+			}
+			if v := e.table.Version(); v != e.version {
+				e.version = v
+				clear(e.m)
+			}
+		}
+	}
+	c.trustCaches = true
+}
+
+// Reject reads the checker's reject verdict from the PHV.
+func (p *Prog) Reject(c *Ctx) bool { return c.PHV[p.slotReject].Bool() }
+
+// BindHeaderSlots copies bound header values into the PHV: vals[i]
+// corresponds to Bindings()[i], and a zero-width Value marks an absent
+// binding (matching a missing key in the map-based Headers env).
+func (p *Prog) BindHeaderSlots(phv []pipeline.Value, vals []pipeline.Value) {
+	for i, s := range p.bindSlots {
+		if i >= len(vals) {
+			return
+		}
+		if v := vals[i]; v.W != 0 {
+			phv[s] = v
+		}
+	}
+}
+
+// BindHeaderMap copies bound header values from a path-keyed map.
+func (p *Prog) BindHeaderMap(phv []pipeline.Value, headers map[string]pipeline.Value) {
+	for i, path := range p.bindings {
+		if v, ok := headers[path]; ok {
+			phv[p.bindSlots[i]] = v
+		}
+	}
+}
+
+// ExecInit runs the init block.
+func (p *Prog) ExecInit(c *Ctx) { p.run(c, p.init) }
+
+// ExecTelemetry runs the telemetry block.
+func (p *Prog) ExecTelemetry(c *Ctx) { p.run(c, p.tele) }
+
+// ExecChecker runs the checker block.
+func (p *Prog) ExecChecker(c *Ctx) { p.run(c, p.check) }
+
+// run is the dispatch loop: one flat instruction array, one switch, no
+// closures, no interface values. Ops that correspond to IR ops bump
+// OpsExecuted exactly as the other executors do; the count accumulates
+// in a local so the loop isn't forced to reload the Ctx field after
+// every PHV store (the compiler can't prove phv doesn't alias c).
+func (p *Prog) run(c *Ctx, code []Instr) {
+	phv := c.PHV
+	ops := 0
+	for pc := 0; pc < len(code); {
+		in := &code[pc]
+		pc++
+		switch in.Op {
+		case opAssign:
+			ops++
+			phv[in.A] = pipeline.B(int(in.W), phv[in.B].V)
+
+		case opJz:
+			ops++
+			if phv[in.A].V == 0 {
+				pc = int(in.B)
+			}
+
+		case opJzEq:
+			ops++
+			if phv[in.B].V != phv[in.C].V {
+				pc = int(in.D)
+			}
+		case opJzNe:
+			ops++
+			if phv[in.B].V == phv[in.C].V {
+				pc = int(in.D)
+			}
+		case opJzLt:
+			ops++
+			if phv[in.B].V >= phv[in.C].V {
+				pc = int(in.D)
+			}
+		case opJzLe:
+			ops++
+			if phv[in.B].V > phv[in.C].V {
+				pc = int(in.D)
+			}
+		case opJzGt:
+			ops++
+			if phv[in.B].V <= phv[in.C].V {
+				pc = int(in.D)
+			}
+		case opJzGe:
+			ops++
+			if phv[in.B].V < phv[in.C].V {
+				pc = int(in.D)
+			}
+		case opJzAnd:
+			ops++
+			if phv[in.B].V == 0 || phv[in.C].V == 0 {
+				pc = int(in.D)
+			}
+		case opJzOr:
+			ops++
+			if phv[in.B].V == 0 && phv[in.C].V == 0 {
+				pc = int(in.D)
+			}
+		case opJnz:
+			ops++
+			if phv[in.A].V != 0 {
+				pc = int(in.B)
+			}
+
+		case opJmp:
+			pc = int(in.A)
+
+		case opLoadF:
+			v := phv[in.B]
+			if v.W == 0 {
+				v = pipeline.Value{W: int(in.W)}
+			}
+			phv[in.A] = v
+
+		case opNot:
+			phv[in.A] = pipeline.BoolV(phv[in.B].V == 0)
+		case opBNot:
+			x := phv[in.B]
+			phv[in.A] = pipeline.B(x.W, ^x.V)
+		case opNeg:
+			x := phv[in.B]
+			phv[in.A] = pipeline.B(x.W, -x.V)
+		case opAbs:
+			x := phv[in.B]
+			s := x.Signed()
+			if s < 0 {
+				s = -s
+			}
+			phv[in.A] = pipeline.B(x.W, uint64(s))
+
+		case opBoolAnd:
+			phv[in.A] = pipeline.BoolV(phv[in.B].V != 0 && phv[in.C].V != 0)
+		case opBoolOr:
+			phv[in.A] = pipeline.BoolV(phv[in.B].V != 0 || phv[in.C].V != 0)
+		case opSelect:
+			if phv[in.B].V != 0 {
+				phv[in.A] = phv[in.C]
+			} else {
+				phv[in.A] = phv[in.D]
+			}
+
+		case opAdd:
+			x, y := phv[in.B], phv[in.C]
+			phv[in.A] = pipeline.B(binWidth(x, y), x.V+y.V)
+		case opSub:
+			x, y := phv[in.B], phv[in.C]
+			phv[in.A] = pipeline.B(binWidth(x, y), x.V-y.V)
+		case opMul:
+			x, y := phv[in.B], phv[in.C]
+			phv[in.A] = pipeline.B(binWidth(x, y), x.V*y.V)
+		case opDiv:
+			x, y := phv[in.B], phv[in.C]
+			if y.V == 0 {
+				phv[in.A] = pipeline.B(binWidth(x, y), 0)
+			} else {
+				phv[in.A] = pipeline.B(binWidth(x, y), x.V/y.V)
+			}
+		case opMod:
+			x, y := phv[in.B], phv[in.C]
+			if y.V == 0 {
+				phv[in.A] = pipeline.B(binWidth(x, y), 0)
+			} else {
+				phv[in.A] = pipeline.B(binWidth(x, y), x.V%y.V)
+			}
+		case opBAnd:
+			x, y := phv[in.B], phv[in.C]
+			phv[in.A] = pipeline.B(binWidth(x, y), x.V&y.V)
+		case opBOr:
+			x, y := phv[in.B], phv[in.C]
+			phv[in.A] = pipeline.B(binWidth(x, y), x.V|y.V)
+		case opBXor:
+			x, y := phv[in.B], phv[in.C]
+			phv[in.A] = pipeline.B(binWidth(x, y), x.V^y.V)
+		case opShl:
+			x, y := phv[in.B], phv[in.C]
+			if y.V >= 64 {
+				phv[in.A] = pipeline.B(binWidth(x, y), 0)
+			} else {
+				phv[in.A] = pipeline.B(binWidth(x, y), x.V<<y.V)
+			}
+		case opShr:
+			x, y := phv[in.B], phv[in.C]
+			if y.V >= 64 {
+				phv[in.A] = pipeline.B(binWidth(x, y), 0)
+			} else {
+				phv[in.A] = pipeline.B(binWidth(x, y), x.V>>y.V)
+			}
+		case opMax:
+			x, y := phv[in.B], phv[in.C]
+			if x.V >= y.V {
+				phv[in.A] = pipeline.B(binWidth(x, y), x.V)
+			} else {
+				phv[in.A] = pipeline.B(binWidth(x, y), y.V)
+			}
+		case opMin:
+			x, y := phv[in.B], phv[in.C]
+			if x.V <= y.V {
+				phv[in.A] = pipeline.B(binWidth(x, y), x.V)
+			} else {
+				phv[in.A] = pipeline.B(binWidth(x, y), y.V)
+			}
+
+		case opEq:
+			phv[in.A] = pipeline.BoolV(phv[in.B].V == phv[in.C].V)
+		case opNe:
+			phv[in.A] = pipeline.BoolV(phv[in.B].V != phv[in.C].V)
+		case opLt:
+			phv[in.A] = pipeline.BoolV(phv[in.B].V < phv[in.C].V)
+		case opLe:
+			phv[in.A] = pipeline.BoolV(phv[in.B].V <= phv[in.C].V)
+		case opGt:
+			phv[in.A] = pipeline.BoolV(phv[in.B].V > phv[in.C].V)
+		case opGe:
+			phv[in.A] = pipeline.BoolV(phv[in.B].V >= phv[in.C].V)
+
+		case opApply:
+			ops++
+			p.runApply(c, &p.applies[in.A])
+
+		case opRegRead:
+			ops++
+			rs := &p.regs[in.B]
+			r := c.State.RegisterAt(rs.idx, rs.name)
+			phv[in.A] = pipeline.B(int(in.W), r.Read(int(phv[in.C].V)))
+
+		case opRegWrite:
+			ops++
+			rs := &p.regs[in.A]
+			r := c.State.RegisterAt(rs.idx, rs.name)
+			r.Write(int(phv[in.B].V), phv[in.C].V)
+
+		case opPush:
+			ops++
+			site := &p.arrays[in.A]
+			n := int32(phv[site.cnt].V)
+			v := phv[in.B].V
+			if n < site.capN {
+				phv[site.start+n] = pipeline.B(int(site.ew), v)
+				phv[site.cnt] = pipeline.B(8, uint64(n+1))
+			} else {
+				// Full: shift out the oldest element.
+				for i := int32(0); i+1 < site.capN; i++ {
+					phv[site.start+i] = phv[site.start+i+1]
+				}
+				phv[site.start+site.capN-1] = pipeline.B(int(site.ew), v)
+			}
+
+		case opSetSlot:
+			ops++
+			site := &p.arrays[in.A]
+			i := int64(phv[in.B].V)
+			if i < 0 || i >= int64(site.capN) {
+				break // out-of-range writes are dropped, as on hardware
+			}
+			phv[site.start+int32(i)] = pipeline.B(int(site.ew), phv[in.C].V)
+			if n := int64(phv[site.cnt].V); i >= n {
+				phv[site.cnt] = pipeline.B(8, uint64(i+1))
+			}
+
+		case opReport:
+			ops++
+			p.runReport(c, &p.reports[in.A])
+
+		default:
+			panic(fmt.Sprintf("bytecode: bad opcode %d", in.Op))
+		}
+	}
+	c.OpsExecuted += ops
+}
+
+// binWidth reconciles binary operand widths: a width-0 (unset/weak)
+// left side adopts the right side's width.
+func binWidth(x, y pipeline.Value) int {
+	if x.W == 0 {
+		return y.W
+	}
+	return x.W
+}
+
+// runApply executes one apply site. Exact-packed tables go straight to
+// the table's lock-free snapshot; TCAM sites memoize through the
+// per-context set-associative cache; wide tables take the generic
+// slice path.
+func (p *Prog) runApply(c *Ctx, site *applySite) {
+	t := c.State.TableAt(site.table, site.name)
+	if site.wide {
+		nk := len(site.keys)
+		if cap(c.wide) < nk {
+			c.wide = make([]uint64, nk)
+		}
+		kv := c.wide[:nk]
+		for i, s := range site.keys {
+			kv[i] = c.PHV[s].V
+		}
+		action, hit := t.Lookup(kv)
+		p.writeOut(c, site, action, hit)
+		return
+	}
+	var k pipeline.PackedKey
+	for i, s := range site.keys {
+		k[i] = c.PHV[s].V
+	}
+	if site.cache < 0 {
+		action, hit := t.LookupPacked(k)
+		p.writeOut(c, site, action, hit)
+		return
+	}
+	e := c.caches[site.cache].ent(t, c.trustCaches)
+	ce, ok := e.m[k]
+	if !ok {
+		ce.action, ce.hit = t.LookupPacked(k)
+		if len(e.m) < maxCacheEntries {
+			e.m[k] = ce
+		}
+	}
+	p.writeOut(c, site, ce.action, ce.hit)
+}
+
+func (p *Prog) writeOut(c *Ctx, site *applySite, action []pipeline.Value, hit bool) {
+	for i, s := range site.outs {
+		c.PHV[s] = action[i]
+	}
+	c.PHV[site.hit] = pipeline.BoolV(hit)
+	c.TableApplies++
+}
+
+func (p *Prog) runReport(c *Ctx, site *reportSite) {
+	var vals []pipeline.Value
+	if c.ephemeral {
+		// Arena growth may move earlier reports' Args to a stale
+		// array — their values stay intact, so reads remain correct;
+		// the arena converges after warmup.
+		off := len(c.argArena)
+		for _, s := range site.args {
+			c.argArena = append(c.argArena, c.PHV[s])
+		}
+		vals = c.argArena[off:len(c.argArena):len(c.argArena)]
+	} else {
+		vals = make([]pipeline.Value, len(site.args))
+		for i, s := range site.args {
+			vals[i] = c.PHV[s]
+		}
+	}
+	c.Reports = append(c.Reports, pipeline.Report{Args: vals})
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry wire codec over slots
+
+// TeleWireBytes is the serialized telemetry blob size.
+func (p *Prog) TeleWireBytes() int { return (p.teleBits + 7) / 8 }
+
+// DecodeTele unpacks a telemetry blob into the slot PHV. An empty blob
+// (first hop) zero-fills the telemetry slots at their declared widths.
+func (p *Prog) DecodeTele(blob []byte, phv []pipeline.Value) error {
+	if len(blob) == 0 {
+		copy(phv[:p.nTele], p.template[:p.nTele])
+		return nil
+	}
+	if len(blob)*8 < p.teleBits {
+		return fmt.Errorf("pipeline: telemetry blob: bit read past end: need %d bits, have %d", p.teleBits, len(blob)*8)
+	}
+	for _, st := range p.teleSteps {
+		phv[st.slot] = pipeline.Value{W: int(st.width), V: getBits(blob, int(st.off), int(st.width))}
+	}
+	return nil
+}
+
+// EncodeTele packs the slot PHV's telemetry fields into dst's storage
+// (grown only if too small) and returns the blob. Callers that own dst
+// get an allocation-free encode; pass nil for a fresh blob.
+func (p *Prog) EncodeTele(dst []byte, phv []pipeline.Value) []byte {
+	n := p.TeleWireBytes()
+	if cap(dst) >= n {
+		dst = dst[:n]
+		clear(dst)
+	} else {
+		dst = make([]byte, n)
+	}
+	for _, st := range p.teleSteps {
+		putBits(dst, int(st.off), int(st.width), phv[st.slot].V)
+	}
+	return dst
+}
+
+// putBits writes the low `width` bits of v MSB-first at static bit
+// offset off. The buffer must be pre-zeroed; byte-aligned whole-byte
+// writes take a store-only fast path. (Private duplicate of the linked
+// executor's codec — both pinned by the cross-backend blob equality
+// checks in difftest.)
+func putBits(buf []byte, off, width int, v uint64) {
+	if width <= 0 {
+		return
+	}
+	v = pipeline.Mask(width, v)
+	if off%8 == 0 && width%8 == 0 {
+		for i := width - 8; i >= 0; i -= 8 {
+			buf[off>>3] = byte(v >> uint(i))
+			off += 8
+		}
+		return
+	}
+	for i := width - 1; i >= 0; i-- {
+		buf[off>>3] |= byte(v>>uint(i)&1) << uint(7-off%8)
+		off++
+	}
+}
+
+// getBits reads `width` bits MSB-first from static bit offset off.
+func getBits(buf []byte, off, width int) uint64 {
+	var v uint64
+	if off%8 == 0 && width%8 == 0 {
+		for i := 0; i < width; i += 8 {
+			v = v<<8 | uint64(buf[off>>3])
+			off += 8
+		}
+		return v
+	}
+	for i := 0; i < width; i++ {
+		v = v<<1 | uint64(buf[off>>3]>>uint(7-off%8)&1)
+		off++
+	}
+	return v
+}

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/bytecode"
 	"repro/internal/pipeline"
 )
 
@@ -27,9 +28,16 @@ type Runtime struct {
 	// NoLink disables the linked executor; set it before the first Run*
 	// call. Used by the conformance suite to pin the reference path.
 	NoLink bool
+	// UseVM routes RunBlocks through the bytecode VM backend instead of
+	// the linked closures; set it before the first Run* call. RunTraceVM
+	// is available regardless.
+	UseVM bool
 
 	linkOnce sync.Once
 	linked   *pipeline.Linked
+
+	vmOnce sync.Once
+	vm     *bytecode.Prog
 
 	// bindings caches the sorted header-binding paths the program reads;
 	// both executors bind headers in this order, and HopEnv.SlotHeaders
@@ -85,6 +93,21 @@ func (r *Runtime) Linked() *pipeline.Linked {
 		}
 	})
 	return r.linked
+}
+
+// VM returns the flat bytecode form of the program, compiling it on
+// first use, or nil when NoLink is set or compilation fails (execution
+// then falls back to the linked closures or the map interpreter).
+func (r *Runtime) VM() *bytecode.Prog {
+	if r.NoLink {
+		return nil
+	}
+	r.vmOnce.Do(func() {
+		if vp, err := bytecode.Compile(r.Prog); err == nil {
+			r.vm = vp
+		}
+	})
+	return r.vm
 }
 
 // HopEnv is the per-hop execution environment.
@@ -152,10 +175,59 @@ type BlockSet struct {
 // RunBlocks executes the selected blocks against the telemetry blob and
 // hop environment and returns the updated blob plus any verdicts.
 func (r *Runtime) RunBlocks(blob []byte, env HopEnv, bs BlockSet, first, last bool) (HopResult, error) {
+	if r.UseVM {
+		if vp := r.VM(); vp != nil {
+			return r.runVM(vp, blob, env, bs, first, last)
+		}
+	}
 	if lk := r.Linked(); lk != nil {
 		return r.runLinked(lk, blob, env, bs, first, last)
 	}
 	return r.runMapped(blob, env, bs, first, last)
+}
+
+// runVM executes one hop through the bytecode backend, with the same
+// per-hop blob roundtrip contract as runLinked.
+func (r *Runtime) runVM(vp *bytecode.Prog, blob []byte, env HopEnv, bs BlockSet, first, last bool) (HopResult, error) {
+	c := vp.AcquireCtx()
+	c.State = env.State
+	if env.EphemeralReports {
+		c.BeginEphemeralReports()
+	}
+	if err := vp.DecodeTele(blob, c.PHV); err != nil {
+		vp.ReleaseCtx(c)
+		return HopResult{}, err
+	}
+	vp.SetHopMeta(c.PHV, env.SwitchID, int(env.PacketLen), first, last)
+	if env.SlotHeaders != nil {
+		vp.BindHeaderSlots(c.PHV, env.SlotHeaders)
+	} else if env.Headers != nil {
+		vp.BindHeaderMap(c.PHV, env.Headers)
+	}
+
+	if bs.Init {
+		vp.ExecInit(c)
+	}
+	if bs.Telemetry {
+		vp.ExecTelemetry(c)
+	}
+	if bs.Checker {
+		vp.ExecChecker(c)
+	}
+
+	var dst []byte
+	if env.ReuseBlob {
+		dst = blob[:0]
+	}
+	res := HopResult{
+		Blob:         vp.EncodeTele(dst, c.PHV),
+		Reject:       vp.Reject(c),
+		Reports:      c.Reports,
+		TableApplies: c.TableApplies,
+		OpsExecuted:  c.OpsExecuted,
+	}
+	vp.ReleaseCtx(c)
+	return res, nil
 }
 
 // runLinked is the hot path: pooled flat PHV, closure ops, in-place
@@ -303,5 +375,45 @@ func (r *Runtime) RunTrace(envs []HopEnv) (TraceResult, error) {
 		}
 	}
 	res.FinalBlob = blob
+	return res, nil
+}
+
+// RunTraceVM executes a full path through the bytecode backend in
+// resident-PHV mode: telemetry stays in the slot vector between hops
+// and the wire codec runs only once, for the final blob. This is the
+// engine's batched execution shape; difftest replays every trace
+// through it to pin byte-equivalence with the per-hop roundtrip.
+func (r *Runtime) RunTraceVM(envs []HopEnv) (TraceResult, error) {
+	vp := r.VM()
+	if vp == nil {
+		return TraceResult{}, fmt.Errorf("compiler: bytecode backend unavailable")
+	}
+	if len(envs) == 0 {
+		return TraceResult{}, fmt.Errorf("compiler: empty trace")
+	}
+	c := vp.AcquireCtx()
+	var res TraceResult
+	for i, env := range envs {
+		first, last := i == 0, i == len(envs)-1
+		vp.BeginHop(c, env.State, env.SwitchID, int(env.PacketLen), first, last)
+		if env.SlotHeaders != nil {
+			vp.BindHeaderSlots(c.PHV, env.SlotHeaders)
+		} else if env.Headers != nil {
+			vp.BindHeaderMap(c.PHV, env.Headers)
+		}
+		if first {
+			vp.ExecInit(c)
+		}
+		vp.ExecTelemetry(c)
+		if last || r.CheckEveryHop {
+			vp.ExecChecker(c)
+		}
+		if vp.Reject(c) {
+			res.Reject = true
+		}
+	}
+	res.Reports = c.Reports
+	res.FinalBlob = vp.EncodeTele(nil, c.PHV)
+	vp.ReleaseCtx(c)
 	return res, nil
 }

@@ -60,7 +60,7 @@ func CompileCorpus(key string) (*Compiled, error) {
 	return CompileSource(p.Source)
 }
 
-// Runner executes traces against all three backends with mirrored
+// Runner executes traces against all four backends with mirrored
 // per-switch state. A Runner is single-use per state history: every
 // trace it runs mutates its registers and firewall-style dict state.
 type Runner struct {
@@ -69,6 +69,7 @@ type Runner struct {
 	evalSw    map[uint32]*eval.SwitchState
 	pipeSw    map[uint32]*pipeline.State
 	pipeSwRef map[uint32]*pipeline.State
+	pipeSwVM  map[uint32]*pipeline.State
 }
 
 // NewRunner builds a fresh mirrored state set over the compiled program.
@@ -78,6 +79,7 @@ func (c *Compiled) NewRunner() *Runner {
 		evalSw:    map[uint32]*eval.SwitchState{},
 		pipeSw:    map[uint32]*pipeline.State{},
 		pipeSwRef: map[uint32]*pipeline.State{},
+		pipeSwVM:  map[uint32]*pipeline.State{},
 	}
 }
 
@@ -86,11 +88,12 @@ func (r *Runner) sw(id uint32) (*eval.SwitchState, *pipeline.State) {
 		r.evalSw[id] = eval.NewSwitchState(id)
 		r.pipeSw[id] = r.c.Prog.NewState()
 		r.pipeSwRef[id] = r.c.Prog.NewState()
+		r.pipeSwVM[id] = r.c.Prog.NewState()
 	}
 	return r.evalSw[id], r.pipeSw[id]
 }
 
-// insert mirrors a table install into both pipeline backends' states.
+// insert mirrors a table install into every pipeline backend's state.
 func (r *Runner) insert(id uint32, name string, e pipeline.Entry) error {
 	r.sw(id)
 	if err := r.pipeSw[id].Tables[name].Insert(e); err != nil {
@@ -98,6 +101,9 @@ func (r *Runner) insert(id uint32, name string, e pipeline.Entry) error {
 	}
 	if err := r.pipeSwRef[id].Tables[name].Insert(e); err != nil {
 		return fmt.Errorf("install %s (ref): %w", name, err)
+	}
+	if err := r.pipeSwVM[id].Tables[name].Insert(e); err != nil {
+		return fmt.Errorf("install %s (vm): %w", name, err)
 	}
 	return nil
 }
@@ -240,14 +246,15 @@ type HopSpec struct {
 }
 
 // RunTrace executes the trace on every backend — the eval interpreter,
-// the map-based pipeline, and the linked pipeline — and compares
-// verdicts and report payloads across all three, plus byte-exact final
-// telemetry blobs between the two pipeline executors. A disagreement
-// returns a *Divergence error.
+// the map-based pipeline, the linked pipeline, and the bytecode VM —
+// and compares verdicts and report payloads across all four, plus
+// byte-exact final telemetry blobs between the pipeline executors. A
+// disagreement returns a *Divergence error.
 func (r *Runner) RunTrace(trace []HopSpec) (Outcome, error) {
 	evalHops := make([]eval.Hop, len(trace))
 	pipeEnvs := make([]compiler.HopEnv, len(trace))
 	refEnvs := make([]compiler.HopEnv, len(trace))
+	vmEnvs := make([]compiler.HopEnv, len(trace))
 	for i, hs := range trace {
 		es, ps := r.sw(hs.SW)
 		pktLen := hs.PktLen
@@ -271,6 +278,7 @@ func (r *Runner) RunTrace(trace []HopSpec) (Outcome, error) {
 		evalHops[i] = eval.Hop{Switch: es, Headers: headers, PacketLen: pktLen}
 		pipeEnvs[i] = compiler.HopEnv{State: ps, SwitchID: hs.SW, Headers: pipeHeaders, PacketLen: pktLen}
 		refEnvs[i] = compiler.HopEnv{State: r.pipeSwRef[hs.SW], SwitchID: hs.SW, Headers: pipeHeaders, PacketLen: pktLen}
+		vmEnvs[i] = compiler.HopEnv{State: r.pipeSwVM[hs.SW], SwitchID: hs.SW, Headers: pipeHeaders, PacketLen: pktLen}
 	}
 
 	want, err := r.c.m.RunTrace(evalHops)
@@ -285,10 +293,38 @@ func (r *Runner) RunTrace(trace []HopSpec) (Outcome, error) {
 	if err != nil {
 		return Outcome{}, fmt.Errorf("map pipeline: %w", err)
 	}
+	vm, err := r.c.rt.RunTraceVM(vmEnvs)
+	if err != nil {
+		return Outcome{}, fmt.Errorf("bytecode vm: %w", err)
+	}
+
+	// Bytecode VM (resident-PHV, whole-trace) vs linked (per-hop blob
+	// roundtrip): bit-identical, including the final wire blob.
+	pair := "vm vs linked"
+	if vm.Reject != got.Reject {
+		return Outcome{}, &Divergence{pair, fmt.Sprintf("vm reject=%v, linked reject=%v", vm.Reject, got.Reject)}
+	}
+	if !bytes.Equal(vm.FinalBlob, got.FinalBlob) {
+		return Outcome{}, &Divergence{pair, fmt.Sprintf("final blob mismatch: vm %x, linked %x", vm.FinalBlob, got.FinalBlob)}
+	}
+	if len(vm.Reports) != len(got.Reports) {
+		return Outcome{}, &Divergence{pair, fmt.Sprintf("report count: vm %d, linked %d", len(vm.Reports), len(got.Reports))}
+	}
+	for i := range vm.Reports {
+		va, ga := vm.Reports[i].Args, got.Reports[i].Args
+		if len(va) != len(ga) {
+			return Outcome{}, &Divergence{pair, fmt.Sprintf("report %d arity: vm %v, linked %v", i, va, ga)}
+		}
+		for j := range va {
+			if va[j] != ga[j] {
+				return Outcome{}, &Divergence{pair, fmt.Sprintf("report %d arg %d: vm %v, linked %v", i, j, va[j], ga[j])}
+			}
+		}
+	}
 
 	// Linked vs map-based pipeline: bit-identical, including the wire
 	// blob that left the last hop.
-	pair := "linked vs map-based"
+	pair = "linked vs map-based"
 	if got.Reject != ref.Reject {
 		return Outcome{}, &Divergence{pair, fmt.Sprintf("linked reject=%v, map-based reject=%v", got.Reject, ref.Reject)}
 	}

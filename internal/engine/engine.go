@@ -37,6 +37,7 @@ import (
 	"runtime"
 	"sync"
 
+	"repro/internal/bytecode"
 	"repro/internal/compiler"
 	"repro/internal/dataplane"
 	"repro/internal/pipeline"
@@ -128,6 +129,11 @@ type Config struct {
 	// shared lock and a full ring drops (with accounting) instead of
 	// blocking the worker. Composable with KeepReports.
 	ReportBus *reportbus.Bus
+	// NoBatch disables the bytecode-VM batched execution path, forcing
+	// hop-major per-packet execution through Checker.RT.RunHop. The
+	// engine also falls back automatically when a checker has no
+	// bytecode form, checks every hop, or can reject mid-trace.
+	NoBatch bool
 }
 
 // Engine executes checkers over submitted packets on sharded workers.
@@ -200,6 +206,24 @@ func (e *Engine) Install(checker string, switchID uint32, fn func(*pipeline.Stat
 	return nil
 }
 
+// Warm eagerly rebuilds the lock-free table snapshots of every state
+// replica created so far (pipeline.State.Warm). Call it after a batch
+// of Installs and before submitting traffic, so the first packets don't
+// pay the O(n) snapshot rebuilds on the data path.
+func (e *Engine) Warm() {
+	for _, s := range e.shards {
+		s.warm()
+	}
+}
+
+func (s *shard) warm() {
+	for _, states := range s.states {
+		for _, st := range states {
+			st.Warm()
+		}
+	}
+}
+
 func errUnknownChecker(name string) error {
 	return fmt.Errorf("engine: unknown checker %q", name)
 }
@@ -213,7 +237,10 @@ func (e *Engine) ShardOf(k dataplane.FlowKey) int {
 // backpressure when the shard's queue is full. Submit is not safe for
 // concurrent use — it is the dispatcher stage.
 func (e *Engine) Submit(p Packet) {
-	si := e.ShardOf(p.Key)
+	si := 0
+	if len(e.shards) > 1 {
+		si = e.ShardOf(p.Key)
+	}
 	if e.pending[si] == nil {
 		e.pending[si] = e.pool.Get().([]Packet)[:0]
 	}
@@ -358,6 +385,29 @@ type shard struct {
 	// prod is this shard's ring producer on Config.ReportBus (nil when
 	// no bus is attached).
 	prod *reportbus.Producer
+
+	// Batched bytecode-VM execution state (see batch.go). batchVM is
+	// true when every checker qualifies; the vm* slices then hold one
+	// compiled program, one persistent context, and one direct PHV
+	// scatter plan per checker.
+	batchVM bool
+	vmProgs []*bytecode.Prog
+	vmCtxs  []*bytecode.Ctx
+	vmBinds [][]bindPair
+	// hot is a per-checker linear-scan cache over states: traces touch
+	// a handful of switches, so a 2-3 entry scan beats a map hash per
+	// checker-hop.
+	hot [][]swEnt
+	// Per-batch scratch, grown to the batch length.
+	hvBuf  [][numStdHdrs]pipeline.Value
+	rejBuf []bool
+	repBuf []int32
+}
+
+// swEnt is one entry of the shard's hot state cache.
+type swEnt struct {
+	id uint32
+	st *pipeline.State
 }
 
 func newShard(id int, cfg *Config) *shard {
@@ -389,6 +439,7 @@ func newShard(id int, cfg *Config) *shard {
 			}
 		}
 	}
+	s.setupBatch()
 	return s
 }
 
@@ -405,8 +456,12 @@ func (s *shard) state(i int, switchID uint32) *pipeline.State {
 
 func (s *shard) run(pool *sync.Pool) {
 	for batch := range s.in {
-		for i := range batch {
-			s.process(&batch[i])
+		if s.batchVM {
+			s.processBatch(batch)
+		} else {
+			for i := range batch {
+				s.process(&batch[i])
+			}
 		}
 		pool.Put(batch[:0])
 	}
@@ -415,7 +470,10 @@ func (s *shard) run(pool *sync.Pool) {
 // bindBase sets the packet-constant header bindings (the subset of
 // netsim.BindPacketHeaders derivable from a 5-tuple trace record).
 func (s *shard) bindBase(p *Packet) {
-	h := &s.hvals
+	fillHvals(p, &s.hvals)
+}
+
+func fillHvals(p *Packet, h *[numStdHdrs]pipeline.Value) {
 	isIPv4 := p.Key != (dataplane.FlowKey{})
 	h[hdrIPv4Valid] = pipeline.BoolV(isIPv4)
 	h[hdrIPv4Src] = pipeline.B(32, uint64(p.Key.Src))

@@ -1,6 +1,9 @@
 package engine
 
-import "repro/internal/pipeline"
+import (
+	"repro/internal/bytecode"
+	"repro/internal/pipeline"
+)
 
 // Sequential executes the exact per-packet code path the sharded
 // workers run, inline on the caller's goroutine against a single
@@ -29,8 +32,26 @@ func (q *Sequential) Install(checker string, switchID uint32, fn func(*pipeline.
 	return errUnknownChecker(checker)
 }
 
+// Warm eagerly rebuilds the lock-free table snapshots of every state
+// replica created so far (see Engine.Warm).
+func (q *Sequential) Warm() { q.s.warm() }
+
 // Process runs all checkers over one packet.
 func (q *Sequential) Process(p Packet) { q.s.process(&p) }
+
+// ProcessBatch runs all checkers over a batch of packets through the
+// same path the sharded workers use: the batched bytecode-VM path when
+// every checker qualifies (see batch.go), otherwise the per-packet
+// loop.
+func (q *Sequential) ProcessBatch(pkts []Packet) {
+	if q.s.batchVM {
+		q.s.processBatch(pkts)
+		return
+	}
+	for i := range pkts {
+		q.s.process(&pkts[i])
+	}
+}
 
 // Counts returns the aggregate outcome so far.
 func (q *Sequential) Counts() Counts {
@@ -45,3 +66,14 @@ func (q *Sequential) Counts() Counts {
 
 // Reports returns the digests collected so far (requires KeepReports).
 func (q *Sequential) Reports() []Report { return q.s.reports }
+
+// VMContexts invokes f on each persistent batch-VM context and its
+// program, in checker order; a no-op when the batched path is
+// inactive. This exists for the arena-aliasing suite, which
+// deliberately poisons the contexts between batches to prove no
+// scratch value survives into the next packet's outcome.
+func (q *Sequential) VMContexts(f func(*bytecode.Prog, *bytecode.Ctx)) {
+	for i, c := range q.s.vmCtxs {
+		f(q.s.vmProgs[i], c)
+	}
+}

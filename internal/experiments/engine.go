@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 	"time"
 
@@ -31,6 +32,9 @@ type EngineReplayConfig struct {
 	// interpreter instead of the linked executor (used by the linked
 	// conformance tests as the ground truth).
 	NoLink bool
+	// NoBatch disables the bytecode-VM batched path, measuring the
+	// per-packet linked executor instead (the pre-batching baseline).
+	NoBatch bool
 }
 
 // EngineReplayResult is the outcome of one engine replay.
@@ -155,10 +159,15 @@ func RunEngineReplay(cfg EngineReplayConfig) (EngineReplayResult, error) {
 		BatchSize: cfg.BatchSize,
 		Checkers:  chks,
 		Verdicts:  verdicts,
+		NoBatch:   cfg.NoBatch,
 	})
 	if err := ConfigureReplayEngine(eng.Install, pairs); err != nil {
 		return EngineReplayResult{}, err
 	}
+	eng.Warm()
+	// Collect the install-phase garbage now so the replay's first GC
+	// cycle doesn't land mid-measurement (steady state is ~alloc-free).
+	runtime.GC()
 	start := time.Now()
 	for i := range pkts {
 		eng.Submit(pkts[i])
@@ -192,10 +201,12 @@ func RunSequentialReplay(cfg EngineReplayConfig) (EngineReplayResult, error) {
 	if cfg.KeepVerdicts {
 		verdicts = make([]engine.Verdict, len(pkts))
 	}
-	seq := engine.NewSequential(engine.Config{Checkers: chks, Verdicts: verdicts})
+	seq := engine.NewSequential(engine.Config{Checkers: chks, Verdicts: verdicts, NoBatch: cfg.NoBatch})
 	if err := ConfigureReplayEngine(seq.Install, pairs); err != nil {
 		return EngineReplayResult{}, err
 	}
+	seq.Warm()
+	runtime.GC()
 	start := time.Now()
 	for i := range pkts {
 		seq.Process(pkts[i])
@@ -203,6 +214,56 @@ func RunSequentialReplay(cfg EngineReplayConfig) (EngineReplayResult, error) {
 	wall := time.Since(start)
 	if wall <= 0 {
 		return EngineReplayResult{}, fmt.Errorf("experiments: empty sequential replay")
+	}
+	return EngineReplayResult{
+		Counts:         seq.Counts(),
+		Verdicts:       verdicts,
+		WallPktsPerSec: float64(cfg.Packets) / wall.Seconds(),
+		Shards:         1,
+	}, nil
+}
+
+// RunBatchReplay measures the steady-state batched checking rate: the
+// identical workload to RunSequentialReplay, driven through
+// Sequential.ProcessBatch in BatchSize slices. This is the per-packet
+// cost of the bytecode-VM batched hot path itself, without the sharded
+// engine's dispatch queues around it — the number the
+// BenchmarkEngineBatch* benchmarks track and BENCH_baseline.json pins
+// as batch_pps.
+func RunBatchReplay(cfg EngineReplayConfig) (EngineReplayResult, error) {
+	if cfg.Packets == 0 {
+		cfg.Packets = 50_000
+	}
+	batch := cfg.BatchSize
+	if batch <= 0 {
+		batch = 64
+	}
+	chks, err := CorpusCheckersOpt(cfg.NoLink)
+	if err != nil {
+		return EngineReplayResult{}, err
+	}
+	pkts, pairs := CampusEnginePackets(cfg.Packets, cfg.Seed)
+	var verdicts []engine.Verdict
+	if cfg.KeepVerdicts {
+		verdicts = make([]engine.Verdict, len(pkts))
+	}
+	seq := engine.NewSequential(engine.Config{Checkers: chks, Verdicts: verdicts, NoBatch: cfg.NoBatch})
+	if err := ConfigureReplayEngine(seq.Install, pairs); err != nil {
+		return EngineReplayResult{}, err
+	}
+	seq.Warm()
+	runtime.GC()
+	start := time.Now()
+	for lo := 0; lo < len(pkts); lo += batch {
+		hi := lo + batch
+		if hi > len(pkts) {
+			hi = len(pkts)
+		}
+		seq.ProcessBatch(pkts[lo:hi])
+	}
+	wall := time.Since(start)
+	if wall <= 0 {
+		return EngineReplayResult{}, fmt.Errorf("experiments: empty batch replay")
 	}
 	return EngineReplayResult{
 		Counts:         seq.Counts(),

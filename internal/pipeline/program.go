@@ -134,6 +134,15 @@ func (p *Program) NewState() *State {
 	return st
 }
 
+// Warm eagerly rebuilds every exact table's lock-free read snapshot
+// (see Table.WarmSnapshot), so a batch of control-plane installs is
+// paid for on the control path instead of by the first packet.
+func (s *State) Warm() {
+	for _, t := range s.Tables {
+		t.WarmSnapshot()
+	}
+}
+
 // tableAt resolves a table by declaration index, falling back to the
 // name map for hand-built States.
 func (s *State) tableAt(i int, name string) *Table {
@@ -151,6 +160,14 @@ func (s *State) regAt(i int, name string) *Register {
 	}
 	return s.Registers[name]
 }
+
+// TableAt resolves a table by declaration index with a name-map
+// fallback; exported for out-of-package executors (the bytecode VM).
+func (s *State) TableAt(i int, name string) *Table { return s.tableAt(i, name) }
+
+// RegisterAt resolves a register by declaration index with a name-map
+// fallback; exported for out-of-package executors (the bytecode VM).
+func (s *State) RegisterAt(i int, name string) *Register { return s.regAt(i, name) }
 
 // ---------------------------------------------------------------------------
 // Telemetry wire codec

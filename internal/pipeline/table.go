@@ -142,6 +142,18 @@ type Table struct {
 	// packed is the allocation-free fast path: all-exact tables with at
 	// most MaxPackedKeys columns.
 	packed map[PackedKey]*Entry
+	// snap is an immutable snapshot of packed, published atomically and
+	// invalidated (stored nil) by every mutation. Readers that find it
+	// non-nil look up without taking mu at all — the snapshot is never
+	// written after publication, so concurrent reads are safe; the
+	// first reader after a mutation rebuilds it under the write lock.
+	// Control-plane installs are rare and batchy, so the O(n) rebuild
+	// amortizes to nothing while the per-packet path drops from two
+	// RWMutex atomics to one pointer load. The snapshot is a flat
+	// open-addressing table rather than a Go map: the key array is
+	// pointer-free (cheap for the GC) and the multiply-xor hash is a
+	// fraction of the runtime map's 32-byte memhash + bucket protocol.
+	snap atomic.Pointer[packedSnap]
 	// exact is the fallback for exact tables with more columns than
 	// PackedKey holds (string-encoded keys).
 	exact   map[string]*Entry
@@ -259,6 +271,7 @@ func (t *Table) Insert(e Entry) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.version.Add(1)
+	t.snap.Store(nil)
 	if t.isExact {
 		for i, k := range e.Keys {
 			if k.Any {
@@ -317,6 +330,7 @@ func (t *Table) Delete(keys []KeyMatch) int {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.version.Add(1)
+	t.snap.Store(nil)
 	if t.isExact {
 		if t.packed != nil {
 			k := packEntryKeys(keys)
@@ -351,6 +365,7 @@ func (t *Table) Clear() {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.version.Add(1)
+	t.snap.Store(nil)
 	if t.isExact {
 		if t.packed != nil {
 			t.packed = make(map[PackedKey]*Entry)
@@ -432,19 +447,127 @@ func (t *Table) Lookup(vals []uint64) ([]Value, bool) {
 	return t.Default, false
 }
 
-// LookupPacked is the allocation-free lookup the linked executor uses:
-// the key is passed by value in a fixed array, so nothing escapes to
-// the heap. It supports tables with at most MaxPackedKeys columns
-// (unused columns zero); wider tables must go through Lookup.
+// packedSnap is the immutable lock-free read structure for exact
+// tables: open addressing with linear probing at <= 50% load. Probes
+// walk a dense one-byte-per-slot control array first (0 = empty,
+// otherwise the top hash bits with the high bit set), so an empty or
+// mismatching slot usually costs one L1 touch instead of pulling the
+// 40-byte slot in from DRAM; the slot itself is only loaded when its
+// control byte matches. Actions live back-to-back in one shared
+// backing array, so the hit's action read lands next to its
+// neighbours instead of on a private heap object.
+type packedSnap struct {
+	mask  uint64
+	ctrl  []uint8
+	slots []packedSlot
+	acts  []Value
+}
+
+// packedSlot is a key plus the half-open [off, off+n) range of the
+// snapshot's action backing array. keys and offsets carry no pointers,
+// so GC scans only the two top-level slices.
+type packedSlot struct {
+	key    PackedKey
+	off, n uint32
+}
+
+// emptyAction is the non-nil stand-in for occupied slots whose action
+// list is empty.
+var emptyAction = []Value{}
+
+// hashPacked mixes the four key words with distinct odd multipliers;
+// good enough dispersion for addresses/ports/IDs at half load. The low
+// bits pick the slot, the high bits feed the control byte — the two
+// are effectively independent.
+func hashPacked(k PackedKey) uint64 {
+	h := k[0]*0x9e3779b97f4a7c15 ^ k[1]*0xbf58476d1ce4e5b9 ^
+		k[2]*0x94d049bb133111eb ^ k[3]*0x2545f4914f6cdd1d
+	return h ^ h>>29
+}
+
+func (s *packedSnap) lookup(k PackedKey) ([]Value, bool) {
+	h := hashPacked(k)
+	want := uint8(h>>56) | 0x80
+	i := h & s.mask
+	for {
+		c := s.ctrl[i]
+		if c == 0 {
+			return nil, false
+		}
+		if c == want {
+			if sl := &s.slots[i]; sl.key == k {
+				if sl.n == 0 {
+					return emptyAction, true
+				}
+				return s.acts[sl.off : sl.off+sl.n : sl.off+sl.n], true
+			}
+		}
+		i = (i + 1) & s.mask
+	}
+}
+
+func buildPackedSnap(packed map[PackedKey]*Entry) *packedSnap {
+	size := uint64(8)
+	for size < uint64(len(packed))*2 {
+		size *= 2
+	}
+	s := &packedSnap{
+		mask:  size - 1,
+		ctrl:  make([]uint8, size),
+		slots: make([]packedSlot, size),
+	}
+	for k, e := range packed {
+		h := hashPacked(k)
+		i := h & s.mask
+		for s.ctrl[i] != 0 {
+			i = (i + 1) & s.mask
+		}
+		s.ctrl[i] = uint8(h>>56) | 0x80
+		s.slots[i] = packedSlot{
+			key: k,
+			off: uint32(len(s.acts)),
+			n:   uint32(len(e.Action)),
+		}
+		s.acts = append(s.acts, e.Action...)
+	}
+	return s
+}
+
+// LookupPacked is the allocation-free lookup the linked and bytecode
+// executors use: the key is passed by value in a fixed array, so
+// nothing escapes to the heap. Exact tables serve hits from the
+// immutable snapshot without touching the lock. It supports tables with
+// at most MaxPackedKeys columns (unused columns zero); wider tables
+// must go through Lookup.
 func (t *Table) LookupPacked(k PackedKey) ([]Value, bool) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	if t.packed != nil {
-		if e, ok := t.packed[k]; ok {
-			return e.Action, true
+	if s := t.snap.Load(); s != nil {
+		if a, ok := s.lookup(k); ok {
+			return a, true
 		}
 		return t.Default, false
 	}
+	return t.lookupPackedSlow(k)
+}
+
+// lookupPackedSlow is the locked path: TCAM tables always land here;
+// exact tables land here only right after a mutation, rebuilding the
+// read snapshot for every subsequent lookup.
+func (t *Table) lookupPackedSlow(k PackedKey) ([]Value, bool) {
+	if t.packed != nil {
+		t.mu.Lock()
+		s := t.snap.Load()
+		if s == nil {
+			s = buildPackedSnap(t.packed)
+			t.snap.Store(s)
+		}
+		t.mu.Unlock()
+		if a, ok := s.lookup(k); ok {
+			return a, true
+		}
+		return t.Default, false
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	for _, e := range t.entries {
 		if e.match != nil && e.match(k) {
 			return e.Action, true
@@ -479,13 +602,17 @@ func (t *Table) Entries() []Entry {
 	return out
 }
 
-// Register is a P4-style register array holding Size cells of Width bits.
+// Register is a P4-style register array holding Size cells of Width
+// bits. Cells are accessed with word atomics rather than a mutex: each
+// Read/Write was already individually atomic under the old lock (the
+// executors never hold it across a read-modify-write sequence), so
+// per-cell atomic load/store preserves the exact observable semantics
+// while removing two lock RMWs from every register op on the hot path.
 type Register struct {
 	Name  string
 	Width int
 	Size  int
 
-	mu    sync.Mutex
 	cells []uint64
 }
 
@@ -496,30 +623,39 @@ func NewRegister(name string, width, size int) *Register {
 
 // Read returns cell i (zero for out-of-range reads, as on hardware).
 func (r *Register) Read(i int) uint64 {
-	r.mu.Lock()
-	defer r.mu.Unlock()
 	if i < 0 || i >= len(r.cells) {
 		return 0
 	}
-	return r.cells[i]
+	return atomic.LoadUint64(&r.cells[i])
 }
 
 // Write stores v (masked to the register width) into cell i; writes out
 // of range are dropped.
 func (r *Register) Write(i int, v uint64) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
 	if i < 0 || i >= len(r.cells) {
 		return
 	}
-	r.cells[i] = Mask(r.Width, v)
+	atomic.StoreUint64(&r.cells[i], Mask(r.Width, v))
 }
 
 // Reset zeroes all cells.
 func (r *Register) Reset() {
-	r.mu.Lock()
-	defer r.mu.Unlock()
 	for i := range r.cells {
-		r.cells[i] = 0
+		atomic.StoreUint64(&r.cells[i], 0)
 	}
+}
+
+// WarmSnapshot eagerly (re)builds the lock-free read snapshot after a
+// batch of control-plane mutations, so the first packet after an
+// install doesn't pay the O(n) rebuild on the data path. It is a no-op
+// for TCAM tables and for exact tables whose snapshot is current.
+func (t *Table) WarmSnapshot() {
+	if t.packed == nil {
+		return
+	}
+	t.mu.Lock()
+	if t.snap.Load() == nil {
+		t.snap.Store(buildPackedSnap(t.packed))
+	}
+	t.mu.Unlock()
 }
