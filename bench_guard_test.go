@@ -31,6 +31,14 @@ type benchBaseline struct {
 	// WirePPS is the end-to-end wire-path replay rate (netsim fabric,
 	// all checkers), guarded by the same min factor as the engine rate.
 	WirePPS float64 `json:"wire_pps"`
+	// WireParPPS is the same wire replay on a 4-shard partitioned
+	// simulator (-simshards 4). On a multi-core runner it should exceed
+	// WirePPS; on a single-core container it trails it (the window
+	// barriers cost ~1 handoff per microsecond of simulated time with
+	// nothing to overlap), so the guard only pins it against itself —
+	// catching a regression in the parallel coordinator, not demanding a
+	// speedup the hardware cannot give. See EXPERIMENTS.md E15.
+	WireParPPS float64 `json:"wire_par_pps"`
 	// StormPPS is the wire-path replay rate with the always-violating
 	// storm probe armed — every packet raises a digest at every hop into
 	// the report bus. Guarded by the same min factor: a per-digest
@@ -83,6 +91,23 @@ func measureWirePPS(t testing.TB) float64 {
 	if res.DeliveredRatio != 1 || res.Rejected != 0 || res.ParseErrors != 0 {
 		t.Fatalf("benign wire replay must deliver everything: delivered=%.2f rejected=%d errors=%d",
 			res.DeliveredRatio, res.Rejected, res.ParseErrors)
+	}
+	return res.WallPktsPerSec
+}
+
+func measureWireParPPS(t testing.TB) float64 {
+	res, err := experiments.RunWireReplay(experiments.WireReplayConfig{
+		Packets: 20_000, Seed: 5, SimShards: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DeliveredRatio != 1 || res.Rejected != 0 || res.ParseErrors != 0 {
+		t.Fatalf("benign parallel wire replay must deliver everything: delivered=%.2f rejected=%d errors=%d",
+			res.DeliveredRatio, res.Rejected, res.ParseErrors)
+	}
+	if res.Sim.Shards != 4 {
+		t.Fatalf("parallel wire replay ran on %d shards, want 4", res.Sim.Shards)
 	}
 	return res.WallPktsPerSec
 }
@@ -172,6 +197,7 @@ func TestBenchRegressionGuard(t *testing.T) {
 			PPSMinFactor:   0.5,
 			BatchPPS:       measureBatchPPS(t),
 			WirePPS:        measureWirePPS(t),
+			WireParPPS:     measureWireParPPS(t),
 			StormPPS:       measureStormPPS(t),
 			ParseIntoNs:    parseNs,
 			AppendToNs:     appendNs,
@@ -239,6 +265,13 @@ func TestBenchRegressionGuard(t *testing.T) {
 		if pps := measureWirePPS(t); pps < wireFloor {
 			t.Errorf("wire replay ran at %.0f pps, below the guard floor %.0f (baseline %.0f × %.2f)",
 				pps, wireFloor, base.WirePPS, base.PPSMinFactor)
+		}
+	}
+	if base.WireParPPS > 0 {
+		parFloor := base.WireParPPS * base.PPSMinFactor
+		if pps := measureWireParPPS(t); pps < parFloor {
+			t.Errorf("4-shard wire replay ran at %.0f pps, below the guard floor %.0f (baseline %.0f × %.2f)",
+				pps, parFloor, base.WireParPPS, base.PPSMinFactor)
 		}
 	}
 	if base.StormPPS > 0 {

@@ -50,6 +50,7 @@ func main() {
 		pingMs    = flag.Float64("ping-ms", 10, "figure 12: ping interval (ms)")
 		packets   = flag.Int("packets", 50000, "throughput: packets to replay")
 		shards    = flag.String("shards", "1,4,8", "engine: comma-separated worker counts (0 = GOMAXPROCS)")
+		simShards = flag.Int("simshards", 1, "wire/chaos: partition the netsim event loop into N parallel shards (1 = sequential; results are byte-identical at any count)")
 		noBatch   = flag.Bool("nobatch", false, "engine: disable the bytecode-VM batched path (per-packet linked executor, the pre-batching baseline)")
 		seed      = flag.Int64("seed", 1, "chaos: campaign seed (traffic + every fault injector)")
 		faultRate = flag.Float64("faultrate", 0.02, "chaos: per-packet/per-frame fault probability")
@@ -147,8 +148,8 @@ func main() {
 	}
 
 	if *wireRun {
-		fmt.Fprintln(os.Stderr, "running end-to-end wire replay...")
-		r, err := experiments.RunWireReplay(experiments.WireReplayConfig{Packets: *packets})
+		fmt.Fprintf(os.Stderr, "running end-to-end wire replay (simshards=%d)...\n", *simShards)
+		r, err := experiments.RunWireReplay(experiments.WireReplayConfig{Packets: *packets, SimShards: *simShards})
 		must(err)
 		wireResult = &r
 		fmt.Println(experiments.FormatWireReplay(r))
@@ -167,7 +168,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "running chaos campaign (seed=%d rate=%g, baseline + %d fault classes)...\n",
 			*seed, *faultRate, len(faults.Classes()))
 		r, err := experiments.RunChaos(experiments.ChaosConfig{
-			Packets: *packets, Seed: *seed, FaultRate: *faultRate,
+			Packets: *packets, Seed: *seed, FaultRate: *faultRate, SimShards: *simShards,
 		})
 		must(err)
 		fmt.Println(experiments.FormatChaos(r))
@@ -243,6 +244,16 @@ func writeBenchJSON(path string, engine []experiments.EngineReplayResult, batch 
 		SlowTx    uint64  `json:"slow_tx"`
 		Errors    uint64  `json:"errors"`
 	}
+	// simRow surfaces where a partitioned run's barrier time goes:
+	// events per run, window count, the lookahead bound, and how evenly
+	// the shards split the event load.
+	type simRow struct {
+		Shards      int      `json:"shards"`
+		LookaheadNs int64    `json:"lookahead_ns"`
+		Barriers    uint64   `json:"barriers"`
+		Events      uint64   `json:"events"`
+		ShardEvents []uint64 `json:"shard_events,omitempty"`
+	}
 	type stormRow struct {
 		BaselinePPS float64 `json:"baseline_pps"`
 		StormPPS    float64 `json:"storm_pps"`
@@ -259,6 +270,7 @@ func writeBenchJSON(path string, engine []experiments.EngineReplayResult, batch 
 		Engine []engineRow `json:"engine,omitempty"`
 		Batch  *batchRow   `json:"batch,omitempty"`
 		Wire   *wireRow    `json:"wire,omitempty"`
+		Sim    *simRow     `json:"sim,omitempty"`
 		Storm  *stormRow   `json:"storm,omitempty"`
 	}{}
 	if batch != nil {
@@ -287,6 +299,13 @@ func writeBenchJSON(path string, engine []experiments.EngineReplayResult, batch 
 			FastTx:    wire.FastTxFrames,
 			SlowTx:    wire.SlowTxFrames,
 			Errors:    wire.ParseErrors,
+		}
+		out.Sim = &simRow{
+			Shards:      wire.Sim.Shards,
+			LookaheadNs: int64(wire.Sim.Lookahead),
+			Barriers:    wire.Sim.Barriers,
+			Events:      wire.Sim.EventsRun,
+			ShardEvents: wire.Sim.ShardEvents,
 		}
 	}
 	if storm != nil {

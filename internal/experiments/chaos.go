@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/checkers"
@@ -20,8 +21,9 @@ import (
 // class (plus a healthy baseline) and scores every corpus checker as a
 // detector: which checkers raise digests under which faults. The whole
 // run is a pure function of (seed, config) — virtual-time bus, seeded
-// injectors, single-threaded simulator — so the detection matrix is
-// byte-reproducible (TestChaosDeterministic) and CI can assert on it
+// injectors, deterministic simulator at every shard count — so the
+// detection matrix is byte-reproducible (TestChaosDeterministic),
+// shard-invariant (TestChaosShardInvariant), and CI can assert on it
 // (TestChaosDetectionMatrix).
 
 // ChaosConfig parameterizes the chaos replay.
@@ -39,6 +41,10 @@ type ChaosConfig struct {
 	Window time.Duration
 	// Classes selects which fault classes to run (default all).
 	Classes []faults.Class
+	// SimShards partitions the simulator into parallel shard loops
+	// (<=1 = sequential fast path). The detection matrix is
+	// byte-identical at every shard count.
+	SimShards int
 }
 
 func (c ChaosConfig) withDefaults() ChaosConfig {
@@ -238,11 +244,21 @@ func runChaosScenario(cfg ChaosConfig, class faults.Class) (ScenarioResult, floa
 	}
 
 	// Virtual-time bus; the tap counts every raised digest per checker.
+	// Bus taps fire outside the bus mutex, and with a partitioned
+	// simulator switches on different shards publish concurrently, so
+	// the count map needs its own lock. The resulting counts are still
+	// shard-invariant: each switch raises the same digests in the same
+	// per-switch order at every shard count.
 	bus := reportbus.New(reportbus.Config{
 		Window: cfg.Window,
 		Clock:  func() int64 { return int64(sim.Now()) },
 	})
-	bus.Tap(func(d reportbus.Digest) { res.Digests[d.Checker]++ })
+	var digestMu sync.Mutex
+	bus.Tap(func(d reportbus.Digest) {
+		digestMu.Lock()
+		res.Digests[d.Checker]++
+		digestMu.Unlock()
+	})
 	ctl := controlplane.NewControllerWith(controlplane.Config{Bus: bus, RetainPerChecker: -1})
 
 	all := ls.AllSwitches()
@@ -412,11 +428,17 @@ func runChaosScenario(cfg ChaosConfig, class faults.Class) (ScenarioResult, floa
 		})
 	}
 
+	if cfg.SimShards > 1 {
+		if err := sim.Partition(cfg.SimShards); err != nil {
+			return res, 0, err
+		}
+	}
+
 	var at netsim.Time
 	for i := range pkts {
 		p := pkts[i]
 		at += p.Gap
-		sim.At(at, func() { replayHost.SendPacket(p.Decode()) })
+		sim.AtNode(replayHost, at, func() { replayHost.SendPacket(p.Decode()) })
 	}
 
 	start := time.Now()

@@ -1,0 +1,14 @@
+package netsim
+
+import "testing"
+
+func partitionForTest(t *testing.T, sim *Simulator, shards int) {
+	t.Helper()
+	if err := sim.Partition(shards); err != nil {
+		t.Fatalf("Partition(%d): %v", shards, err)
+	}
+}
+
+func scheduleAtNode(sim *Simulator, n Node, at Time, fn func()) {
+	sim.AtNode(n, at, fn)
+}

@@ -1,0 +1,243 @@
+package netsim
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The cross-shard determinism suite. The partitioned simulator's hard
+// contract is that observable behavior — capture transcripts, counters,
+// verdicts — is a pure function of the seed and topology, independent
+// of the shard count. Two layers of pinning:
+//
+//  1. testdata/campus_capture.golden holds the transcript produced by
+//     the pre-parallelism sequential simulator (generated before the
+//     conservative-lookahead engine landed, with
+//     NETSIM_GOLDEN_UPDATE=1). Every shard count must still reproduce
+//     it byte-for-byte.
+//  2. The fat-tree scenario (no golden: the topology generator postdates
+//     the sequential-only simulator) is run at P=1 and compared against
+//     P=2,4,8 in-process.
+
+const campusCaptureGolden = "testdata/campus_capture.golden"
+
+// campusCaptureScenario builds the 2×2 campus fabric with taps on every
+// link, replays a deterministic multi-host traffic mix, and returns the
+// full capture transcript plus the counter summary. shards=1 runs the
+// sequential fast path.
+func campusCaptureScenario(t *testing.T, shards int) string {
+	t.Helper()
+	sim := NewSimulator()
+	ls := BuildLeafSpine(sim, LeafSpineConfig{
+		Leaves: 2, Spines: 2, HostsPerLeaf: 2, WithRouting: true,
+	})
+	cap := &Capture{}
+	for _, row := range ls.Up {
+		for _, lk := range row {
+			cap.Tap(sim, lk)
+		}
+	}
+	for _, row := range ls.Down {
+		for _, lk := range row {
+			cap.Tap(sim, lk)
+		}
+	}
+
+	partitionForTest(t, sim, shards)
+
+	// A deterministic mix: every host talks across the fabric with
+	// irregular spacing, varied sizes, and a few pings for the reverse
+	// path.
+	hosts := []*Host{ls.Host(0, 0), ls.Host(0, 1), ls.Host(1, 0), ls.Host(1, 1)}
+	var at Time
+	for i := 0; i < 160; i++ {
+		src := hosts[i%len(hosts)]
+		dst := hosts[(i+2)%len(hosts)] // always the opposite leaf
+		at += Time(3100 + 977*(i%7))
+		i, plen := i, 64+(i%9)*100
+		scheduleAtNode(sim, src, at, func() {
+			switch i % 3 {
+			case 0:
+				src.SendUDP(dst.IP, uint16(4000+i), 80, plen)
+			case 1:
+				src.SendTCP(dst.IP, uint16(5000+i), 443, 0x18, plen)
+			default:
+				src.Ping(dst.IP, uint16(i))
+			}
+		})
+	}
+	sim.RunAll()
+
+	out := cap.String()
+	for _, sw := range ls.AllSwitches() {
+		out += fmt.Sprintf("switch %s rx=%d tx=%d drop=%d err=%d\n",
+			sw.Name, sw.RxFrames, sw.TxFrames, sw.Dropped, sw.ParseErrors)
+	}
+	for _, h := range hosts {
+		out += fmt.Sprintf("host %s rx=%d udp=%d tcp=%d rtts=%d err=%d\n",
+			h.Name, h.RxFrames, h.RxUDP, h.RxTCP, len(h.RTTs), h.ParseErrs)
+	}
+	for li, row := range ls.Up {
+		for si, lk := range row {
+			out += fmt.Sprintf("up[%d][%d] frames=%d bytes=%d drops=%d/%d\n",
+				li, si, lk.Frames, lk.Bytes, lk.DropsAB, lk.DropsBA)
+		}
+	}
+	return out
+}
+
+func TestCampusCaptureMatchesSequentialGolden(t *testing.T) {
+	got := campusCaptureScenario(t, 1)
+	if os.Getenv("NETSIM_GOLDEN_UPDATE") != "" {
+		if err := os.MkdirAll(filepath.Dir(campusCaptureGolden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(campusCaptureGolden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", campusCaptureGolden, len(got))
+		return
+	}
+	want, err := os.ReadFile(campusCaptureGolden)
+	if err != nil {
+		t.Fatalf("reading golden (regenerate with NETSIM_GOLDEN_UPDATE=1): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("campus capture diverged from the sequential-simulator golden\ngot %d bytes, want %d\n%s",
+			len(got), len(want), firstDiff(got, string(want)))
+	}
+}
+
+// TestCampusCaptureShardInvariant re-runs the campus scenario at shard
+// counts 2/4/8 and holds every transcript to the byte-identical
+// sequential golden — the tentpole determinism contract.
+func TestCampusCaptureShardInvariant(t *testing.T) {
+	want, err := os.ReadFile(campusCaptureGolden)
+	if err != nil {
+		t.Fatalf("reading golden (regenerate with NETSIM_GOLDEN_UPDATE=1): %v", err)
+	}
+	for _, shards := range []int{2, 4, 8} {
+		shards := shards
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			got := campusCaptureScenario(t, shards)
+			if got != string(want) {
+				t.Errorf("P=%d capture diverged from the sequential transcript\n%s",
+					shards, firstDiff(got, string(want)))
+			}
+		})
+	}
+}
+
+// fatTreeScenario drives all-to-all-ish traffic across a generated
+// fat-tree and returns a transcript of per-switch/host/link counters
+// plus a capture over the pod-0 aggregation uplinks.
+func fatTreeScenario(t *testing.T, k, shards int) string {
+	t.Helper()
+	sim := NewSimulator()
+	ft := BuildFatTree(sim, FatTreeConfig{K: k, WithRouting: true})
+	cap := &Capture{}
+	for _, row := range ft.AggCore[0] {
+		for _, lk := range row {
+			cap.Tap(sim, lk)
+		}
+	}
+	partitionForTest(t, sim, shards)
+
+	// Cross-pod flows: every (pod, edge) pair sources traffic to a host
+	// in a rotated pod, with varied sizes and irregular spacing.
+	half := k / 2
+	var at Time
+	n := 0
+	for p := 0; p < k; p++ {
+		for e := 0; e < half; e++ {
+			for h := 0; h < half; h++ {
+				src := ft.Host(p, e, h)
+				dst := ft.Host((p+1+h)%k, (e+1)%half, (h+1)%half)
+				at += Time(1700 + 613*(n%11))
+				n, plen := n, 64+(n%7)*150
+				scheduleAtNode(sim, src, at, func() {
+					if n%4 == 3 {
+						src.Ping(dst.IP, uint16(n))
+					} else {
+						src.SendUDP(dst.IP, uint16(7000+n), 80, plen)
+					}
+				})
+				n++
+			}
+		}
+	}
+	sim.RunAll()
+
+	out := cap.String()
+	for _, sw := range ft.AllSwitches() {
+		out += fmt.Sprintf("switch %s rx=%d tx=%d drop=%d err=%d\n",
+			sw.Name, sw.RxFrames, sw.TxFrames, sw.Dropped, sw.ParseErrors)
+	}
+	for p := 0; p < k; p++ {
+		for e := 0; e < half; e++ {
+			for h := 0; h < half; h++ {
+				hh := ft.Host(p, e, h)
+				out += fmt.Sprintf("host %s rx=%d udp=%d rtts=%d err=%d\n",
+					hh.Name, hh.RxFrames, hh.RxUDP, len(hh.RTTs), hh.ParseErrs)
+			}
+		}
+	}
+	for p, pod := range ft.AggCore {
+		for a, row := range pod {
+			for j, lk := range row {
+				out += fmt.Sprintf("aggcore[%d][%d][%d] frames=%d bytes=%d\n",
+					p, a, j, lk.Frames, lk.Bytes)
+			}
+		}
+	}
+	return out
+}
+
+// TestFatTreeShardInvariant compares a k=8 fat-tree run (80 switches,
+// 128 hosts) at shard counts 2/4/8 against the sequential (P=1) run of
+// the same build — the large-fabric leg of the determinism suite.
+func TestFatTreeShardInvariant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("k=8 fat-tree campaign")
+	}
+	const k = 8
+	want := fatTreeScenario(t, k, 1)
+	for _, shards := range []int{2, 4, 8} {
+		shards := shards
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			if got := fatTreeScenario(t, k, shards); got != want {
+				t.Errorf("P=%d fat-tree run diverged from sequential\n%s",
+					shards, firstDiff(got, want))
+			}
+		})
+	}
+}
+
+// firstDiff renders the first differing line between two transcripts.
+func firstDiff(a, b string) string {
+	la, lb := 0, 0
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			start := i - 80
+			if start < 0 {
+				start = 0
+			}
+			end := i + 80
+			ea, eb := end, end
+			if ea > len(a) {
+				ea = len(a)
+			}
+			if eb > len(b) {
+				eb = len(b)
+			}
+			return fmt.Sprintf("first diff at byte %d:\n got: %q\nwant: %q", i, a[start:ea], b[start:eb])
+		}
+		if a[i] == '\n' {
+			la++
+			lb++
+		}
+	}
+	return fmt.Sprintf("transcripts are prefix-equal; lengths %d vs %d", len(a), len(b))
+}

@@ -54,8 +54,9 @@ type Host struct {
 	// nic is the optional Hydra NIC offload (see nic.go).
 	nic *HydraNIC
 
-	// rxDec and txBuf are per-host scratch: the simulator is
-	// single-threaded, so one decode target and one serialize buffer
+	// rxDec and txBuf are per-host scratch: all of a host's callbacks
+	// run on one event loop (the simulator, or its shard after
+	// Partition), so one decode target and one serialize buffer
 	// suffice.
 	rxDec dataplane.Decoded
 	txBuf []byte
@@ -78,7 +79,9 @@ func NewHost(sim *Simulator, name string, mac dataplane.MAC, ip dataplane.IP4) *
 	for _, c := range name {
 		seed = seed*131 + int64(c)
 	}
-	return &Host{Name: name, MAC: mac, IP: ip, sim: sim, pingSent: map[uint16]Time{}, rng: rand.New(rand.NewSource(seed))}
+	h := &Host{Name: name, MAC: mac, IP: ip, sim: sim, pingSent: map[uint16]Time{}, rng: rand.New(rand.NewSource(seed))}
+	sim.registerNode(h)
+	return h
 }
 
 // ReseedStack reseeds the host's stack-noise generator, so experiment

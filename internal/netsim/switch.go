@@ -157,9 +157,14 @@ type Switch struct {
 	// encap/decap, source-route edits, multicast clones).
 	FastTxFrames, SlowTxFrames uint64
 
-	// Per-packet scratch. The simulator is single-threaded and frame
-	// processing never nests (Link.Send defers delivery through the
-	// event queue), so one of each suffices per switch.
+	// origin is the stable simulator-assigned node ID: the switch's
+	// deterministic event-ordering key and shard routing address.
+	origin int32
+
+	// Per-packet scratch. All of a switch's callbacks run on one event
+	// loop (its shard, after Partition) and frame processing never
+	// nests (Link.Send defers delivery through the event queue), so one
+	// of each suffices per switch.
 	dec       dataplane.Decoded
 	meta      PacketMeta
 	parts     [][]byte
@@ -169,7 +174,7 @@ type Switch struct {
 
 // NewSwitch creates a switch with the given identifier.
 func NewSwitch(sim *Simulator, id uint32, name string) *Switch {
-	return &Switch{
+	sw := &Switch{
 		ID:              id,
 		Name:            name,
 		sim:             sim,
@@ -177,6 +182,8 @@ func NewSwitch(sim *Simulator, id uint32, name string) *Switch {
 		EdgePorts:       map[int]bool{},
 		PipelineLatency: 500 * Nanosecond,
 	}
+	sw.origin = sim.registerNode(sw)
+	return sw
 }
 
 // NodeName implements Node.
@@ -200,7 +207,7 @@ func (sw *Switch) Sim() *Simulator { return sw.sim }
 // ownership of the frame and releases it after the pipeline runs.
 func (sw *Switch) Receive(frame []byte, port int) {
 	sw.RxFrames++
-	sw.sim.atFrame(sw.sim.Now()+sw.PipelineLatency, (*switchPipe)(sw), frame, port)
+	sw.sim.atFrame(sw.sim.now+sw.PipelineLatency, (*switchPipe)(sw), frame, port, sw.origin)
 }
 
 // switchPipe is the frame sink running the switch pipeline; a separate
