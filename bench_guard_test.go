@@ -46,9 +46,15 @@ type benchBaseline struct {
 	StormPPS float64 `json:"storm_pps"`
 	// ParseIntoNs/AppendToNs are the codec hot-path costs; the guard
 	// fails when either slows down by more than CodecMaxFactor.
-	ParseIntoNs    float64            `json:"parse_into_ns"`
-	AppendToNs     float64            `json:"append_to_ns"`
-	CodecMaxFactor float64            `json:"codec_max_factor"`
+	ParseIntoNs    float64 `json:"parse_into_ns"`
+	AppendToNs     float64 `json:"append_to_ns"`
+	CodecMaxFactor float64 `json:"codec_max_factor"`
+	// AtomsUpdateNs is the per-rule-update latency of the incremental
+	// control-plane verifier under k=8 fat-tree churn (E16); the guard
+	// fails when it slows down by more than AtomsMaxFactor — catching a
+	// full-partition recheck creeping into the incremental path.
+	AtomsUpdateNs  float64            `json:"atoms_update_ns"`
+	AtomsMaxFactor float64            `json:"atoms_max_factor"`
 	PHVTolerance   float64            `json:"phv_tolerance"`
 	PHVPct         map[string]float64 `json:"phv_pct"`
 }
@@ -127,6 +133,24 @@ func measureStormPPS(t testing.TB) float64 {
 	return res.Storm.WallPktsPerSec
 }
 
+// measureAtomsNs times the incremental verifier's per-rule-update cost
+// on the standard E16 churn (k=8 fat-tree, 2000 mutations) and asserts
+// its correctness contract on the way: clean end state and a per-update
+// recheck that stays well below the partition size.
+func measureAtomsNs(t testing.TB) float64 {
+	res, err := experiments.RunAtomsChurn(experiments.AtomsConfig{K: 8, Updates: 2000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outstanding != 0 || res.Raised != res.Resolved {
+		t.Fatalf("atoms churn must end clean: %+v", res)
+	}
+	if res.MaxAffected >= res.Atoms/2 {
+		t.Fatalf("atoms churn rechecked %d of %d atoms in one update — incremental property lost", res.MaxAffected, res.Atoms)
+	}
+	return res.ChurnNsPerUpdate
+}
+
 // codecBenchFrame mirrors the packet shape of the dataplane package's
 // BenchmarkParseInto/BenchmarkAppendTo: VLAN + 24-byte Hydra blob + UDP.
 func codecBenchFrame() []byte {
@@ -202,6 +226,8 @@ func TestBenchRegressionGuard(t *testing.T) {
 			ParseIntoNs:    parseNs,
 			AppendToNs:     appendNs,
 			CodecMaxFactor: 2.0,
+			AtomsUpdateNs:  measureAtomsNs(t),
+			AtomsMaxFactor: 3.0,
 			PHVTolerance:   0.01,
 			PHVPct:         phv,
 		}
@@ -279,6 +305,13 @@ func TestBenchRegressionGuard(t *testing.T) {
 		if pps := measureStormPPS(t); pps < stormFloor {
 			t.Errorf("storm replay ran at %.0f pps, below the guard floor %.0f (baseline %.0f × %.2f)",
 				pps, stormFloor, base.StormPPS, base.PPSMinFactor)
+		}
+	}
+	if base.AtomsUpdateNs > 0 && base.AtomsMaxFactor > 0 {
+		ceil := base.AtomsUpdateNs * base.AtomsMaxFactor
+		if ns := measureAtomsNs(t); ns > ceil {
+			t.Errorf("atoms churn ran at %.0f ns/update, above the guard ceiling %.0f (baseline %.0f × %.1f)",
+				ns, ceil, base.AtomsUpdateNs, base.AtomsMaxFactor)
 		}
 	}
 }

@@ -11,6 +11,7 @@
 //	hydra-bench -storm                     # report-storm replay on the bus
 //	hydra-bench -chaos -seed 1 -faultrate 0.02   # fault-injection detection matrix
 //	hydra-bench -symcheck                  # symbolic backend-equivalence proof
+//	hydra-bench -atoms                     # incremental control-plane verification churn
 //	hydra-bench -all                       # everything
 //
 // Figure 12's duration/background scale with -duration and -bps; see
@@ -43,6 +44,7 @@ func main() {
 		stormRun   = flag.Bool("storm", false, "run the report-storm replay (baseline vs always-violating probe on the report bus)")
 		chaosRun   = flag.Bool("chaos", false, "run the fault-injection campaign and print the checker detection matrix")
 		symRun     = flag.Bool("symcheck", false, "prove interpreter/map/linked backend equivalence over the modeled space (E13)")
+		atomsRun   = flag.Bool("atoms", false, "run the incremental control-plane verification churn on a fat-tree (E16)")
 		all        = flag.Bool("all", false, "run everything")
 
 		durationS = flag.Float64("duration", 5, "figure 12: seconds of simulated time per configuration")
@@ -55,6 +57,9 @@ func main() {
 		seed      = flag.Int64("seed", 1, "chaos: campaign seed (traffic + every fault injector)")
 		faultRate = flag.Float64("faultrate", 0.02, "chaos: per-packet/per-frame fault probability")
 		chaosJSON = flag.String("chaosjson", "", "chaos: write the byte-reproducible detection matrix as JSON to this file (- for stdout)")
+
+		atomsK       = flag.Int("atomsk", 8, "atoms: fat-tree arity")
+		atomsUpdates = flag.Int("atomsupdates", 2000, "atoms: route mutations to drive")
 
 		symJSON     = flag.String("symjson", "", "symcheck: write the full report as JSON to this file (- for stdout)")
 		frontierOut = flag.String("frontierout", "", "symcheck: regenerate the frontier seed corpus into this directory")
@@ -86,9 +91,9 @@ func main() {
 	}
 
 	if *all {
-		*table1, *fig12a, *fig12b, *throughput, *engineRun, *wireRun, *stormRun, *chaosRun, *symRun = true, true, true, true, true, true, true, true, true
+		*table1, *fig12a, *fig12b, *throughput, *engineRun, *wireRun, *stormRun, *chaosRun, *symRun, *atomsRun = true, true, true, true, true, true, true, true, true, true
 	}
-	if !*table1 && !*fig12a && !*fig12b && !*throughput && !*engineRun && !*wireRun && !*stormRun && !*chaosRun && !*symRun {
+	if !*table1 && !*fig12a && !*fig12b && !*throughput && !*engineRun && !*wireRun && !*stormRun && !*chaosRun && !*symRun && !*atomsRun {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -210,18 +215,29 @@ func main() {
 		}
 	}
 
+	var atomsResult *experiments.AtomsResult
+	if *atomsRun {
+		fmt.Fprintf(os.Stderr, "running atoms churn (k=%d, %d updates)...\n", *atomsK, *atomsUpdates)
+		r, err := experiments.RunAtomsChurn(experiments.AtomsConfig{
+			K: *atomsK, Updates: *atomsUpdates, Seed: *seed,
+		})
+		must(err)
+		atomsResult = &r
+		fmt.Println(experiments.FormatAtoms(r))
+	}
+
 	if *benchJSON != "" {
-		if !*engineRun && !*wireRun && !*stormRun {
-			fmt.Fprintln(os.Stderr, "hydra-bench: -benchjson requires -engine, -wire or -storm (or -all)")
+		if !*engineRun && !*wireRun && !*stormRun && !*atomsRun {
+			fmt.Fprintln(os.Stderr, "hydra-bench: -benchjson requires -engine, -wire, -storm or -atoms (or -all)")
 			os.Exit(2)
 		}
-		must(writeBenchJSON(*benchJSON, engineResults, batchResult, wireResult, stormResult))
+		must(writeBenchJSON(*benchJSON, engineResults, batchResult, wireResult, stormResult, atomsResult))
 	}
 }
 
 // writeBenchJSON emits the replay results in a flat, machine-readable
 // form for dashboards and regression tooling.
-func writeBenchJSON(path string, engine []experiments.EngineReplayResult, batch *experiments.EngineReplayResult, wire *experiments.WireReplayResult, storm *experiments.StormResult) error {
+func writeBenchJSON(path string, engine []experiments.EngineReplayResult, batch *experiments.EngineReplayResult, wire *experiments.WireReplayResult, storm *experiments.StormResult, atoms *experiments.AtomsResult) error {
 	type engineRow struct {
 		Shards    int     `json:"shards"`
 		Packets   uint64  `json:"packets"`
@@ -266,12 +282,21 @@ func writeBenchJSON(path string, engine []experiments.EngineReplayResult, batch 
 		MaxLive     int     `json:"max_live"`
 		Unaccounted int64   `json:"unaccounted"`
 	}
+	type atomsRow struct {
+		Atoms       int     `json:"atoms"`
+		Routes      int     `json:"routes"`
+		ReplayNs    float64 `json:"replay_ns_per_update"`
+		ChurnNs     float64 `json:"churn_ns_per_update"`
+		MaxAffected int     `json:"max_affected"`
+		AvgAffected float64 `json:"avg_affected"`
+	}
 	out := struct {
 		Engine []engineRow `json:"engine,omitempty"`
 		Batch  *batchRow   `json:"batch,omitempty"`
 		Wire   *wireRow    `json:"wire,omitempty"`
 		Sim    *simRow     `json:"sim,omitempty"`
 		Storm  *stormRow   `json:"storm,omitempty"`
+		Atoms  *atomsRow   `json:"atoms,omitempty"`
 	}{}
 	if batch != nil {
 		out.Batch = &batchRow{
@@ -320,6 +345,16 @@ func writeBenchJSON(path string, engine []experiments.EngineReplayResult, batch 
 			Overflow:    storm.Storm.OverflowDigests,
 			MaxLive:     storm.Storm.MaxLiveAggregates,
 			Unaccounted: storm.Storm.Unaccounted,
+		}
+	}
+	if atoms != nil {
+		out.Atoms = &atomsRow{
+			Atoms:       atoms.Atoms,
+			Routes:      atoms.Routes,
+			ReplayNs:    atoms.ReplayNsPerUpdate,
+			ChurnNs:     atoms.ChurnNsPerUpdate,
+			MaxAffected: atoms.MaxAffected,
+			AvgAffected: atoms.AvgAffected,
 		}
 	}
 	data, err := json.MarshalIndent(out, "", "  ")

@@ -1,0 +1,50 @@
+package atoms
+
+import "repro/internal/netsim"
+
+// RouteChanged implements netsim.RouteWatcher: every FIB mutation on a
+// watched switch becomes an incremental Install/Remove on the verifier.
+func (v *Verifier) RouteChanged(ev netsim.RouteEvent) {
+	switch ev.Op {
+	case netsim.RouteAdd:
+		v.Install(ev.Switch, ev.Prefix, ev.Bits, ev.Ports)
+	case netsim.RouteRemove:
+		v.Remove(ev.Switch, ev.Prefix, ev.Bits)
+	}
+}
+
+// WatchFabric mirrors a netsim fabric into the verifier: it registers
+// every switch, walks the wired links to build the topology model
+// (switch-to-switch adjacency and host attachments), and subscribes to
+// each switch's L3Program so existing routes replay and future
+// mutations stream in incrementally.
+//
+// Call it after forwarding programs are assigned and before any fault
+// layer wraps sw.Forwarding (the verifier models the control plane's
+// intended FIB; runtime fault wrappers are the data plane's problem).
+// Switches whose forwarding is not an L3Program get topology but no
+// routes. Links to nodes outside sws are ignored.
+func WatchFabric(v *Verifier, sws []*netsim.Switch) {
+	for _, sw := range sws {
+		v.AddSwitch(sw.ID)
+	}
+	for _, sw := range sws {
+		si := v.idx[sw.ID]
+		for _, port := range sw.Ports() {
+			peer, _ := sw.Link(port).Peer(sw)
+			switch p := peer.(type) {
+			case *netsim.Switch:
+				if pi, ok := v.idx[p.ID]; ok {
+					v.sws[si].ports[port] = portDest{sw: pi}
+				}
+			case *netsim.Host:
+				v.AttachHost(sw.ID, port, p.IP)
+			}
+		}
+	}
+	for _, sw := range sws {
+		if prog, ok := sw.Forwarding.(*netsim.L3Program); ok {
+			prog.Watch(sw.ID, v)
+		}
+	}
+}

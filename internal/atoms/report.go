@@ -1,0 +1,35 @@
+package atoms
+
+import (
+	"repro/internal/pipeline"
+	"repro/internal/reportbus"
+)
+
+// CheckerID is the reportbus checker name static violations are raised
+// under — the control-plane verifier sits beside the runtime checkers
+// on the same digest pipeline, distinguished only by this ID.
+const CheckerID = "atoms"
+
+// Digest converts a violation into a reportbus digest with args
+// (kind, host, lo, hi); the switch rides in the digest's provenance.
+func (x Violation) Digest(at int64) reportbus.Digest {
+	return reportbus.DigestFrom(CheckerID, x.Switch, at, pipeline.Report{Args: []pipeline.Value{
+		pipeline.B(8, uint64(x.Kind)),
+		pipeline.B(32, uint64(x.Host)),
+		pipeline.B(32, uint64(x.Lo)),
+		pipeline.B(32, uint64(x.Hi)),
+	}})
+}
+
+// Publish chains a reportbus producer onto the verifier's OnViolation
+// callback: every raised violation is published as a digest stamped
+// with clock(). Any previously-set callback still runs first.
+func Publish(v *Verifier, p *reportbus.Producer, clock func() int64) {
+	prev := v.OnViolation
+	v.OnViolation = func(x Violation) {
+		if prev != nil {
+			prev(x)
+		}
+		p.Publish(x.Digest(clock()))
+	}
+}

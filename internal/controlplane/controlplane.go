@@ -57,6 +57,17 @@ type Config struct {
 	RetainPerChecker int
 }
 
+// InstallObserver observes the control-plane mutations a Controller
+// actually applies, per target switch: the hook the static verification
+// layer (internal/atoms Audit) uses to cross-check declared intents
+// against delivered installs. Scalars report a nil key; set members
+// report value 1. WipeSwitch is deliberately unobserved — a wipe is a
+// runtime fault, not a control-plane decision.
+type InstallObserver interface {
+	ControlInstalled(checker string, switchID uint32, varName string, key []uint64, value uint64)
+	ControlDeleted(checker string, switchID uint32, varName string, key []uint64)
+}
+
 // Controller deploys compiled checkers onto switches and manages their
 // control-plane state.
 type Controller struct {
@@ -77,6 +88,10 @@ type Controller struct {
 	// OnReport, when set, is additionally invoked for every report, fed
 	// synchronously from the bus's per-digest tap.
 	OnReport func(Report)
+
+	// Observer, when set, sees every applied install/delete. Set it
+	// before issuing installs; it is read under the controller's mutex.
+	Observer InstallObserver
 }
 
 // NewController returns an empty controller with a private report bus.
@@ -228,7 +243,7 @@ func (c *Controller) Attachment(name string, switchID uint32) (*netsim.HydraAtta
 
 // table resolves the realizing table of a control variable on one
 // switch (or on all switches when switchID is 0 via forEach).
-func (c *Controller) forEach(name string, switchID uint32, fn func(*pipeline.Table) error, varName string) error {
+func (c *Controller) forEach(name string, switchID uint32, fn func(uint32, *pipeline.Table) error, varName string) error {
 	c.mu.Lock()
 	m, ok := c.atts[name]
 	c.mu.Unlock()
@@ -244,7 +259,7 @@ func (c *Controller) forEach(name string, switchID uint32, fn func(*pipeline.Tab
 		if !ok {
 			return fmt.Errorf("controlplane: checker %q has no control variable %q", name, varName)
 		}
-		if err := fn(tbl); err != nil {
+		if err := fn(id, tbl); err != nil {
 			return err
 		}
 		applied++
@@ -258,50 +273,83 @@ func (c *Controller) forEach(name string, switchID uint32, fn func(*pipeline.Tab
 // SetScalar installs a scalar control variable's value. switchID 0
 // means every switch the checker is deployed on.
 func (c *Controller) SetScalar(name string, switchID uint32, varName string, value uint64) error {
-	return c.forEach(name, switchID, func(tbl *pipeline.Table) error {
+	return c.forEach(name, switchID, func(id uint32, tbl *pipeline.Table) error {
 		w := 1
 		if len(tbl.Outputs) == 1 {
 			// Width travels with the default action value.
 			w = tbl.Default[0].W
 		}
-		return tbl.Insert(pipeline.Entry{Action: []pipeline.Value{pipeline.B(w, value)}})
+		if err := tbl.Insert(pipeline.Entry{Action: []pipeline.Value{pipeline.B(w, value)}}); err != nil {
+			return err
+		}
+		c.observeInstall(name, id, varName, nil, value)
+		return nil
 	}, varName)
 }
 
 // PutDict installs key -> value into a dictionary control variable.
 // switchID 0 targets every switch.
 func (c *Controller) PutDict(name string, switchID uint32, varName string, key []uint64, value uint64) error {
-	return c.forEach(name, switchID, func(tbl *pipeline.Table) error {
+	return c.forEach(name, switchID, func(id uint32, tbl *pipeline.Table) error {
 		keys := make([]pipeline.KeyMatch, len(key))
 		for i, k := range key {
 			keys[i] = pipeline.ExactKey(k)
 		}
 		w := tbl.Default[0].W
-		return tbl.Insert(pipeline.Entry{Keys: keys, Action: []pipeline.Value{pipeline.B(w, value)}})
+		if err := tbl.Insert(pipeline.Entry{Keys: keys, Action: []pipeline.Value{pipeline.B(w, value)}}); err != nil {
+			return err
+		}
+		c.observeInstall(name, id, varName, key, value)
+		return nil
 	}, varName)
 }
 
 // DeleteDict removes a dictionary entry.
 func (c *Controller) DeleteDict(name string, switchID uint32, varName string, key []uint64) error {
-	return c.forEach(name, switchID, func(tbl *pipeline.Table) error {
+	return c.forEach(name, switchID, func(id uint32, tbl *pipeline.Table) error {
 		keys := make([]pipeline.KeyMatch, len(key))
 		for i, k := range key {
 			keys[i] = pipeline.ExactKey(k)
 		}
 		tbl.Delete(keys)
+		c.observeDelete(name, id, varName, key)
 		return nil
 	}, varName)
 }
 
 // AddSet inserts a member into a set control variable.
 func (c *Controller) AddSet(name string, switchID uint32, varName string, key ...uint64) error {
-	return c.forEach(name, switchID, func(tbl *pipeline.Table) error {
+	return c.forEach(name, switchID, func(id uint32, tbl *pipeline.Table) error {
 		keys := make([]pipeline.KeyMatch, len(key))
 		for i, k := range key {
 			keys[i] = pipeline.ExactKey(k)
 		}
-		return tbl.Insert(pipeline.Entry{Keys: keys})
+		if err := tbl.Insert(pipeline.Entry{Keys: keys}); err != nil {
+			return err
+		}
+		c.observeInstall(name, id, varName, key, 1)
+		return nil
 	}, varName)
+}
+
+// observeInstall and observeDelete forward applied mutations to the
+// install observer, when one is attached.
+func (c *Controller) observeInstall(name string, id uint32, varName string, key []uint64, value uint64) {
+	c.mu.Lock()
+	obs := c.Observer
+	c.mu.Unlock()
+	if obs != nil {
+		obs.ControlInstalled(name, id, varName, key, value)
+	}
+}
+
+func (c *Controller) observeDelete(name string, id uint32, varName string, key []uint64) {
+	c.mu.Lock()
+	obs := c.Observer
+	c.mu.Unlock()
+	if obs != nil {
+		obs.ControlDeleted(name, id, varName, key)
+	}
 }
 
 // WipeSwitch resets every checker attachment on the given switch to

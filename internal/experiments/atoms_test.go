@@ -1,0 +1,41 @@
+package experiments
+
+import "testing"
+
+// TestAtomsChurn runs a small E16 pass and asserts its contract: the
+// fabric is clean before and after churn, every withdrawal raised a
+// violation that its reinstall resolved, and no single update rechecked
+// more than a small corner of the partition (the Delta-net
+// partial-recheck property).
+func TestAtomsChurn(t *testing.T) {
+	cfg := AtomsConfig{K: 4, Updates: 200, Seed: 7}
+	r, err := RunAtomsChurn(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Outstanding != 0 {
+		t.Errorf("churn ended with %d outstanding violations", r.Outstanding)
+	}
+	if r.Raised == 0 || r.Raised != r.Resolved {
+		t.Errorf("raised %d, resolved %d: every withdrawal must raise and every reinstall resolve", r.Raised, r.Resolved)
+	}
+	if r.ChurnUpdates != uint64(cfg.Updates) {
+		t.Errorf("drove %d updates, want %d", r.ChurnUpdates, cfg.Updates)
+	}
+	if r.Atoms == 0 || r.Routes == 0 || r.ReplayUpdates == 0 {
+		t.Errorf("fabric replay looks empty: %+v", r)
+	}
+	if r.MaxAffected == 0 || r.MaxAffected >= r.Atoms/2 {
+		t.Errorf("single update rechecked %d of %d atoms; partial recheck should stay well below half", r.MaxAffected, r.Atoms)
+	}
+
+	// The deterministic counters must reproduce exactly.
+	r2, err := RunAtomsChurn(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Atoms != r.Atoms || r2.Raised != r.Raised || r2.Resolved != r.Resolved ||
+		r2.MaxAffected != r.MaxAffected || r2.AvgAffected != r.AvgAffected {
+		t.Errorf("churn counters not reproducible:\nfirst:  %+v\nsecond: %+v", r, r2)
+	}
+}

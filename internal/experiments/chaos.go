@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/atoms"
 	"repro/internal/checkers"
 	"repro/internal/controlplane"
 	"repro/internal/faults"
@@ -84,6 +85,23 @@ var ExpectedDetectors = map[faults.Class][]string{
 	faults.DelayedInstall: {"stateful-firewall"},
 }
 
+// ExpectedStatic maps each fault class to whether the static layer —
+// the atoms route verifier plus the control-install audit — must flag
+// it before a single packet flows. Misroute is mirrored into the
+// verifier as the route-table state the fault emulates, so it surfaces
+// as a forwarding loop; partial-install and delayed-install are
+// withheld or late control installs the audit sees as missing intents.
+// The remaining classes are invisible statically by design: the wire
+// faults (drop, corrupt, duplicate, reorder, flap) and the runtime
+// state faults (crash's register wipe, stale-table's direct mutation)
+// never pass through the observed control plane, which is exactly why
+// Hydra pairs static verification with runtime checking.
+var ExpectedStatic = map[faults.Class]bool{
+	faults.Misroute:       true,
+	faults.PartialInstall: true,
+	faults.DelayedInstall: true,
+}
+
 // ScenarioResult is one scenario's row of the detection matrix. Every
 // field is virtual-time deterministic; wall-clock throughput lives
 // outside the matrix (ChaosResult.WallPPS).
@@ -145,11 +163,55 @@ type ChaosMatrix struct {
 // JSON renders the canonical byte-reproducible form of the matrix.
 func (m ChaosMatrix) JSON() ([]byte, error) { return json.MarshalIndent(m, "", "  ") }
 
-// ChaosResult pairs the matrix with the wall-clock throughput of each
-// scenario (kept out of the matrix so reproducibility is exact).
+// StaticScenario is the static-verification row of one chaos scenario:
+// what the atoms route verifier and the control-install audit concluded
+// from control-plane state alone, snapshotted after fault arming but
+// before the first packet is replayed.
+type StaticScenario struct {
+	// Class is the fault class, or "baseline" for the healthy run.
+	Class string `json:"class"`
+	// RouteUpdates counts the route events replayed into the verifier
+	// (the fabric FIBs plus, for misroute, the mirrored bad route).
+	RouteUpdates uint64 `json:"route_updates"`
+	// Atoms is the settled size of the destination-space partition.
+	Atoms int `json:"atoms"`
+	// Digests counts the atoms digests published on the static report
+	// bus while the FIBs were replayed.
+	Digests uint64 `json:"digests,omitempty"`
+	// Violations is the verifier's outstanding set, rendered.
+	Violations []string `json:"violations,omitempty"`
+	// MissingInstalls counts declared control intents with no applied
+	// install at snapshot time.
+	MissingInstalls int `json:"missing_installs,omitempty"`
+	// Expected and Detected say whether the class must be — and was —
+	// flagged statically (any violation or missing install).
+	Expected bool `json:"expected"`
+	Detected bool `json:"detected"`
+}
+
+// StaticMatrix aggregates the static rows of a chaos campaign. It is
+// byte-reproducible exactly like ChaosMatrix but serialized separately,
+// so the runtime detection matrix golden stays byte-identical to its
+// pre-static pinning.
+type StaticMatrix struct {
+	Seed      int64            `json:"seed"`
+	Packets   int              `json:"packets"`
+	FaultRate float64          `json:"fault_rate"`
+	Baseline  StaticScenario   `json:"baseline"`
+	Scenarios []StaticScenario `json:"scenarios"`
+}
+
+// JSON renders the canonical byte-reproducible form of the static
+// matrix.
+func (m StaticMatrix) JSON() ([]byte, error) { return json.MarshalIndent(m, "", "  ") }
+
+// ChaosResult pairs the matrix with the static verdicts and the
+// wall-clock throughput of each scenario (kept out of both matrices so
+// reproducibility is exact).
 type ChaosResult struct {
 	Config  ChaosConfig
 	Matrix  ChaosMatrix
+	Static  StaticMatrix
 	WallPPS map[string]float64
 }
 
@@ -159,7 +221,7 @@ func RunChaos(cfg ChaosConfig) (ChaosResult, error) {
 	cfg = cfg.withDefaults()
 	out := ChaosResult{Config: cfg, WallPPS: map[string]float64{}}
 
-	base, pps, err := runChaosScenario(cfg, "")
+	base, baseStatic, pps, err := runChaosScenario(cfg, "")
 	if err != nil {
 		return out, fmt.Errorf("experiments: chaos baseline: %w", err)
 	}
@@ -172,13 +234,20 @@ func RunChaos(cfg ChaosConfig) (ChaosResult, error) {
 		Baseline:  base,
 		Checkers:  map[string]CheckerSummary{},
 	}
+	sm := StaticMatrix{
+		Seed:      cfg.Seed,
+		Packets:   cfg.Packets,
+		FaultRate: cfg.FaultRate,
+		Baseline:  baseStatic,
+	}
 	for _, class := range cfg.Classes {
-		sc, pps, err := runChaosScenario(cfg, class)
+		sc, st, pps, err := runChaosScenario(cfg, class)
 		if err != nil {
 			return out, fmt.Errorf("experiments: chaos %s: %w", class, err)
 		}
 		out.WallPPS[sc.Class] = pps
 		m.Scenarios = append(m.Scenarios, sc)
+		sm.Scenarios = append(sm.Scenarios, st)
 	}
 
 	in := func(list []string, name string) bool {
@@ -205,13 +274,17 @@ func RunChaos(cfg ChaosConfig) (ChaosResult, error) {
 		m.Checkers[p.Key] = s
 	}
 	out.Matrix = m
+	out.Static = sm
 	return out, nil
 }
 
 // runChaosScenario runs one replay pass with the given fault class
 // injected ("" = healthy baseline) and scores the digests raised
-// against the class's expected detectors.
-func runChaosScenario(cfg ChaosConfig, class faults.Class) (ScenarioResult, float64, error) {
+// against the class's expected detectors. Alongside the runtime pass
+// it runs the static layer — an atoms verifier over the fabric FIBs
+// and an install audit on the controller — and snapshots its verdict
+// before the first packet flows.
+func runChaosScenario(cfg ChaosConfig, class faults.Class) (ScenarioResult, StaticScenario, float64, error) {
 	res := ScenarioResult{
 		Class:    string(class),
 		Injected: map[string]uint64{},
@@ -221,6 +294,7 @@ func runChaosScenario(cfg ChaosConfig, class faults.Class) (ScenarioResult, floa
 	if class == "" {
 		res.Class = "baseline"
 	}
+	st := StaticScenario{Class: res.Class, Expected: ExpectedStatic[class]}
 
 	sim := netsim.NewSimulator()
 	ls := netsim.BuildLeafSpine(sim, netsim.LeafSpineConfig{
@@ -261,14 +335,22 @@ func runChaosScenario(cfg ChaosConfig, class faults.Class) (ScenarioResult, floa
 	})
 	ctl := controlplane.NewControllerWith(controlplane.Config{Bus: bus, RetainPerChecker: -1})
 
+	// Static layer, part 1: the install audit observes every control
+	// mutation the controller actually applies, to cross-check against
+	// the declared per-pair firewall intents — withheld and late
+	// installs show up as missing. Attached before any install so it
+	// sees them all.
+	audit := atoms.NewAudit()
+	ctl.Observer = audit
+
 	all := ls.AllSwitches()
 	for _, p := range checkers.All {
 		info, err := p.Parse()
 		if err != nil {
-			return res, 0, err
+			return res, st, 0, err
 		}
 		if err := ctl.Deploy(p.Key, info, all...); err != nil {
-			return res, 0, err
+			return res, st, 0, err
 		}
 	}
 	sws := make([]SwitchInfo, len(all))
@@ -283,8 +365,25 @@ func runChaosScenario(cfg ChaosConfig, class faults.Class) (ScenarioResult, floa
 		return fn(att.State)
 	})
 	if err != nil {
-		return res, 0, err
+		return res, st, 0, err
 	}
+
+	// Static layer, part 2: an atoms verifier watches every fabric FIB
+	// (Watch replays the already-installed routes) and checks loop
+	// freedom and sink reachability from the route tables alone. Its
+	// digests ride a private bus so the runtime detection matrix —
+	// golden-pinned — is untouched. Wired before fault arming: WrapNode
+	// swaps the forwarding program, so watching must come first.
+	ver := atoms.New()
+	var staticDigests uint64
+	sbus := reportbus.New(reportbus.Config{
+		Window: cfg.Window,
+		Clock:  func() int64 { return int64(sim.Now()) },
+	})
+	sbus.Tap(func(reportbus.Digest) { staticDigests++ })
+	atoms.Publish(ver, sbus.InlineProducer("static"), sbus.Now)
+	atoms.WatchFabric(ver, all)
+	ver.ExpectHost(sink.IP)
 
 	gen := trafficgen.NewCampus(trafficgen.CampusConfig{Seed: cfg.Seed})
 	pkts := make([]trafficgen.Packet, cfg.Packets)
@@ -301,6 +400,18 @@ func runChaosScenario(cfg ChaosConfig, class faults.Class) (ScenarioResult, floa
 		}
 	}
 
+	// Static layer, part 3: declare the control intents — every unique
+	// flow pair, both directions, on every switch — before the seeding
+	// fault site runs, so withheld installs are auditable.
+	swIDs := make([]uint32, len(all))
+	for i, sw := range all {
+		swIDs[i] = sw.ID
+	}
+	for _, p := range pairs {
+		audit.Expect("stateful-firewall", "allowed", []uint64{uint64(p[0]), uint64(p[1])}, swIDs...)
+		audit.Expect("stateful-firewall", "allowed", []uint64{uint64(p[1]), uint64(p[0])}, swIDs...)
+	}
+
 	// deferredErr carries failures out of fault callbacks that fire
 	// mid-simulation.
 	var deferredErr error
@@ -312,16 +423,21 @@ func runChaosScenario(cfg ChaosConfig, class faults.Class) (ScenarioResult, floa
 
 	// Firewall seeding is itself a fault site: the partial-install class
 	// withholds a deterministic subset of pairs, the delayed-install
-	// class installs everything only at mid-replay.
+	// class installs everything only at mid-replay. Seeding goes through
+	// the controller's typed install path so the audit observes what was
+	// actually delivered; the installed entries are identical to
+	// FirewallSeed's (a boolean true per direction).
 	seedSwitches := func(pairs [][2]uint32) error {
-		seed := FirewallSeed(pairs)
 		for _, sw := range all {
-			att, err := ctl.Attachment("stateful-firewall", sw.ID)
-			if err != nil {
-				return err
-			}
-			if err := seed(att.State); err != nil {
-				return err
+			for _, p := range pairs {
+				for _, k := range [][]uint64{
+					{uint64(p[0]), uint64(p[1])},
+					{uint64(p[1]), uint64(p[0])},
+				} {
+					if err := ctl.PutDict("stateful-firewall", sw.ID, "allowed", k, 1); err != nil {
+						return err
+					}
+				}
 			}
 		}
 		return nil
@@ -347,14 +463,14 @@ func runChaosScenario(cfg ChaosConfig, class faults.Class) (ScenarioResult, floa
 			kept = append(kept, p)
 		}
 		if err := seedSwitches(kept); err != nil {
-			return res, 0, err
+			return res, st, 0, err
 		}
 	case faults.DelayedInstall:
 		res.Injected["delayed_pairs"] = uint64(len(pairs))
 		sim.At(span/2, func() { fail(seedSwitches(pairs)) })
 	default:
 		if err := seedSwitches(pairs); err != nil {
-			return res, 0, err
+			return res, st, 0, err
 		}
 	}
 
@@ -394,6 +510,11 @@ func runChaosScenario(cfg ChaosConfig, class faults.Class) (ScenarioResult, floa
 			MisrouteRate: cfg.FaultRate,
 			MisroutePort: 1,
 		})
+		// Mirror the fault into the verifier as the route-table state it
+		// emulates — the spine's default pointing back at leaf 1 — so the
+		// static layer sees what a buggy controller would have installed:
+		// a forwarding loop, caught before any packet flows.
+		ver.Install(ls.Spines[0].ID, 0, 0, []int{1})
 	case faults.TeleRewrite:
 		nf = faults.WrapNode(ls.Spines[0], faults.SubSeed(cfg.Seed, "node:tele-rewrite"), faults.NodeFaultConfig{
 			TeleRewriteRate: cfg.FaultRate,
@@ -428,9 +549,23 @@ func runChaosScenario(cfg ChaosConfig, class faults.Class) (ScenarioResult, floa
 		})
 	}
 
+	// Static verdict: snapshotted before the first packet flows. For
+	// delayed-install the seeding is still scheduled, so every declared
+	// pair is missing here — exactly the pre-traffic gap the static
+	// layer exists to flag.
+	stats := ver.Stats()
+	st.RouteUpdates = stats.Updates
+	st.Atoms = stats.Atoms
+	st.Digests = staticDigests
+	for _, x := range ver.Outstanding() {
+		st.Violations = append(st.Violations, x.String())
+	}
+	st.MissingInstalls = len(audit.Missing())
+	st.Detected = len(st.Violations) > 0 || st.MissingInstalls > 0
+
 	if cfg.SimShards > 1 {
 		if err := sim.Partition(cfg.SimShards); err != nil {
-			return res, 0, err
+			return res, st, 0, err
 		}
 	}
 
@@ -446,7 +581,7 @@ func runChaosScenario(cfg ChaosConfig, class faults.Class) (ScenarioResult, floa
 	wall := time.Since(start)
 	ctl.Close()
 	if deferredErr != nil {
-		return res, 0, deferredErr
+		return res, st, 0, deferredErr
 	}
 
 	res.Delivered = sink.RxUDP + sink.RxTCP
@@ -505,7 +640,7 @@ func runChaosScenario(cfg ChaosConfig, class faults.Class) (ScenarioResult, floa
 	if wall > 0 {
 		pps = float64(cfg.Packets) / wall.Seconds()
 	}
-	return res, pps, nil
+	return res, st, pps, nil
 }
 
 // FormatChaos renders the chaos campaign for hydra-bench output.
@@ -542,6 +677,27 @@ func FormatChaos(r ChaosResult) string {
 	row(r.Matrix.Baseline)
 	for _, sc := range r.Matrix.Scenarios {
 		row(sc)
+	}
+
+	b.WriteString("static (atoms route verifier + install audit), pre-traffic verdicts:\n")
+	fmt.Fprintf(&b, "  %-16s %9s %6s %11s %8s  %s\n",
+		"class", "updates", "atoms", "violations", "missing", "verdict")
+	srow := func(s StaticScenario) {
+		verdict := "silent"
+		switch {
+		case s.Expected && s.Detected:
+			verdict = "detected"
+		case s.Expected:
+			verdict = "MISSED"
+		case s.Detected:
+			verdict = "FALSE POSITIVE"
+		}
+		fmt.Fprintf(&b, "  %-16s %9d %6d %11d %8d  %s\n",
+			s.Class, s.RouteUpdates, s.Atoms, len(s.Violations), s.MissingInstalls, verdict)
+	}
+	srow(r.Static.Baseline)
+	for _, s := range r.Static.Scenarios {
+		srow(s)
 	}
 
 	b.WriteString("per-checker: tp/fp/missed/collateral\n")

@@ -165,6 +165,13 @@ func BuildFatTree(sim *Simulator, cfg FatTreeConfig) *FatTree {
 // edges route local /32s down and default-ECMP up to the pod aggs;
 // aggs route the pod's edge /24s down and default-ECMP up to their
 // core group; cores route each pod /16 to that pod's port.
+//
+// Each switch also installs a null (discard) route for its own
+// aggregate — the edge its /24, the agg its pod /16 — the standard
+// discard-aggregate practice: without it, traffic for nonexistent
+// addresses inside an aggregate bounces between the aggregate's
+// down-route and the default up-route until TTL death, a genuine
+// forwarding loop the static verifier (internal/atoms) would flag.
 func (ft *FatTree) InstallRouting() {
 	k := ft.K
 	half := k / 2
@@ -179,6 +186,7 @@ func (ft *FatTree) InstallRouting() {
 			for h := 0; h < half; h++ {
 				prog.AddRoute(FatTreeHostIP(p, e, h), 32, h+1)
 			}
+			prog.AddRoute(dataplane.MustIP4(fmt.Sprintf("10.%d.%d.0", p, e)), 24) // discard own aggregate
 			prog.AddRoute(def, 0, upPorts...)
 			edge.Forwarding = prog
 		}
@@ -187,6 +195,7 @@ func (ft *FatTree) InstallRouting() {
 			for e := 0; e < half; e++ {
 				prog.AddRoute(dataplane.MustIP4(fmt.Sprintf("10.%d.%d.0", p, e)), 24, e+1)
 			}
+			prog.AddRoute(dataplane.MustIP4(fmt.Sprintf("10.%d.0.0", p)), 16) // discard own aggregate
 			prog.AddRoute(def, 0, upPorts...)
 			agg.Forwarding = prog
 		}

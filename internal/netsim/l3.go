@@ -2,6 +2,7 @@ package netsim
 
 import (
 	"hash/fnv"
+	"sort"
 
 	"repro/internal/dataplane"
 )
@@ -14,16 +15,108 @@ type Route struct {
 	Ports  []int
 }
 
+// RouteOp distinguishes route-table mutations for RouteEvent.
+type RouteOp uint8
+
+const (
+	// RouteAdd is an install or an in-place replacement of an equal
+	// (prefix, bits) entry.
+	RouteAdd RouteOp = iota
+	// RouteRemove deletes an entry.
+	RouteRemove
+)
+
+// RouteEvent is one route-table mutation on a switch, as seen by a
+// RouteWatcher: the control-plane-visible stream of FIB changes that
+// static verifiers (internal/atoms) recheck incrementally.
+type RouteEvent struct {
+	Switch uint32
+	Op     RouteOp
+	Prefix dataplane.IP4
+	Bits   int
+	// Ports is the installed ECMP port set (nil for RouteRemove). The
+	// slice is a copy: the watcher may retain it.
+	Ports []int
+}
+
+// RouteWatcher observes route mutations on a watched L3Program.
+type RouteWatcher interface {
+	RouteChanged(RouteEvent)
+}
+
 // L3Program is a plain IPv4 router with ECMP, the fabric forwarding the
 // Aether deployment uses between leaves and spines ("routing IPv4
 // packets over the spine switches using ECMP", §5.2).
+//
+// Routes is kept sorted by descending prefix length (stable within one
+// length), so Process can stop at the first matching entry: the
+// longest-prefix match is always the earliest match. Mutate the table
+// through AddRoute/RemoveRoute, which maintain the ordering and notify
+// the attached RouteWatcher.
 type L3Program struct {
 	Routes []Route
+
+	swID    uint32
+	watcher RouteWatcher
 }
 
-// AddRoute appends a route.
+// Watch subscribes w to this program's route mutations, tagging events
+// with the given switch ID. Existing routes are replayed as RouteAdd
+// events in table order, so a watcher attached after InstallRouting
+// still sees the complete FIB.
+func (p *L3Program) Watch(switchID uint32, w RouteWatcher) {
+	p.swID, p.watcher = switchID, w
+	if w == nil {
+		return
+	}
+	for _, r := range p.Routes {
+		p.notify(RouteAdd, r.Prefix, r.Bits, r.Ports)
+	}
+}
+
+func (p *L3Program) notify(op RouteOp, prefix dataplane.IP4, bits int, ports []int) {
+	if p.watcher == nil {
+		return
+	}
+	ev := RouteEvent{Switch: p.swID, Op: op, Prefix: prefix, Bits: bits}
+	if op == RouteAdd {
+		ev.Ports = append([]int(nil), ports...)
+	}
+	p.watcher.RouteChanged(ev)
+}
+
+// AddRoute installs a route. Re-adding an equal (prefix, bits) entry
+// replaces its port set in place instead of appending a shadowed
+// duplicate (Process matches the first entry of a given length, so an
+// appended duplicate would be dead). New entries are inserted in
+// descending-prefix-length position.
 func (p *L3Program) AddRoute(prefix dataplane.IP4, bits int, ports ...int) {
-	p.Routes = append(p.Routes, Route{Prefix: prefix, Bits: bits, Ports: ports})
+	for i := range p.Routes {
+		if p.Routes[i].Prefix == prefix && p.Routes[i].Bits == bits {
+			p.Routes[i].Ports = ports
+			p.notify(RouteAdd, prefix, bits, ports)
+			return
+		}
+	}
+	// Stable descending insert: after every existing entry of >= length.
+	i := sort.Search(len(p.Routes), func(i int) bool { return p.Routes[i].Bits < bits })
+	p.Routes = append(p.Routes, Route{})
+	copy(p.Routes[i+1:], p.Routes[i:])
+	p.Routes[i] = Route{Prefix: prefix, Bits: bits, Ports: ports}
+	p.notify(RouteAdd, prefix, bits, ports)
+}
+
+// RemoveRoute deletes the (prefix, bits) entry, reporting whether it
+// was present. Shorter covering prefixes (if any) take over matching.
+func (p *L3Program) RemoveRoute(prefix dataplane.IP4, bits int) bool {
+	for i := range p.Routes {
+		if p.Routes[i].Prefix == prefix && p.Routes[i].Bits == bits {
+			p.Routes = append(p.Routes[:i], p.Routes[i+1:]...)
+			p.notify(RouteRemove, prefix, bits, nil)
+			return true
+		}
+	}
+	return false
 }
 
 // Process implements ForwardingProgram.
@@ -36,22 +129,27 @@ func (p *L3Program) Process(sw *Switch, pkt *dataplane.Decoded, meta *PacketMeta
 	}
 	pkt.IPv4.TTL--
 
-	best := -1
-	bestBits := -1
-	for i, r := range p.Routes {
-		if r.Bits > bestBits && pkt.IPv4.Dst.InPrefix(r.Prefix, r.Bits) {
-			best, bestBits = i, r.Bits
+	// Routes are sorted by descending prefix length: the first match is
+	// the longest-prefix match (equal-length prefixes that both match
+	// one address are impossible — their ranges are disjoint).
+	for i := range p.Routes {
+		r := &p.Routes[i]
+		if !pkt.IPv4.Dst.InPrefix(r.Prefix, r.Bits) {
+			continue
 		}
+		ports := r.Ports
+		if len(ports) == 0 {
+			// Null route: matched traffic is discarded (the BGP-style
+			// discard entry routers install for their own aggregates).
+			return nil
+		}
+		if len(ports) == 1 {
+			return meta.OneEgress(ports[0])
+		}
+		// ECMP: hash the flow 5-tuple so a flow sticks to one path.
+		return meta.OneEgress(ports[FlowHash(pkt)%uint32(len(ports))])
 	}
-	if best < 0 {
-		return nil
-	}
-	ports := p.Routes[best].Ports
-	if len(ports) == 1 {
-		return meta.OneEgress(ports[0])
-	}
-	// ECMP: hash the flow 5-tuple so a flow sticks to one path.
-	return meta.OneEgress(ports[FlowHash(pkt)%uint32(len(ports))])
+	return nil
 }
 
 // FlowHash computes a deterministic 5-tuple hash (FNV-1a) used for ECMP

@@ -2,6 +2,7 @@ package netsim
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/compiler"
 	"repro/internal/dataplane"
@@ -199,6 +200,17 @@ func (sw *Switch) AttachLink(port int, l *Link) {
 
 // Link returns the link on a port, or nil.
 func (sw *Switch) Link(port int) *Link { return sw.links[port] }
+
+// Ports returns the switch's wired ports in ascending order — the
+// deterministic iteration companion to Link for topology discovery.
+func (sw *Switch) Ports() []int {
+	out := make([]int, 0, len(sw.links))
+	for p := range sw.links {
+		out = append(out, p)
+	}
+	sort.Ints(out)
+	return out
+}
 
 // Sim returns the simulator the switch runs in.
 func (sw *Switch) Sim() *Simulator { return sw.sim }
