@@ -1,0 +1,89 @@
+// Command hydra-aggd is the fleet aggregation daemon: engine workers
+// dial it, stream their windowed violation aggregates and session
+// summaries upstream, and it merges everything into one fleet-wide
+// report with exact digest-conservation accounting.
+//
+// It prints "LISTEN <addr>" (worker uplink) and "METRICS <addr>"
+// (Prometheus endpoint) on stdout once bound, then runs until -expect
+// session summaries arrive, -timeout expires, or SIGTERM — whichever
+// comes first — and writes the fleet report as JSON to -out.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/fleet"
+	"repro/internal/metrics"
+)
+
+func main() {
+	var (
+		listen      = flag.String("listen", "127.0.0.1:0", "worker uplink address (host:port, :0 for ephemeral)")
+		metricsAddr = flag.String("metrics", "", "Prometheus /metrics address (empty disables)")
+		node        = flag.String("node", "agg", "node name in the fleet report")
+		expect      = flag.Int("expect", 0, "exit after this many session summaries (0 runs until SIGTERM)")
+		timeout     = flag.Duration("timeout", 5*time.Minute, "bound on waiting for -expect summaries")
+		out         = flag.String("out", "", "write the fleet report JSON here (empty writes stdout)")
+	)
+	flag.Parse()
+	log.SetFlags(0)
+	log.SetPrefix("hydra-aggd: ")
+
+	reg := metrics.NewRegistry()
+	agg := fleet.NewAgg(fleet.AggConfig{Node: *node, Metrics: reg, Logf: log.Printf})
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	fmt.Printf("LISTEN %s\n", ln.Addr())
+	if *metricsAddr != "" {
+		addr, err := reg.Serve(*metricsAddr)
+		if err != nil {
+			log.Fatalf("metrics: %v", err)
+		}
+		fmt.Printf("METRICS %s\n", addr)
+	}
+	go func() {
+		if err := agg.Serve(ln); err != nil {
+			log.Printf("serve ended: %v", err)
+		}
+	}()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	done := make(chan bool, 1)
+	if *expect > 0 {
+		go func() { done <- agg.WaitSummaries(*expect, *timeout) }()
+	}
+	complete := true
+	select {
+	case complete = <-done:
+	case sig := <-sigc:
+		log.Printf("finalizing on %v", sig)
+	}
+	ln.Close()
+
+	rep := agg.Report()
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatalf("encoding report: %v", err)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+	} else if err := os.WriteFile(*out, data, 0o644); err != nil {
+		log.Fatalf("writing %s: %v", *out, err)
+	}
+	if !complete {
+		log.Fatalf("timed out after %v with %d/%d summaries", *timeout, agg.Summaries(), *expect)
+	}
+}

@@ -12,7 +12,13 @@
 //	hydra-bench -chaos -seed 1 -faultrate 0.02   # fault-injection detection matrix
 //	hydra-bench -symcheck                  # symbolic backend-equivalence proof
 //	hydra-bench -atoms                     # incremental control-plane verification churn
-//	hydra-bench -all                       # everything
+//	hydra-bench -fleet                     # multi-process fleet parity harness
+//	hydra-bench -soak                      # fleet harness with a worker kill/restart
+//	hydra-bench -all                       # every in-process experiment
+//
+// -fleet and -soak spawn the hydra-ingestd/workerd/aggd process tree
+// and therefore cannot be combined with the in-process modes (or each
+// other) in one invocation.
 //
 // Figure 12's duration/background scale with -duration and -bps; see
 // EXPERIMENTS.md for how the defaults relate to the paper's setup.
@@ -45,7 +51,9 @@ func main() {
 		chaosRun   = flag.Bool("chaos", false, "run the fault-injection campaign and print the checker detection matrix")
 		symRun     = flag.Bool("symcheck", false, "prove interpreter/map/linked backend equivalence over the modeled space (E13)")
 		atomsRun   = flag.Bool("atoms", false, "run the incremental control-plane verification churn on a fat-tree (E16)")
-		all        = flag.Bool("all", false, "run everything")
+		fleetRun   = flag.Bool("fleet", false, "run the multi-process fleet harness and assert verdict parity with the in-process engine (E17)")
+		soakRun    = flag.Bool("soak", false, "run the fleet harness with a worker kill/restart mid-stream; asserts conservation (E17)")
+		all        = flag.Bool("all", false, "run every in-process experiment")
 
 		durationS = flag.Float64("duration", 5, "figure 12: seconds of simulated time per configuration")
 		bps       = flag.Int64("bps", 2_000_000_000, "figure 12: background load per direction (bit/s)")
@@ -60,6 +68,11 @@ func main() {
 
 		atomsK       = flag.Int("atomsk", 8, "atoms: fat-tree arity")
 		atomsUpdates = flag.Int("atomsupdates", 2000, "atoms: route mutations to drive")
+
+		fleetWorkers = flag.Int("fleetworkers", 2, "fleet/soak: engine worker processes")
+		fleetLoops   = flag.Int("fleetloops", 1, "fleet/soak: replay the capture this many times")
+		fleetBin     = flag.String("fleetbin", "", "fleet/soak: directory with prebuilt hydra-{ingestd,workerd,aggd} (empty builds them)")
+		fleetRSS     = flag.Uint64("fleetrss", 0, "fleet/soak: fail if any daemon's peak RSS exceeds this many KB (0 = unchecked)")
 
 		symJSON     = flag.String("symjson", "", "symcheck: write the full report as JSON to this file (- for stdout)")
 		frontierOut = flag.String("frontierout", "", "symcheck: regenerate the frontier seed corpus into this directory")
@@ -93,7 +106,22 @@ func main() {
 	if *all {
 		*table1, *fig12a, *fig12b, *throughput, *engineRun, *wireRun, *stormRun, *chaosRun, *symRun, *atomsRun = true, true, true, true, true, true, true, true, true, true
 	}
-	if !*table1 && !*fig12a && !*fig12b && !*throughput && !*engineRun && !*wireRun && !*stormRun && !*chaosRun && !*symRun && !*atomsRun {
+	var selected []string
+	for _, m := range []struct {
+		name string
+		set  bool
+	}{
+		{"table1", *table1}, {"fig12a", *fig12a}, {"fig12b", *fig12b},
+		{"throughput", *throughput}, {"engine", *engineRun}, {"wire", *wireRun},
+		{"storm", *stormRun}, {"chaos", *chaosRun}, {"symcheck", *symRun},
+		{"atoms", *atomsRun}, {"fleet", *fleetRun}, {"soak", *soakRun},
+	} {
+		if m.set {
+			selected = append(selected, m.name)
+		}
+	}
+	if err := validateModes(selected); err != nil {
+		fmt.Fprintf(os.Stderr, "hydra-bench: %v\n", err)
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -226,6 +254,31 @@ func main() {
 		fmt.Println(experiments.FormatAtoms(r))
 	}
 
+	if *fleetRun || *soakRun {
+		kind := "fleet parity"
+		if *soakRun {
+			kind = "fleet soak (worker kill/restart)"
+		}
+		fmt.Fprintf(os.Stderr, "running %s harness (%d packets, %d workers, %d loop(s))...\n",
+			kind, *packets, *fleetWorkers, *fleetLoops)
+		res, err := experiments.RunFleet(experiments.FleetConfig{
+			Packets:  *packets,
+			Seed:     *seed,
+			Workers:  *fleetWorkers,
+			Loops:    *fleetLoops,
+			Kill:     *soakRun,
+			MaxRSSKB: *fleetRSS,
+			BinDir:   *fleetBin,
+			Logf:     func(f string, a ...any) { fmt.Fprintf(os.Stderr, f+"\n", a...) },
+		})
+		must(err)
+		fmt.Println(experiments.FormatFleet(res))
+		if !res.OK() {
+			fmt.Fprintln(os.Stderr, "hydra-bench: fleet run failed its acceptance checks")
+			os.Exit(1)
+		}
+	}
+
 	if *benchJSON != "" {
 		if !*engineRun && !*wireRun && !*stormRun && !*atomsRun {
 			fmt.Fprintln(os.Stderr, "hydra-bench: -benchjson requires -engine, -wire, -storm or -atoms (or -all)")
@@ -233,6 +286,31 @@ func main() {
 		}
 		must(writeBenchJSON(*benchJSON, engineResults, batchResult, wireResult, stormResult, atomsResult))
 	}
+}
+
+// validateModes enforces the mode-flag contract: at least one mode,
+// and the process-tree modes (-fleet, -soak) standalone — they own
+// the machine's cores and the measurement, so combining them with
+// each other or with in-process experiments would skew both.
+func validateModes(selected []string) error {
+	var heavy, inproc []string
+	for _, m := range selected {
+		if m == "fleet" || m == "soak" {
+			heavy = append(heavy, m)
+		} else {
+			inproc = append(inproc, m)
+		}
+	}
+	if len(heavy) > 1 {
+		return fmt.Errorf("-%s and -%s are mutually exclusive", heavy[0], heavy[1])
+	}
+	if len(heavy) == 1 && len(inproc) > 0 {
+		return fmt.Errorf("-%s cannot be combined with -%s: the fleet harness runs standalone", heavy[0], inproc[0])
+	}
+	if len(selected) == 0 {
+		return fmt.Errorf("no mode selected: pass one or more experiment flags (or -all), or -fleet / -soak")
+	}
+	return nil
 }
 
 // writeBenchJSON emits the replay results in a flat, machine-readable

@@ -1,0 +1,37 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidateModes(t *testing.T) {
+	cases := []struct {
+		name     string
+		selected []string
+		wantErr  string // substring; empty means valid
+	}{
+		{"none", nil, "no mode selected"},
+		{"one inproc", []string{"engine"}, ""},
+		{"many inproc", []string{"table1", "engine", "wire", "atoms"}, ""},
+		{"fleet alone", []string{"fleet"}, ""},
+		{"soak alone", []string{"soak"}, ""},
+		{"fleet+soak", []string{"fleet", "soak"}, "mutually exclusive"},
+		{"fleet+engine", []string{"engine", "fleet"}, "cannot be combined"},
+		{"soak+table1", []string{"table1", "soak"}, "cannot be combined"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := validateModes(c.selected)
+			if c.wantErr == "" {
+				if err != nil {
+					t.Fatalf("validateModes(%v) = %v, want nil", c.selected, err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+				t.Fatalf("validateModes(%v) = %v, want error containing %q", c.selected, err, c.wantErr)
+			}
+		})
+	}
+}

@@ -1,0 +1,126 @@
+// Command hydra-ingestd is the fleet's capture fan-out daemon: it
+// reads link-layer frames from a pcap file (or, on builds with the
+// hydralive tag, a live AF_PACKET interface), pins every flow to an
+// engine worker by RSS hash, and streams binary packet batches over
+// the wire protocol under per-worker credit windows.
+//
+// The run's accounting — frames read, packets assigned/acked, every
+// drop itemized by reason — is written as JSON to -out when the
+// replay finishes. SIGTERM stops the dispatch loop early; the senders
+// still drain and close their sessions in order.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/fleet"
+	"repro/internal/metrics"
+)
+
+func main() {
+	var (
+		pcapPath    = flag.String("pcap", "", "capture file to replay")
+		liveIface   = flag.String("live", "", "live capture interface (needs the hydralive build tag)")
+		workers     = flag.String("workers", "", "comma-separated worker addresses (required)")
+		node        = flag.String("node", "ingest", "node name in hello frames")
+		batch       = flag.Int("batch", 256, "packets per wire batch")
+		window      = flag.Int("window", 8, "per-worker send window in unacknowledged batches")
+		loops       = flag.Int("loops", 1, "replay the capture this many times")
+		skipSeed    = flag.Int("skip-seed-every", 0, "omit every Nth flow pair from the firewall seed (violation injection)")
+		dropAfter   = flag.Duration("drop-after", 0, "drop a batch after blocking this long on a full window (0 blocks)")
+		metricsAddr = flag.String("metrics", "", "Prometheus /metrics address (empty disables)")
+		out         = flag.String("out", "", "write the run stats JSON here (empty writes stdout)")
+	)
+	flag.Parse()
+	log.SetFlags(0)
+	log.SetPrefix("hydra-ingestd: ")
+
+	if (*pcapPath == "") == (*liveIface == "") {
+		fmt.Fprintln(os.Stderr, "hydra-ingestd: exactly one of -pcap or -live is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *workers == "" {
+		fmt.Fprintln(os.Stderr, "hydra-ingestd: -workers is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var (
+		src fleet.Source
+		err error
+	)
+	if *pcapPath != "" {
+		src, err = fleet.OpenPcap(*pcapPath)
+	} else {
+		src, err = fleet.OpenLive(*liveIface)
+	}
+	if err != nil {
+		log.Fatalf("opening capture: %v", err)
+	}
+	defer src.Close()
+
+	reg := metrics.NewRegistry()
+	ing, err := fleet.NewIngest(fleet.IngestConfig{
+		Workers:       strings.Split(*workers, ","),
+		Node:          *node,
+		PathFor:       experiments.ReplayPathFor,
+		BatchSize:     *batch,
+		Window:        *window,
+		Loops:         *loops,
+		SkipSeedEvery: *skipSeed,
+		DropAfter:     *dropAfter,
+		Metrics:       reg,
+		Logf:          log.Printf,
+	})
+	if err != nil {
+		log.Fatalf("config: %v", err)
+	}
+	if *metricsAddr != "" {
+		addr, err := reg.Serve(*metricsAddr)
+		if err != nil {
+			log.Fatalf("metrics: %v", err)
+		}
+		fmt.Printf("METRICS %s\n", addr)
+	}
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	go func() {
+		sig := <-sigc
+		log.Printf("stopping on %v", sig)
+		ing.Stop()
+	}()
+
+	start := time.Now()
+	stats, err := ing.Run(src)
+	if err != nil {
+		log.Fatalf("run: %v", err)
+	}
+	log.Printf("replayed %d packets (%d acked) in %v", stats.Packets, stats.Acked, time.Since(start).Round(time.Millisecond))
+
+	data, err := json.MarshalIndent(stats, "", "  ")
+	if err != nil {
+		log.Fatalf("encoding stats: %v", err)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+	} else if err := os.WriteFile(*out, data, 0o644); err != nil {
+		log.Fatalf("writing %s: %v", *out, err)
+	}
+	for _, w := range stats.Workers {
+		if w.Error != "" {
+			log.Fatalf("worker %s failed: %s", w.Addr, w.Error)
+		}
+	}
+}

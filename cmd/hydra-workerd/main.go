@@ -1,0 +1,82 @@
+// Command hydra-workerd is one engine worker of the verification
+// fleet: it accepts ingest sessions over the wire protocol, wraps the
+// batched bytecode engine around each, and federates every report-bus
+// digest window plus a final conservation summary to hydra-aggd.
+//
+// It prints "LISTEN <addr>" (ingest sessions) and "METRICS <addr>"
+// (Prometheus endpoint) on stdout once bound, then serves sessions
+// until SIGTERM. The checker set and fabric model are the campus
+// replay corpus — the same configuration every other experiment runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/fleet"
+	"repro/internal/metrics"
+)
+
+func main() {
+	var (
+		listen      = flag.String("listen", "127.0.0.1:0", "ingest session address (host:port, :0 for ephemeral)")
+		metricsAddr = flag.String("metrics", "", "Prometheus /metrics address (empty disables)")
+		aggAddr     = flag.String("agg", "", "aggregator uplink address (empty runs standalone)")
+		node        = flag.String("node", "worker", "node name in summaries")
+		busWindow   = flag.Duration("bus-window", 5*time.Millisecond, "report-bus aggregation window")
+	)
+	flag.Parse()
+	log.SetFlags(0)
+	log.SetPrefix("hydra-workerd: ")
+
+	reg := metrics.NewRegistry()
+	worker, err := fleet.NewWorker(fleet.WorkerConfig{
+		Node:          *node,
+		AggAddr:       *aggAddr,
+		BuildCheckers: experiments.CorpusCheckers,
+		Configure:     experiments.ConfigureReplayEngine,
+		BusWindow:     *busWindow,
+		Metrics:       reg,
+		Logf:          log.Printf,
+	})
+	if err != nil {
+		log.Fatalf("config: %v", err)
+	}
+	if err := worker.Connect(); err != nil {
+		log.Fatalf("%v", err)
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	fmt.Printf("LISTEN %s\n", ln.Addr())
+	if *metricsAddr != "" {
+		addr, err := reg.Serve(*metricsAddr)
+		if err != nil {
+			log.Fatalf("metrics: %v", err)
+		}
+		fmt.Printf("METRICS %s\n", addr)
+	}
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	go func() {
+		sig := <-sigc
+		log.Printf("shutting down on %v", sig)
+		worker.Close()
+		ln.Close()
+		os.Exit(0)
+	}()
+
+	if err := worker.Serve(ln); err != nil {
+		log.Fatalf("serve: %v", err)
+	}
+}

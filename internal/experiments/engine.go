@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/checkers"
 	"repro/internal/compiler"
+	"repro/internal/dataplane"
 	"repro/internal/engine"
 	"repro/internal/pipeline"
 	"repro/internal/trafficgen"
@@ -89,6 +90,18 @@ var replaySwitches = []SwitchInfo{
 var replayPaths = [2][]engine.Hop{
 	{{SwitchID: 1, InPort: 3, OutPort: 1}, {SwitchID: 3, InPort: 1, OutPort: 2}, {SwitchID: 2, InPort: 1, OutPort: 3}},
 	{{SwitchID: 1, InPort: 3, OutPort: 2}, {SwitchID: 4, InPort: 1, OutPort: 2}, {SwitchID: 2, InPort: 2, OutPort: 3}},
+}
+
+// ReplayPathFor is the replay fabric's ECMP model: the flow's RSS hash
+// pins it to one of the two spine paths. Exported so the fleet's
+// ingest daemon routes packets exactly like CampusEnginePackets does.
+func ReplayPathFor(key dataplane.FlowKey) []engine.Hop {
+	return replayPaths[key.RSSHash()>>16&1]
+}
+
+// ReplaySwitchInfos returns the replay fabric's switch inventory.
+func ReplaySwitchInfos() []SwitchInfo {
+	return append([]SwitchInfo(nil), replaySwitches...)
 }
 
 // CampusEnginePackets pre-generates n campus-trace packets as engine

@@ -1,0 +1,661 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dataplane"
+	"repro/internal/engine"
+	"repro/internal/metrics"
+	"repro/internal/wireproto"
+)
+
+// IngestConfig parameterizes the ingest daemon: where the workers are,
+// how packets are batched and flow-controlled, and how the capture is
+// turned into verification work.
+type IngestConfig struct {
+	// Workers are the engine worker addresses. Packets are assigned by
+	// RSS hash of the 5-tuple, so both directions of a flow — which the
+	// stateful firewall correlates — always land on one worker.
+	Workers []string
+	// Node names this ingest point in Hello frames.
+	Node string
+	// PathFor maps a flow to the hop sequence it takes through the
+	// fabric (the ECMP choice). Required.
+	PathFor func(dataplane.FlowKey) []engine.Hop
+	// BatchSize is packets per wire batch (default 256, capped at
+	// wireproto.MaxBatchPackets).
+	BatchSize int
+	// Window is the per-worker send window in unacknowledged batches
+	// (default 8): the explicit backpressure bound between ingest and a
+	// slow worker.
+	Window int
+	// QueueDepth is the batches buffered between the dispatcher and each
+	// worker sender (default 4).
+	QueueDepth int
+	// Loops replays the capture this many times (default 1).
+	Loops int
+	// SkipSeedEvery, when > 0, omits every SkipSeedEvery-th unique flow
+	// pair from the firewall seed — deterministic violation injection, so
+	// fleet runs raise a non-trivial digest stream to conserve.
+	SkipSeedEvery int
+	// DialRetries bounds connection attempts per (re)connect (default
+	// 40); BackoffBase is the initial retry delay (default 50ms),
+	// doubling up to BackoffMax (default 2s).
+	DialRetries int
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// DropAfter, when > 0, bounds how long a sender blocks on a full
+	// credit window before dropping the batch (accounted as
+	// "backpressure"). 0 blocks indefinitely — lossless mode.
+	DropAfter time.Duration
+	// Metrics, when set, receives the ingest instrumentation.
+	Metrics *metrics.Registry
+	// Logf, when set, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+// WorkerLink is one worker connection's final accounting.
+type WorkerLink struct {
+	Addr       string            `json:"addr"`
+	Assigned   uint64            `json:"assigned"`
+	Acked      uint64            `json:"acked"`
+	Dropped    map[string]uint64 `json:"dropped,omitempty"`
+	Reconnects uint64            `json:"reconnects"`
+	Error      string            `json:"error,omitempty"`
+}
+
+// IngestStats is the ingest daemon's end-of-run report. In a clean run
+// (no reconnects, no drops) Assigned == Acked on every link; every
+// shortfall is itemized under Dropped.
+type IngestStats struct {
+	FramesRead   uint64            `json:"frames_read"`
+	ParseErrors  uint64            `json:"parse_errors"`
+	Loops        int               `json:"loops"`
+	SeededPairs  int               `json:"seeded_pairs"`
+	SkippedPairs int               `json:"skipped_pairs"`
+	Packets      uint64            `json:"packets"`
+	Acked        uint64            `json:"acked"`
+	Dropped      map[string]uint64 `json:"dropped,omitempty"`
+	Reconnects   uint64            `json:"reconnects"`
+	Workers      []WorkerLink      `json:"workers"`
+}
+
+// FilterSeedPairs returns pairs with every skipEvery-th entry omitted
+// (skipEvery <= 0 keeps everything). Ingest and the in-process
+// reference both run it, so fleet and reference seed identical state.
+func FilterSeedPairs(pairs [][2]uint32, skipEvery int) (kept [][2]uint32, skipped int) {
+	if skipEvery <= 0 {
+		return pairs, 0
+	}
+	kept = make([][2]uint32, 0, len(pairs))
+	for i, p := range pairs {
+		if (i+1)%skipEvery == 0 {
+			skipped++
+			continue
+		}
+		kept = append(kept, p)
+	}
+	return kept, skipped
+}
+
+// Ingest is the fan-out daemon: it pre-scans a capture for the firewall
+// seed set, then streams the frames as binary packet batches to the
+// worker fleet under per-worker credit windows.
+type Ingest struct {
+	cfg     IngestConfig
+	stop    atomic.Bool
+	acked   atomic.Uint64
+	started time.Time
+
+	mFrames *metrics.Counter
+	mPPS    *metrics.Gauge
+	mSend   *metrics.Histogram
+}
+
+// NewIngest validates the config and builds the daemon.
+func NewIngest(cfg IngestConfig) (*Ingest, error) {
+	if len(cfg.Workers) == 0 {
+		return nil, errors.New("fleet: ingest needs at least one worker")
+	}
+	if cfg.PathFor == nil {
+		return nil, errors.New("fleet: ingest needs a PathFor fabric model")
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 256
+	}
+	if cfg.BatchSize > wireproto.MaxBatchPackets {
+		cfg.BatchSize = wireproto.MaxBatchPackets
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 8
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 4
+	}
+	if cfg.Loops <= 0 {
+		cfg.Loops = 1
+	}
+	if cfg.DialRetries <= 0 {
+		cfg.DialRetries = 40
+	}
+	if cfg.BackoffBase <= 0 {
+		cfg.BackoffBase = 50 * time.Millisecond
+	}
+	if cfg.BackoffMax <= 0 {
+		cfg.BackoffMax = 2 * time.Second
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = metrics.NewRegistry()
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	in := &Ingest{cfg: cfg}
+	reg := cfg.Metrics
+	in.mFrames = reg.Counter("hydra_ingest_frames_total", "Frames read from the capture source.", nil)
+	in.mPPS = reg.Gauge("hydra_ingest_pps", "Smoothed acknowledged packets per second.", nil)
+	in.mSend = reg.Histogram("hydra_ingest_send_seconds", "Wall time writing one batch frame.", nil, nil)
+	return in, nil
+}
+
+// Stop asks a running Run to finish early: the dispatcher stops after
+// the current batch and the senders drain and Fin normally.
+func (in *Ingest) Stop() { in.stop.Store(true) }
+
+// rec is one pre-parsed capture record: the wire-form packet and the
+// worker its flow is pinned to.
+type rec struct {
+	pkt    wireproto.Packet
+	worker int
+}
+
+// Run replays the source through the fleet and returns the accounting.
+func (in *Ingest) Run(src Source) (IngestStats, error) {
+	stats := IngestStats{Loops: in.cfg.Loops, Dropped: map[string]uint64{}}
+	recs, pairs, err := in.load(src, &stats)
+	if err != nil {
+		return stats, err
+	}
+	seedPairs, skipped := FilterSeedPairs(pairs, in.cfg.SkipSeedEvery)
+	stats.SeededPairs = len(seedPairs)
+	stats.SkippedPairs = skipped
+	in.cfg.Logf("ingest: %d frames, %d flows seeded (%d skipped), %d workers",
+		len(recs), len(seedPairs), skipped, len(in.cfg.Workers))
+
+	in.started = time.Now()
+	senders := make([]*sender, len(in.cfg.Workers))
+	var wg sync.WaitGroup
+	for i, addr := range in.cfg.Workers {
+		senders[i] = newSender(in, i, addr, seedPairs, uint64(len(recs)*in.cfg.Loops))
+		wg.Add(1)
+		go func(s *sender) {
+			defer wg.Done()
+			s.run()
+		}(senders[i])
+	}
+	ppsDone := make(chan struct{})
+	go in.trackPPS(ppsDone)
+
+	pending := make([][]wireproto.Packet, len(senders))
+dispatch:
+	for loop := 0; loop < in.cfg.Loops; loop++ {
+		for i := range recs {
+			if in.stop.Load() {
+				break dispatch
+			}
+			r := &recs[i]
+			pending[r.worker] = append(pending[r.worker], r.pkt)
+			if len(pending[r.worker]) >= in.cfg.BatchSize {
+				senders[r.worker].queue <- pending[r.worker]
+				pending[r.worker] = nil
+				stats.Packets += uint64(in.cfg.BatchSize)
+			}
+		}
+	}
+	for i, b := range pending {
+		if len(b) > 0 {
+			senders[i].queue <- b
+			stats.Packets += uint64(len(b))
+		}
+	}
+	for _, s := range senders {
+		close(s.queue)
+	}
+	wg.Wait()
+	close(ppsDone)
+
+	for _, s := range senders {
+		link := s.link()
+		stats.Acked += link.Acked
+		stats.Reconnects += link.Reconnects
+		for k, v := range link.Dropped {
+			stats.Dropped[k] += v
+		}
+		stats.Workers = append(stats.Workers, link)
+	}
+	if len(stats.Dropped) == 0 {
+		stats.Dropped = nil
+	}
+	return stats, nil
+}
+
+// load pre-scans the capture: every frame is parsed to its 5-tuple,
+// pinned to a path and a worker, and the unique (src, dst) pairs are
+// collected in first-occurrence order for the firewall seed.
+func (in *Ingest) load(src Source, stats *IngestStats) ([]rec, [][2]uint32, error) {
+	var (
+		recs  []rec
+		pairs [][2]uint32
+		seen  = map[[2]uint32]bool{}
+		dec   dataplane.Decoded
+	)
+	nWorkers := uint32(len(in.cfg.Workers))
+	for {
+		frame, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, nil, fmt.Errorf("fleet: reading capture: %w", err)
+		}
+		stats.FramesRead++
+		in.mFrames.Inc()
+		if err := dataplane.ParseInto(&dec, frame); err != nil {
+			stats.ParseErrors++
+			continue
+		}
+		key := dataplane.FlowKeyOf(&dec)
+		hops := in.cfg.PathFor(key)
+		wp := wireproto.Packet{
+			Src: uint32(key.Src), Dst: uint32(key.Dst),
+			Sport: key.Sport, Dport: key.Dport, Proto: key.Proto,
+			Len:  uint32(len(frame)),
+			Hops: make([]wireproto.Hop, len(hops)),
+		}
+		for i, h := range hops {
+			wp.Hops[i] = wireproto.Hop{Switch: h.SwitchID, In: h.InPort, Out: h.OutPort}
+		}
+		recs = append(recs, rec{pkt: wp, worker: int(key.RSSHash() % nWorkers)})
+		pair := [2]uint32{uint32(key.Src), uint32(key.Dst)}
+		if !seen[pair] {
+			seen[pair] = true
+			pairs = append(pairs, pair)
+		}
+	}
+	return recs, pairs, nil
+}
+
+// trackPPS refreshes the smoothed throughput gauge once a second.
+func (in *Ingest) trackPPS(done chan struct{}) {
+	t := time.NewTicker(time.Second)
+	defer t.Stop()
+	var last uint64
+	for {
+		select {
+		case <-done:
+			return
+		case <-t.C:
+			cur := in.acked.Load()
+			in.mPPS.Set(float64(cur - last))
+			last = cur
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Per-worker sender
+
+// connState is one live connection to a worker; each (re)connect gets a
+// fresh channel set so stale credits from a dead connection can never
+// open the new connection's window.
+type connState struct {
+	conn    net.Conn
+	w       *wireproto.Writer
+	creditc chan uint64
+	finackc chan FinAck
+	errc    chan error
+}
+
+// sender owns one worker link: connection lifecycle (dial, seed replay,
+// reconnect with backoff), the bounded credit window, and the drop
+// ledger. All mutable state is confined to the sender goroutine.
+type sender struct {
+	in    *Ingest
+	idx   int
+	addr  string
+	queue chan []wireproto.Packet
+	seed  [][2]uint32
+
+	cs              *connState
+	outstanding     int
+	outstandingPkts uint64
+	// outGauge mirrors outstandingPkts for the scrape-time gauge (the
+	// canonical value is sender-goroutine-confined).
+	outGauge atomic.Uint64
+	scratch  []byte
+
+	assigned   atomic.Uint64
+	acked      atomic.Uint64
+	reconnects atomic.Uint64
+	dropped    map[string]uint64
+	dropTotal  atomic.Uint64
+	err        error
+
+	mSent   *metrics.Counter
+	mAcked  *metrics.Counter
+	mDrops  map[string]*metrics.Counter
+	mReconn *metrics.Counter
+}
+
+const finTimeout = 60 * time.Second
+
+var errCreditTimeout = errors.New("fleet: timed out waiting for worker credits")
+
+func newSender(in *Ingest, idx int, addr string, seed [][2]uint32, expect uint64) *sender {
+	s := &sender{
+		in:      in,
+		idx:     idx,
+		addr:    addr,
+		queue:   make(chan []wireproto.Packet, in.cfg.QueueDepth),
+		seed:    seed,
+		dropped: map[string]uint64{},
+		mDrops:  map[string]*metrics.Counter{},
+	}
+	w := fmt.Sprintf("%d", idx)
+	reg := in.cfg.Metrics
+	s.mSent = reg.Counter("hydra_ingest_packets_sent_total", "Packets fanned out to engine workers.", metrics.Labels{"worker": w})
+	s.mAcked = reg.Counter("hydra_ingest_packets_acked_total", "Packets acknowledged by worker credits.", metrics.Labels{"worker": w})
+	s.mReconn = reg.Counter("hydra_ingest_reconnects_total", "Worker connection re-establishments.", metrics.Labels{"worker": w})
+	for _, reason := range []string{"backpressure", "reconnect", "failed"} {
+		s.mDrops[reason] = reg.Counter("hydra_ingest_drops_total", "Packets dropped instead of delivered.", metrics.Labels{"reason": reason, "worker": w})
+	}
+	reg.GaugeFunc("hydra_ingest_queue_depth", "Batches queued per worker sender.", metrics.Labels{"worker": w},
+		func() float64 { return float64(len(s.queue)) })
+	reg.GaugeFunc("hydra_ingest_window_outstanding", "Unacknowledged packets in the credit window.", metrics.Labels{"worker": w},
+		func() float64 { return float64(s.outGauge.Load()) })
+	return s
+}
+
+func (s *sender) run() {
+	for b := range s.queue {
+		s.assigned.Add(uint64(len(b)))
+		s.sendBatch(b)
+	}
+	s.finish()
+	if s.cs != nil {
+		s.cs.conn.Close()
+		s.cs = nil
+	}
+}
+
+func (s *sender) drop(reason string, n uint64) {
+	s.dropped[reason] += n
+	s.dropTotal.Add(n)
+	if c := s.mDrops[reason]; c != nil {
+		c.Add(n)
+	}
+}
+
+func (s *sender) sendBatch(pkts []wireproto.Packet) {
+	n := uint64(len(pkts))
+	if s.err != nil {
+		s.drop("failed", n)
+		return
+	}
+	if s.cs == nil && !s.connect() {
+		s.drop("failed", n)
+		return
+	}
+	if !s.waitWindow() {
+		if s.cs == nil {
+			// Connection died while waiting; the batch rides to the next
+			// session if we can reconnect.
+			if !s.connect() {
+				s.drop("failed", n)
+				return
+			}
+		} else {
+			// DropAfter expired with the window still full.
+			s.drop("backpressure", n)
+			return
+		}
+	}
+	payload, err := wireproto.AppendPacketBatch(s.scratch[:0], pkts)
+	if err != nil {
+		s.drop("failed", n)
+		return
+	}
+	s.scratch = payload
+	start := time.Now()
+	if err := s.cs.w.WriteFrame(wireproto.TypePacketBatch, payload); err != nil {
+		// At-most-once: the batch is not retried on a fresh session, it is
+		// accounted lost alongside the window's in-flight packets.
+		s.onConnError(err)
+		s.drop("reconnect", n)
+		return
+	}
+	s.in.mSend.Observe(time.Since(start).Seconds())
+	s.outstanding++
+	s.outstandingPkts += n
+	s.outGauge.Store(s.outstandingPkts)
+	s.mSent.Add(n)
+}
+
+// waitWindow blocks until the credit window has room. It returns false
+// when the wait ended without room: either the connection died
+// (s.cs == nil afterwards) or DropAfter expired (s.cs still set).
+func (s *sender) waitWindow() bool {
+	if s.outstanding < s.in.cfg.Window {
+		return true
+	}
+	var timeout <-chan time.Time
+	if s.in.cfg.DropAfter > 0 {
+		t := time.NewTimer(s.in.cfg.DropAfter)
+		defer t.Stop()
+		timeout = t.C
+	}
+	for s.outstanding >= s.in.cfg.Window {
+		select {
+		case n := <-s.cs.creditc:
+			s.credit(n)
+		case err := <-s.cs.errc:
+			s.onConnError(err)
+			return false
+		case <-timeout:
+			return false
+		}
+	}
+	return true
+}
+
+func (s *sender) credit(n uint64) {
+	s.outstanding--
+	if n > s.outstandingPkts {
+		n = s.outstandingPkts
+	}
+	s.outstandingPkts -= n
+	s.outGauge.Store(s.outstandingPkts)
+	s.acked.Add(n)
+	s.in.acked.Add(n)
+	s.mAcked.Add(n)
+}
+
+// onConnError tears the connection down and accounts every in-flight
+// packet as lost to the reconnect.
+func (s *sender) onConnError(err error) {
+	s.in.cfg.Logf("ingest: worker %d (%s) connection lost: %v", s.idx, s.addr, err)
+	if s.cs != nil {
+		s.cs.conn.Close()
+		s.cs = nil
+	}
+	if s.outstandingPkts > 0 {
+		s.drop("reconnect", s.outstandingPkts)
+	}
+	s.outstanding = 0
+	s.outstandingPkts = 0
+	s.outGauge.Store(0)
+	s.reconnects.Add(1)
+	s.mReconn.Inc()
+}
+
+// connect dials the worker with exponential backoff and replays the
+// handshake: Hello, then the firewall seed in bounded chunks. A worker
+// that restarts rebuilds identical control state from the re-sent seed.
+func (s *sender) connect() bool {
+	backoff := s.in.cfg.BackoffBase
+	var lastErr error
+	for attempt := 0; attempt < s.in.cfg.DialRetries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(backoff)
+			if backoff *= 2; backoff > s.in.cfg.BackoffMax {
+				backoff = s.in.cfg.BackoffMax
+			}
+		}
+		conn, err := net.Dial("tcp", s.addr)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		cs := &connState{
+			conn:    conn,
+			w:       wireproto.NewWriter(conn),
+			creditc: make(chan uint64, 2*s.in.cfg.Window+16),
+			finackc: make(chan FinAck, 1),
+			errc:    make(chan error, 1),
+		}
+		if err := s.handshake(cs); err != nil {
+			lastErr = err
+			conn.Close()
+			continue
+		}
+		go readLoop(cs)
+		s.cs = cs
+		return true
+	}
+	s.err = fmt.Errorf("fleet: worker %d (%s) unreachable after %d attempts: %w",
+		s.idx, s.addr, s.in.cfg.DialRetries, lastErr)
+	s.in.cfg.Logf("ingest: %v", s.err)
+	return false
+}
+
+// seedChunk bounds pairs per Seed frame so the JSON payload stays well
+// under the wire protocol's frame cap.
+const seedChunk = 8192
+
+func (s *sender) handshake(cs *connState) error {
+	hello := Hello{Role: "ingest", Node: s.in.cfg.Node, PID: os.Getpid()}
+	if err := writeJSON(cs.w, wireproto.TypeHello, hello); err != nil {
+		return err
+	}
+	pairs := s.seed
+	for {
+		chunk := pairs
+		if len(chunk) > seedChunk {
+			chunk = chunk[:seedChunk]
+		}
+		pairs = pairs[len(chunk):]
+		msg := Seed{Pairs: chunk, Done: len(pairs) == 0}
+		if err := writeJSON(cs.w, wireproto.TypeSeed, msg); err != nil {
+			return err
+		}
+		if msg.Done {
+			return nil
+		}
+	}
+}
+
+// readLoop is the per-connection reader: credits and the final FinAck
+// route to the sender; the first error ends the loop.
+func readLoop(cs *connState) {
+	r := wireproto.NewReader(cs.conn)
+	for {
+		f, err := r.ReadFrame()
+		if err != nil {
+			cs.errc <- err
+			return
+		}
+		switch f.Type {
+		case wireproto.TypeCredit:
+			n, err := wireproto.DecodeCredit(f.Payload)
+			if err != nil {
+				f.Release()
+				cs.errc <- err
+				return
+			}
+			cs.creditc <- uint64(n)
+		case wireproto.TypeFinAck:
+			var ack FinAck
+			if err := decodeJSON(&f, &ack); err == nil {
+				cs.finackc <- ack
+			}
+		}
+		f.Release()
+	}
+}
+
+// finish drains the window, sends Fin, and waits for the worker's
+// FinAck — the orderly end of a session.
+func (s *sender) finish() {
+	if s.cs == nil || s.err != nil {
+		return
+	}
+	deadline := time.NewTimer(finTimeout)
+	defer deadline.Stop()
+	for s.outstanding > 0 {
+		select {
+		case n := <-s.cs.creditc:
+			s.credit(n)
+		case err := <-s.cs.errc:
+			s.onConnError(err)
+			return
+		case <-deadline.C:
+			s.onConnError(errCreditTimeout)
+			return
+		}
+	}
+	if err := s.cs.w.WriteFrame(wireproto.TypeFin, nil); err != nil {
+		s.onConnError(err)
+		return
+	}
+	for {
+		select {
+		case n := <-s.cs.creditc:
+			s.credit(n)
+		case <-s.cs.finackc:
+			return
+		case err := <-s.cs.errc:
+			s.onConnError(err)
+			return
+		case <-deadline.C:
+			s.onConnError(errCreditTimeout)
+			return
+		}
+	}
+}
+
+// link snapshots the sender's accounting after run returns.
+func (s *sender) link() WorkerLink {
+	l := WorkerLink{
+		Addr:       s.addr,
+		Assigned:   s.assigned.Load(),
+		Acked:      s.acked.Load(),
+		Reconnects: s.reconnects.Load(),
+	}
+	if len(s.dropped) > 0 {
+		l.Dropped = make(map[string]uint64, len(s.dropped))
+		for k, v := range s.dropped {
+			l.Dropped[k] = v
+		}
+	}
+	if s.err != nil {
+		l.Error = s.err.Error()
+	}
+	return l
+}

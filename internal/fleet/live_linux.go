@@ -1,0 +1,87 @@
+//go:build hydralive && linux
+
+package fleet
+
+import (
+	"fmt"
+	"syscall"
+	"unsafe"
+)
+
+// liveSource reads frames from an AF_PACKET raw socket bound to one
+// interface. It is the minimal blocking-recv capture path — no mmap
+// ring, no BPF filter — enough to point the ingest daemon at a real
+// mirror port.
+type liveSource struct {
+	fd  int
+	buf []byte
+}
+
+// htons converts a short to network byte order for the socket bind.
+func htons(v uint16) uint16 { return v<<8 | v>>8 }
+
+// OpenLive attaches to iface for live capture (requires CAP_NET_RAW).
+func OpenLive(iface string) (Source, error) {
+	fd, err := syscall.Socket(syscall.AF_PACKET, syscall.SOCK_RAW, int(htons(syscall.ETH_P_ALL)))
+	if err != nil {
+		return nil, fmt.Errorf("fleet: AF_PACKET socket: %w", err)
+	}
+	ifi, err := interfaceIndex(iface)
+	if err != nil {
+		syscall.Close(fd)
+		return nil, err
+	}
+	sll := &syscall.SockaddrLinklayer{
+		Protocol: htons(syscall.ETH_P_ALL),
+		Ifindex:  ifi,
+	}
+	if err := syscall.Bind(fd, sll); err != nil {
+		syscall.Close(fd)
+		return nil, fmt.Errorf("fleet: binding to %s: %w", iface, err)
+	}
+	return &liveSource{fd: fd, buf: make([]byte, 1<<16)}, nil
+}
+
+// ifreq mirrors struct ifreq for SIOCGIFINDEX: the interface name
+// followed by a union, of which we only read the int32 index.
+type ifreq struct {
+	Name  [16]byte
+	Index int32
+	_     [20]byte
+}
+
+func interfaceIndex(name string) (int, error) {
+	if len(name) >= 16 {
+		return 0, fmt.Errorf("fleet: interface name %q too long", name)
+	}
+	fd, err := syscall.Socket(syscall.AF_INET, syscall.SOCK_DGRAM, 0)
+	if err != nil {
+		return 0, err
+	}
+	defer syscall.Close(fd)
+	var req ifreq
+	copy(req.Name[:], name)
+	_, _, errno := syscall.Syscall(syscall.SYS_IOCTL, uintptr(fd),
+		uintptr(syscall.SIOCGIFINDEX), uintptr(unsafe.Pointer(&req)))
+	if errno != 0 {
+		return 0, fmt.Errorf("fleet: resolving interface %s: %w", name, errno)
+	}
+	return int(req.Index), nil
+}
+
+// Next implements Source, blocking until one frame arrives.
+func (s *liveSource) Next() ([]byte, error) {
+	for {
+		n, _, err := syscall.Recvfrom(s.fd, s.buf, 0)
+		if err == syscall.EINTR {
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		return s.buf[:n], nil
+	}
+}
+
+// Close implements Source.
+func (s *liveSource) Close() error { return syscall.Close(s.fd) }

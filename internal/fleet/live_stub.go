@@ -1,0 +1,18 @@
+//go:build !hydralive
+
+package fleet
+
+import "errors"
+
+// ErrNoLiveCapture is returned by OpenLive in builds without the
+// hydralive tag.
+var ErrNoLiveCapture = errors.New("fleet: live capture requires building with -tags hydralive on linux")
+
+// OpenLive attaches to a network interface for live AF_PACKET capture.
+// The default build carries only this stub; `go build -tags hydralive`
+// on linux compiles the real socket path (live_linux.go). Everything
+// downstream of Source is identical, so the pcap-replay harness
+// exercises the full daemon pipeline.
+func OpenLive(iface string) (Source, error) {
+	return nil, ErrNoLiveCapture
+}

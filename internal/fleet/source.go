@@ -1,0 +1,49 @@
+package fleet
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/pcapio"
+)
+
+// Source yields link-layer frames for the ingest daemon. Next returns
+// io.EOF at a clean end of stream; the frame slice may be reused by the
+// next call.
+type Source interface {
+	Next() ([]byte, error)
+	Close() error
+}
+
+// PcapSource replays frames from a classic libpcap capture file.
+type PcapSource struct {
+	f *os.File
+	r *pcapio.Reader
+}
+
+// OpenPcap opens a capture file as a frame source.
+func OpenPcap(path string) (*PcapSource, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	r, err := pcapio.NewReader(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if lt := r.LinkType(); lt != pcapio.LinkEthernet {
+		f.Close()
+		return nil, fmt.Errorf("fleet: capture link type %d, want Ethernet (%d)", lt, pcapio.LinkEthernet)
+	}
+	return &PcapSource{f: f, r: r}, nil
+}
+
+// Next implements Source.
+func (s *PcapSource) Next() ([]byte, error) {
+	_, frame, err := s.r.Next()
+	return frame, err
+}
+
+// Close implements Source.
+func (s *PcapSource) Close() error { return s.f.Close() }

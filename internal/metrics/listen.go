@@ -1,0 +1,7 @@
+package metrics
+
+import "net"
+
+func newListener(addr string) (net.Listener, error) {
+	return net.Listen("tcp", addr)
+}

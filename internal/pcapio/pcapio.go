@@ -1,0 +1,145 @@
+// Package pcapio reads and writes classic libpcap capture files — the
+// interchange format between the fleet's ingest daemon and whatever
+// produced the mirrored traffic (a tcpdump on the campus tap, or this
+// repo's own trafficgen rendering). Only the classic format is
+// implemented (magic 0xa1b2c3d4 / 0xa1b23c4d, both endiannesses,
+// microsecond and nanosecond timestamps); pcapng is out of scope.
+package pcapio
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// LinkEthernet is the only link type the fleet consumes.
+const LinkEthernet = 1
+
+const (
+	magicMicros = 0xa1b2c3d4
+	magicNanos  = 0xa1b23c4d
+
+	globalHeaderLen = 24
+	recordHeaderLen = 16
+
+	// MaxSnapLen bounds per-record lengths so a corrupt capture cannot
+	// drive an allocation of arbitrary size.
+	MaxSnapLen = 1 << 18
+)
+
+// Writer emits a classic pcap stream (little-endian, nanosecond
+// timestamps, Ethernet link type).
+type Writer struct {
+	w    io.Writer
+	hdr  [recordHeaderLen]byte
+	snap uint32
+}
+
+// NewWriter writes the global header and returns a record writer.
+func NewWriter(w io.Writer) (*Writer, error) {
+	var g [globalHeaderLen]byte
+	binary.LittleEndian.PutUint32(g[0:], magicNanos)
+	binary.LittleEndian.PutUint16(g[4:], 2) // version major
+	binary.LittleEndian.PutUint16(g[6:], 4) // version minor
+	// thiszone and sigfigs stay zero.
+	binary.LittleEndian.PutUint32(g[16:], MaxSnapLen)
+	binary.LittleEndian.PutUint32(g[20:], LinkEthernet)
+	if _, err := w.Write(g[:]); err != nil {
+		return nil, fmt.Errorf("pcapio: writing global header: %w", err)
+	}
+	return &Writer{w: w, snap: MaxSnapLen}, nil
+}
+
+// WriteFrame appends one record. ts is nanoseconds since the epoch of
+// the capture (any monotone origin works; the fleet only orders by it).
+func (w *Writer) WriteFrame(ts int64, frame []byte) error {
+	if len(frame) > int(w.snap) {
+		return fmt.Errorf("pcapio: frame of %d bytes exceeds snaplen %d", len(frame), w.snap)
+	}
+	binary.LittleEndian.PutUint32(w.hdr[0:], uint32(ts/1e9))
+	binary.LittleEndian.PutUint32(w.hdr[4:], uint32(ts%1e9))
+	binary.LittleEndian.PutUint32(w.hdr[8:], uint32(len(frame)))
+	binary.LittleEndian.PutUint32(w.hdr[12:], uint32(len(frame)))
+	if _, err := w.w.Write(w.hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.w.Write(frame)
+	return err
+}
+
+// Reader iterates a classic pcap stream.
+type Reader struct {
+	r     io.Reader
+	order binary.ByteOrder
+	nanos bool
+	snap  uint32
+	link  uint32
+	buf   []byte
+	hdr   [recordHeaderLen]byte
+}
+
+// NewReader parses the global header. Both endiannesses and both
+// timestamp resolutions are accepted.
+func NewReader(r io.Reader) (*Reader, error) {
+	var g [globalHeaderLen]byte
+	if _, err := io.ReadFull(r, g[:]); err != nil {
+		return nil, fmt.Errorf("pcapio: reading global header: %w", err)
+	}
+	rd := &Reader{r: r}
+	magicLE := binary.LittleEndian.Uint32(g[0:])
+	switch magicLE {
+	case magicMicros, magicNanos:
+		rd.order = binary.LittleEndian
+		rd.nanos = magicLE == magicNanos
+	default:
+		magicBE := binary.BigEndian.Uint32(g[0:])
+		switch magicBE {
+		case magicMicros, magicNanos:
+			rd.order = binary.BigEndian
+			rd.nanos = magicBE == magicNanos
+		default:
+			return nil, fmt.Errorf("pcapio: bad magic %#08x", magicLE)
+		}
+	}
+	rd.snap = rd.order.Uint32(g[16:])
+	if rd.snap == 0 || rd.snap > MaxSnapLen {
+		rd.snap = MaxSnapLen
+	}
+	rd.link = rd.order.Uint32(g[20:])
+	return rd, nil
+}
+
+// LinkType returns the capture's link-layer type (LinkEthernet for
+// frames this repo can parse).
+func (r *Reader) LinkType() uint32 { return r.link }
+
+// Next returns the next record. The frame slice is owned by the reader
+// and valid only until the following Next call; io.EOF marks a clean
+// end of stream.
+func (r *Reader) Next() (ts int64, frame []byte, err error) {
+	if _, err := io.ReadFull(r.r, r.hdr[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return 0, nil, fmt.Errorf("pcapio: truncated record header: %w", io.ErrUnexpectedEOF)
+		}
+		return 0, nil, err
+	}
+	sec := int64(r.order.Uint32(r.hdr[0:]))
+	sub := int64(r.order.Uint32(r.hdr[4:]))
+	if r.nanos {
+		ts = sec*1e9 + sub
+	} else {
+		ts = sec*1e9 + sub*1e3
+	}
+	incl := r.order.Uint32(r.hdr[8:])
+	if incl > r.snap {
+		return 0, nil, fmt.Errorf("pcapio: record of %d bytes exceeds snaplen %d", incl, r.snap)
+	}
+	if cap(r.buf) < int(incl) {
+		r.buf = make([]byte, incl)
+	}
+	r.buf = r.buf[:incl]
+	if _, err := io.ReadFull(r.r, r.buf); err != nil {
+		return 0, nil, fmt.Errorf("pcapio: truncated record body: %w", err)
+	}
+	return ts, r.buf, nil
+}

@@ -1,0 +1,148 @@
+package pcapio
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := [][]byte{
+		bytes.Repeat([]byte{0xaa}, 64),
+		bytes.Repeat([]byte{0xbb}, 1500),
+		{0x01},
+	}
+	times := []int64{0, 1_000_000_001, 3_999_999_999}
+	for i, f := range frames {
+		if err := w.WriteFrame(times[i], f); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.LinkType() != LinkEthernet {
+		t.Fatalf("link type = %d, want %d", r.LinkType(), LinkEthernet)
+	}
+	for i := range frames {
+		ts, frame, err := r.Next()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if ts != times[i] {
+			t.Fatalf("record %d: ts = %d, want %d", i, ts, times[i])
+		}
+		if !bytes.Equal(frame, frames[i]) {
+			t.Fatalf("record %d: frame mismatch (%d vs %d bytes)", i, len(frame), len(frames[i]))
+		}
+	}
+	if _, _, err := r.Next(); err != io.EOF {
+		t.Fatalf("after last record: err = %v, want io.EOF", err)
+	}
+}
+
+// TestReaderBigEndianMicros: a foreign-endian microsecond capture (the
+// common tcpdump output on big-endian hosts) must read back with
+// timestamps scaled to nanoseconds.
+func TestReaderBigEndianMicros(t *testing.T) {
+	var buf bytes.Buffer
+	var g [globalHeaderLen]byte
+	binary.BigEndian.PutUint32(g[0:], magicMicros)
+	binary.BigEndian.PutUint16(g[4:], 2)
+	binary.BigEndian.PutUint16(g[6:], 4)
+	binary.BigEndian.PutUint32(g[16:], 65535)
+	binary.BigEndian.PutUint32(g[20:], LinkEthernet)
+	buf.Write(g[:])
+	var h [recordHeaderLen]byte
+	binary.BigEndian.PutUint32(h[0:], 7)  // sec
+	binary.BigEndian.PutUint32(h[4:], 42) // usec
+	binary.BigEndian.PutUint32(h[8:], 3)
+	binary.BigEndian.PutUint32(h[12:], 3)
+	buf.Write(h[:])
+	buf.Write([]byte{1, 2, 3})
+
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, frame, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(7*1e9 + 42*1e3); ts != want {
+		t.Fatalf("ts = %d, want %d", ts, want)
+	}
+	if !bytes.Equal(frame, []byte{1, 2, 3}) {
+		t.Fatalf("frame = %v", frame)
+	}
+}
+
+func TestReaderMalformed(t *testing.T) {
+	valid := func() []byte {
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.WriteFrame(1, []byte{9, 9, 9, 9}); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}()
+
+	t.Run("bad magic", func(t *testing.T) {
+		b := append([]byte(nil), valid...)
+		b[0] = 0x00
+		if _, err := NewReader(bytes.NewReader(b)); err == nil || !strings.Contains(err.Error(), "bad magic") {
+			t.Fatalf("err = %v, want bad magic", err)
+		}
+	})
+	t.Run("truncated header", func(t *testing.T) {
+		r, err := NewReader(bytes.NewReader(valid[:globalHeaderLen+4]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := r.Next(); err == nil {
+			t.Fatal("want error on truncated record header")
+		}
+	})
+	t.Run("truncated body", func(t *testing.T) {
+		r, err := NewReader(bytes.NewReader(valid[:len(valid)-2]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := r.Next(); err == nil {
+			t.Fatal("want error on truncated record body")
+		}
+	})
+	t.Run("oversized record", func(t *testing.T) {
+		b := append([]byte(nil), valid...)
+		binary.LittleEndian.PutUint32(b[globalHeaderLen+8:], MaxSnapLen+1)
+		r, err := NewReader(bytes.NewReader(b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := r.Next(); err == nil || !strings.Contains(err.Error(), "snaplen") {
+			t.Fatalf("err = %v, want snaplen error", err)
+		}
+	})
+}
+
+func TestWriterRejectsOversized(t *testing.T) {
+	w, err := NewWriter(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteFrame(0, make([]byte, MaxSnapLen+1)); err == nil {
+		t.Fatal("want error writing oversized frame")
+	}
+}

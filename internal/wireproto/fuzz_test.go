@@ -1,0 +1,106 @@
+package wireproto
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// FuzzWireFrame hammers the framing layer with arbitrary bytes. The
+// invariants:
+//
+//   - ReadFrame never panics and never allocates past the payload
+//     bound;
+//   - every accepted frame survives a re-encode/re-decode round trip
+//     byte-exactly (the codec is canonical);
+//   - an accepted TypePacketBatch payload drains through the batch
+//     decoder without panicking, and if it drains cleanly it re-encodes
+//     to the identical payload.
+func FuzzWireFrame(f *testing.F) {
+	valid := func(typ byte, payload []byte) []byte {
+		var buf bytes.Buffer
+		if err := NewWriter(&buf).WriteFrame(typ, payload); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	batch, err := AppendPacketBatch(nil, []Packet{
+		{Src: 1, Dst: 2, Sport: 3, Dport: 4, Proto: 6, Len: 64,
+			Hops: []Hop{{Switch: 1, In: 3, Out: 1}, {Switch: 2, In: 1, Out: 3}}},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid(TypeHello, []byte(`{"role":"ingest"}`)))
+	f.Add(valid(TypePacketBatch, batch))
+	f.Add(valid(TypeFin, nil))
+	f.Add(valid(TypeCredit, AppendCredit(nil, 1)))
+	f.Add(valid(TypePacketBatch, batch)[:headerLen+3]) // truncated
+	corrupt := valid(TypePacketBatch, batch)
+	corrupt[len(corrupt)-1] ^= 0xff
+	f.Add(corrupt) // bad CRC
+	f.Add([]byte("HYWP"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewReader(bytes.NewReader(data))
+		r.MaxPayload = 1 << 16 // keep fuzz memory small
+		for {
+			fr, err := r.ReadFrame()
+			if err != nil {
+				if err != io.EOF && !errors.Is(err, ErrTruncated) && !errors.Is(err, ErrBadMagic) &&
+					!errors.Is(err, ErrBadVersion) && !errors.Is(err, ErrOversized) && !errors.Is(err, ErrChecksum) {
+					t.Fatalf("unexpected error class: %v", err)
+				}
+				return
+			}
+			var buf bytes.Buffer
+			if err := NewWriter(&buf).WriteFrame(fr.Type, fr.Payload); err != nil {
+				t.Fatalf("re-encode: %v", err)
+			}
+			re, err := NewReader(&buf).ReadFrame()
+			if err != nil {
+				t.Fatalf("re-decode: %v", err)
+			}
+			if re.Type != fr.Type || !bytes.Equal(re.Payload, fr.Payload) {
+				t.Fatalf("round trip changed frame: type %d->%d, %d->%d payload bytes",
+					fr.Type, re.Type, len(fr.Payload), len(re.Payload))
+			}
+			if fr.Type == TypePacketBatch {
+				fuzzDrainBatch(t, fr.Payload)
+			}
+			re.Release()
+			fr.Release()
+		}
+	})
+}
+
+// fuzzDrainBatch decodes a batch payload; if it decodes cleanly, the
+// packets must re-encode to the identical bytes.
+func fuzzDrainBatch(t *testing.T, payload []byte) {
+	var d BatchDecoder
+	if err := d.Reset(payload); err != nil {
+		return
+	}
+	var pkts []Packet
+	for {
+		p, err := d.Next()
+		if err != nil {
+			return
+		}
+		if p == nil {
+			break
+		}
+		cp := *p
+		cp.Hops = append([]Hop(nil), p.Hops...)
+		pkts = append(pkts, cp)
+	}
+	re, err := AppendPacketBatch(nil, pkts)
+	if err != nil {
+		t.Fatalf("re-encoding decoded batch: %v", err)
+	}
+	if !bytes.Equal(re, payload) {
+		t.Fatalf("batch codec not canonical: %d vs %d bytes", len(re), len(payload))
+	}
+}

@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# coverage_check.sh <coverage.out> [COVERAGE.txt]
+#
+# Enforces the committed coverage floors with a per-package delta
+# report. COVERAGE.txt format:
+#
+#   <global floor percent>            (first line)
+#   pkg <import/path> <floor percent> (zero or more lines)
+#
+# The job fails when total coverage drops below the global floor or
+# any listed package drops below its own — including to 0% because the
+# package gained code but no tests, or stopped being tested at all.
+set -euo pipefail
+
+profile=${1:-coverage.out}
+floors=${2:-COVERAGE.txt}
+
+[ -f "$profile" ] || { echo "::error::missing coverage profile $profile"; exit 1; }
+[ -f "$floors" ] || { echo "::error::missing floors file $floors"; exit 1; }
+
+global_floor=$(head -1 "$floors")
+
+# Per-package statement coverage from the merged profile: lines are
+# "<file>:<start>,<end> <stmts> <hits>"; a package's coverage is
+# covered-statements / statements over its files.
+pkg_report=$(awk '
+  NR > 1 {
+    split($0, parts, ":"); file = parts[1]
+    pkg = file; sub(/\/[^\/]+$/, "", pkg)
+    n = split($0, f, " ")
+    stmts = f[n-1] + 0; hits = f[n] + 0
+    total[pkg] += stmts
+    if (hits > 0) covered[pkg] += stmts
+    g_total += stmts
+    if (hits > 0) g_covered += stmts
+  }
+  END {
+    for (p in total)
+      printf "%s %.1f\n", p, (total[p] ? 100 * covered[p] / total[p] : 0)
+    printf "TOTAL %.1f\n", (g_total ? 100 * g_covered / g_total : 0)
+  }' "$profile" | sort)
+
+total=$(echo "$pkg_report" | awk '$1 == "TOTAL" { print $2 }')
+
+fail=0
+echo "package coverage (floor deltas):"
+printf "  %-40s %8s %8s %8s\n" "package" "cover%" "floor%" "delta"
+while read -r kw pkg floor; do
+  [ "$kw" = "pkg" ] || continue
+  cover=$(echo "$pkg_report" | awk -v p="$pkg" '$1 == p { print $2 }')
+  cover=${cover:-0.0}
+  delta=$(awk -v c="$cover" -v f="$floor" 'BEGIN { printf "%+.1f", c - f }')
+  printf "  %-40s %8s %8s %8s\n" "$pkg" "$cover" "$floor" "$delta"
+  if awk -v c="$cover" -v f="$floor" 'BEGIN { exit !(c < f) }'; then
+    echo "::error::package $pkg coverage ${cover}% fell below its floor ${floor}% ($floors)"
+    fail=1
+  fi
+done < "$floors"
+
+echo "total coverage: ${total}% (floor: ${global_floor}%)"
+if awk -v t="$total" -v f="$global_floor" 'BEGIN { exit !(t < f) }'; then
+  echo "::error::total coverage ${total}% fell below the committed floor ${global_floor}% ($floors)"
+  fail=1
+fi
+exit $fail
